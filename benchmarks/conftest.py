@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-runs",
+        type=int,
+        default=100,
+        help="simulated runs per valuation in simulation benchmarks",
+    )
+
+
+@pytest.fixture
+def repro_runs(request):
+    return request.config.getoption("--repro-runs")

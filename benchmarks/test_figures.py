@@ -1,0 +1,42 @@
+"""Figures 15-24 regeneration benchmarks.
+
+Builds the bound/simulation sweep series for each figure at reduced
+resolution (full resolution: ``python -m repro.experiments.figures``)
+and asserts the plots' defining property: the simulated mean stays
+between the PUCS and PLCS curves at every sweep point.
+"""
+
+import pytest
+
+from repro.experiments.figures import FIGURE_NUMBERS, build_figure
+from repro.programs import get_benchmark
+
+#: Fast sweeps for every figure; heavyweight programs get fewer points.
+FIGURE_SUBSET = {
+    "bitcoin_mining": (6, 60),
+    "species_fight": (5, 60),
+    "simple_loop": (5, 60),
+    "random_walk": (6, 120),
+    "goods_discount": (5, 60),
+    "pollutant_disposal": (5, 60),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FIGURE_SUBSET), ids=sorted(FIGURE_SUBSET))
+def test_figure_series(benchmark, name):
+    bench = get_benchmark(name)
+    points, runs = FIGURE_SUBSET[name]
+
+    series = benchmark.pedantic(
+        build_figure, args=(bench,), kwargs={"points": points, "runs": runs, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    assert len(series.xs) == points
+    assert series.figure_number == FIGURE_NUMBERS[name]
+    # Tolerance: 6 Monte-Carlo standard errors per sweep point.
+    assert not series.bracketing_violations(slack=1e-6, z=6.0), (
+        series.xs,
+        series.upper,
+        series.sim_mean,
+        series.lower,
+    )

@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the pipeline stages (parser, CFG, interpreter,
+pre-expectation, LP assembly) — useful for tracking performance of the
+substrate independently of whole-table regeneration."""
+
+import random
+
+import pytest
+
+from repro.core import make_template, pre_expectation_cases
+from repro.invariants import generate_interval_invariants
+from repro.programs import get_benchmark
+from repro.semantics import build_cfg, run, simulate
+from repro.syntax import parse_program
+
+POOL = get_benchmark("bitcoin_pool")
+SIMPLE = get_benchmark("simple_loop")
+
+
+def test_parse(benchmark):
+    source = POOL.source
+    prog = benchmark(parse_program, source)
+    assert prog.pvars
+
+
+def test_build_cfg(benchmark):
+    cfg = benchmark(build_cfg, POOL.program)
+    assert len(cfg) == 12
+
+
+def test_interval_invariants(benchmark):
+    inv = benchmark(generate_interval_invariants, SIMPLE.cfg, SIMPLE.init)
+    assert 1 in inv
+
+
+def test_single_run(benchmark):
+    rng = random.Random(0)
+    result = benchmark(run, SIMPLE.cfg, {"x": 50, "y": 0}, None, rng, 1_000_000)
+    assert result.terminated
+
+
+def test_simulation_batch(benchmark, repro_runs):
+    stats = benchmark.pedantic(
+        simulate,
+        args=(SIMPLE.cfg, {"x": 50, "y": 0}),
+        kwargs={"runs": repro_runs, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert stats.termination_rate == 1.0
+
+
+def test_pre_expectation_symbolic(benchmark):
+    template = make_template(SIMPLE.cfg, 2)
+
+    def all_cases():
+        return [
+            pre_expectation_cases(SIMPLE.cfg, template.polys, label)
+            for label in SIMPLE.cfg.nonterminal_labels()
+        ]
+
+    cases = benchmark(all_cases)
+    assert len(cases) == 4

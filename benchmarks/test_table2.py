@@ -1,0 +1,35 @@
+"""Table 2 regeneration benchmarks.
+
+Times PUCS synthesis (the paper's polynomial-time algorithm) on each of
+the fifteen [74]-comparison programs and checks the synthesized bound
+value, so a timing run doubles as a correctness run.
+
+Regenerate the full table with ``python -m repro.experiments.table2``.
+"""
+
+import pytest
+
+from repro.core import synthesize_pucs
+from repro.programs import TABLE2_BENCHMARKS
+
+IDS = [b.name for b in TABLE2_BENCHMARKS]
+
+
+@pytest.mark.parametrize("bench", TABLE2_BENCHMARKS, ids=IDS)
+def test_pucs_synthesis(benchmark, bench):
+    inv = bench.invariant_map()
+
+    result = benchmark(
+        synthesize_pucs, bench.cfg, inv, bench.init, degree=bench.degree,
+        nonnegative=(bench.mode == "nonnegative"),
+    )
+    assert result.bound.is_numeric()
+    assert result.value is not None
+
+
+def test_full_table2_build(benchmark):
+    """One end-to-end regeneration of all fifteen rows (incl. baseline)."""
+    from repro.experiments import build_table2
+
+    rows = benchmark.pedantic(build_table2, rounds=1, iterations=1)
+    assert len(rows) == 15

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Tour of lower bounds — the capability no previous approach had.
+
+The paper's headline novelty (Section 4.4, item 3) is sound *lower*
+bounds on the maximal expected cost via PLCS submartingales.  This tour
+walks through what makes a lower bound work:
+
+1. a program where PUCS and PLCS meet, pinning the exact expected cost;
+2. how the PLCS handles nondeterminism by enumerating branch policies;
+3. how certificates are validated pointwise along simulated runs
+   (conditions (C3)/(C3') of Definitions 6.5/6.7, evaluated exactly).
+
+Run:  python examples/lower_bounds_tour.py
+"""
+
+import repro
+from repro.analysis import check_cost_martingale
+from repro.core import synthesize_plcs, synthesize_pucs
+from repro.invariants import InvariantMap
+
+
+def exact_cost_program() -> None:
+    print("=" * 66)
+    print("1. The running example (Figure 2): bounds that meet")
+    print("=" * 66)
+    source = """
+    var x, y;
+    sample r  ~ discrete(1: 0.25, -1: 0.75);
+    sample r2 ~ discrete(1: 0.6666666666666667, -1: 0.3333333333333333);
+    while x >= 1 do
+        x := x + r;
+        y := r2;
+        tick(x * y)
+    od
+    """
+    result = repro.analyze(
+        source,
+        init={"x": 100, "y": 0},
+        invariants={
+            1: "x >= 0",
+            2: "x >= 1",
+            3: "x >= 0 and y + 1 >= 0 and 1 - y >= 0",
+            4: "x >= 0 and y + 1 >= 0 and 1 - y >= 0",
+        },
+    )
+    print(f"upper: {result.upper.bound.round(6)}   -> {result.upper.value:.4f}")
+    print(f"lower: {result.lower.bound.round(6)} -> {result.lower.value:.4f}")
+    gap = result.upper.value - result.lower.value
+    print(f"gap: {gap:.4f}  (the expected cost is x^2/3 + x/3, known exactly)")
+    print()
+
+
+def nondet_policies() -> None:
+    print("=" * 66)
+    print("2. Lower bounds under nondeterminism: policy enumeration")
+    print("=" * 66)
+    source = """
+    var x;
+    while x >= 1 do
+        x := x - 1;
+        if * then tick(3) else tick(1) fi
+    od
+    """
+    prog = repro.parse_program(source)
+    cfg = repro.build_cfg(prog)
+    inv = InvariantMap.from_strings(cfg, {i: "x >= 0" for i in range(1, 6)})
+    inv.set(2, "x >= 1")
+
+    ub = synthesize_pucs(cfg, inv, {"x": 10}, degree=1)
+    lb = synthesize_plcs(cfg, inv, {"x": 10}, degree=1)
+    print(f"PUCS (demonic max over branches): {ub.bound.round(4)} -> {ub.value:g}")
+    print(f"PLCS (best single policy):        {lb.bound.round(4)} -> {lb.value:g}")
+    print(f"policy chosen per nondet label:   {lb.nondet_choices}")
+    (nd,) = cfg.nondet_labels()
+    forced = synthesize_plcs(cfg, inv, {"x": 10}, degree=1, nondet_choices={nd.id: 1})
+    print(f"PLCS forced onto the cheap branch: {forced.bound.round(4)} -> {forced.value:g}")
+    print()
+
+
+def certificate_validation() -> None:
+    print("=" * 66)
+    print("3. Validating certificates pointwise (Definition 6.3, exact)")
+    print("=" * 66)
+    source = """
+    var x;
+    while x >= 1 do
+        x := x + (1, -1) : (0.25, 0.75);
+        tick(1)
+    od
+    """
+    prog = repro.parse_program(source)
+    cfg = repro.build_cfg(prog)
+    inv = InvariantMap.from_strings(cfg, {1: "x >= 0", 2: "x >= 1", 3: "x >= 0"})
+    lb = synthesize_plcs(cfg, inv, {"x": 50}, degree=1)
+    report = check_cost_martingale(cfg, lb.h, "lower", {"x": 50}, runs=30, seed=0)
+    print(f"configurations checked: {report.configurations_checked}")
+    print(f"max violation of (C3'): {report.max_violation:.2e}  (<= 0 means the")
+    print("submartingale inequality holds with slack at every visited state)")
+    assert report.ok()
+
+
+if __name__ == "__main__":
+    exact_cost_program()
+    nondet_policies()
+    certificate_validation()

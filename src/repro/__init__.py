@@ -1,0 +1,133 @@
+"""repro — expected-cost analysis of nondeterministic probabilistic programs.
+
+A from-scratch Python reproduction of
+
+    Peixin Wang, Hongfei Fu, Amir Kafshdar Goharshady, Krishnendu
+    Chatterjee, Xudong Qin, Wenjun Shi.
+    "Cost Analysis of Nondeterministic Probabilistic Programs."
+    PLDI 2019.
+
+The library synthesizes polynomial upper bounds (PUCS) and lower bounds
+(PLCS) on the maximal expected accumulated ``tick`` cost of imperative
+programs with probabilistic sampling and demonic nondeterminism, via
+Handelman certificates reduced to linear programming.
+
+Quickstart::
+
+    import repro
+
+    result = repro.analyze('''
+        var x;
+        while x >= 1 do
+            x := x + (1, -1) : (0.25, 0.75);
+            tick(1)
+        od
+    ''', init={"x": 100}, invariants={1: "x >= 0"})
+    print(result.summary())
+"""
+
+from .analysis import (
+    CostAnalysisResult,
+    MartingaleReport,
+    analyze,
+    analyze_runtime,
+    check_cost_martingale,
+    instrument_runtime,
+)
+from .baseline import baseline_applicable, baseline_upper_bound
+from .core import (
+    BoundResult,
+    classify,
+    pre_expectation_cases,
+    pre_expectation_value,
+    synthesize,
+    synthesize_plcs,
+    synthesize_pucs,
+)
+from .errors import (
+    CFGError,
+    DegreeError,
+    InfeasibleError,
+    InvariantError,
+    NonLinearError,
+    ParseError,
+    ReproError,
+    SemanticsError,
+    SynthesisError,
+    UnboundedError,
+    UnsupportedProgramError,
+)
+from .invariants import InvariantMap, Polyhedron, generate_interval_invariants
+from .polynomials import LinForm, Monomial, Polynomial, expectation
+from .semantics import (
+    CFG,
+    BernoulliDistribution,
+    BinomialDistribution,
+    DiscreteDistribution,
+    Distribution,
+    PointDistribution,
+    UniformDistribution,
+    UniformIntDistribution,
+    build_cfg,
+    run,
+    simulate,
+)
+from .syntax import Program, parse_condition, parse_expression, parse_program, replace_nondet
+from .termination import RankingCertificate, certify_concentration, synthesize_rsm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BernoulliDistribution",
+    "BinomialDistribution",
+    "BoundResult",
+    "CFG",
+    "CFGError",
+    "CostAnalysisResult",
+    "DegreeError",
+    "DiscreteDistribution",
+    "Distribution",
+    "InfeasibleError",
+    "InvariantError",
+    "InvariantMap",
+    "LinForm",
+    "MartingaleReport",
+    "Monomial",
+    "NonLinearError",
+    "ParseError",
+    "PointDistribution",
+    "Polyhedron",
+    "Polynomial",
+    "Program",
+    "RankingCertificate",
+    "ReproError",
+    "SemanticsError",
+    "SynthesisError",
+    "UnboundedError",
+    "UniformDistribution",
+    "UniformIntDistribution",
+    "UnsupportedProgramError",
+    "analyze",
+    "analyze_runtime",
+    "baseline_applicable",
+    "baseline_upper_bound",
+    "build_cfg",
+    "certify_concentration",
+    "check_cost_martingale",
+    "instrument_runtime",
+    "classify",
+    "expectation",
+    "generate_interval_invariants",
+    "parse_condition",
+    "parse_expression",
+    "parse_program",
+    "pre_expectation_cases",
+    "pre_expectation_value",
+    "replace_nondet",
+    "run",
+    "simulate",
+    "synthesize",
+    "synthesize_plcs",
+    "synthesize_pucs",
+    "synthesize_rsm",
+]

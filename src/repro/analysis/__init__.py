@@ -1,0 +1,14 @@
+"""High-level analysis facade and certificate validation."""
+
+from .bounds import CostAnalysisResult, analyze
+from .martingale import MartingaleReport, check_cost_martingale
+from .runtime import analyze_runtime, instrument_runtime
+
+__all__ = [
+    "CostAnalysisResult",
+    "MartingaleReport",
+    "analyze",
+    "analyze_runtime",
+    "check_cost_martingale",
+    "instrument_runtime",
+]

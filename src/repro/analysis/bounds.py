@@ -1,0 +1,215 @@
+"""High-level cost-analysis facade.
+
+:func:`analyze` runs the complete pipeline of the paper on a program:
+
+1. parse (if given source text) and build the CFG;
+2. assemble invariants: user annotations, optionally strengthened by
+   the automatic interval generator;
+3. classify the soundness regime (Section 6.2 vs 6.3) from the side
+   conditions;
+4. optionally certify concentration with a ranking supermartingale;
+5. synthesize the PUCS upper bound and, when the regime admits one,
+   the PLCS lower bound.
+
+This is the function the examples and the experiment harness call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Union
+
+from ..core.conditions import AnalysisMode, classify
+from ..core.synthesis import BoundResult, synthesize
+from ..errors import SynthesisError
+from ..invariants import InvariantMap, generate_interval_invariants
+from ..semantics.cfg import CFG, build_cfg
+from ..syntax.ast import Program
+from ..syntax.parser import parse_program
+from ..termination import RankingCertificate, certify_concentration
+
+__all__ = ["CostAnalysisResult", "analyze"]
+
+
+@dataclass
+class CostAnalysisResult:
+    """Everything the pipeline produced for one program."""
+
+    program: Program
+    cfg: CFG
+    invariants: InvariantMap
+    mode: AnalysisMode
+    upper: Optional[BoundResult] = None
+    lower: Optional[BoundResult] = None
+    concentration: Optional[RankingCertificate] = None
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def upper_bound(self):
+        """The PUCS bound polynomial at the entry label (or None)."""
+        return self.upper.bound if self.upper else None
+
+    @property
+    def lower_bound(self):
+        """The PLCS bound polynomial at the entry label (or None)."""
+        return self.lower.bound if self.lower else None
+
+    def summary(self) -> str:
+        """Human-readable report (used by the examples)."""
+        lines = [f"program: {self.program.name or '<anonymous>'}", f"mode:    {self.mode.name}"]
+        if self.upper:
+            lines.append(f"upper:   {self.upper.bound.round(6)}  (value {self.upper.value:.6g})")
+        if self.lower:
+            lines.append(f"lower:   {self.lower.bound.round(6)}  (value {self.lower.value:.6g})")
+        if self.concentration is not None:
+            status = "certified" if self.concentration.certifies_concentration else "RSM only"
+            lines.append(
+                f"concentration: {status} (E[T] <= {self.concentration.expected_time_bound:.6g})"
+            )
+        for warning in self.warnings:
+            lines.append(f"warning: {warning}")
+        return "\n".join(lines)
+
+
+def analyze(
+    program: Union[str, Program],
+    init: Mapping[str, float],
+    invariants: Optional[Union[InvariantMap, Mapping[int, object]]] = None,
+    degree: int = 2,
+    auto_invariants: bool = True,
+    check_concentration: bool = False,
+    compute_lower: bool = True,
+    max_multiplicands: Optional[int] = None,
+    mode: str = "auto",
+) -> CostAnalysisResult:
+    """Run the full expected-cost analysis on ``program``.
+
+    Parameters
+    ----------
+    program:
+        Source text or a parsed :class:`Program`.
+    init:
+        The initial valuation ``v*`` the bounds are optimized for.
+    invariants:
+        Optional per-label annotations (an :class:`InvariantMap` or a
+        ``{label: condition-string}`` mapping, cf. Figure 9).
+    degree:
+        Template degree ``d``.
+    auto_invariants:
+        Strengthen annotations with automatically generated interval
+        invariants (on by default; the paper uses StInG similarly).
+    check_concentration:
+        Also synthesize a ranking supermartingale witnessing the
+        concentration side condition of Theorems 6.10/6.12.
+    compute_lower:
+        Attempt the PLCS lower bound when the regime admits one.
+    mode:
+        ``"auto"`` classifies the soundness regime from the side
+        conditions; ``"signed"`` forces the Section 6.2 regime (upper
+        and lower bounds, no nonnegativity requirement on ``h``) and
+        ``"nonnegative"`` forces the Section 6.3 regime (upper bound
+        with nonnegative ``h``).  Forcing a regime whose side
+        conditions fail is recorded as a warning, not an error — this
+        mirrors how the paper's experiments treat e.g. the nested-loop
+        benchmark.
+    """
+    if isinstance(program, str):
+        program = parse_program(program)
+    cfg = build_cfg(program)
+    unknown_vars = set(init) - set(cfg.pvars)
+    if unknown_vars:
+        from ..errors import SemanticsError
+
+        raise SemanticsError(f"initial valuation mentions unknown variables: {sorted(unknown_vars)}")
+
+    if isinstance(invariants, InvariantMap):
+        inv = invariants
+    elif invariants is not None:
+        inv = InvariantMap.from_strings(cfg, dict(invariants))
+    else:
+        inv = InvariantMap.trivial()
+    if auto_invariants:
+        # Strengthen only labels the user left unannotated: hand-written
+        # invariants are typically tighter, and mixing in anchor-specific
+        # point intervals (e.g. ``n = 320``) can degrade LP conditioning.
+        auto = generate_interval_invariants(cfg, init)
+        for label_id, poly in auto.items():
+            if label_id not in inv:
+                inv.set(label_id, poly)
+
+    if mode not in ("auto", "signed", "nonnegative"):
+        raise ValueError("mode must be 'auto', 'signed' or 'nonnegative'")
+    detected = classify(cfg, inv)
+    forced_warnings: List[str] = []
+    if mode == "signed":
+        if detected.name != "signed-bounded-update":
+            forced_warnings.append(
+                f"forced signed regime but side conditions detect {detected.name!r}; "
+                "soundness relies on external justification of the update bounds"
+            )
+        detected = AnalysisMode(
+            name="signed-bounded-update",
+            upper=True,
+            lower=True,
+            require_nonnegative_template=False,
+            reports=detected.reports,
+        )
+    elif mode == "nonnegative":
+        if not detected.reports["nonnegative_costs"]:
+            forced_warnings.append(
+                "forced nonnegative regime but some costs may be negative; "
+                "the upper bound is not covered by Theorem 6.14"
+            )
+        detected = AnalysisMode(
+            name="nonnegative-general-update",
+            upper=True,
+            lower=False,
+            require_nonnegative_template=True,
+            reports=detected.reports,
+        )
+    mode_info = detected
+    result = CostAnalysisResult(program=program, cfg=cfg, invariants=inv, mode=mode_info)
+    result.warnings.extend(forced_warnings)
+
+    if mode_info.name == "unsupported":
+        result.warnings.append(
+            "program has both negative costs and unbounded updates; "
+            "no soundness theorem of the paper applies (Section 10)"
+        )
+
+    if check_concentration:
+        result.concentration = certify_concentration(cfg, inv, init)
+        if result.concentration is None:
+            result.warnings.append("no linear ranking supermartingale found; concentration unverified")
+        elif not result.concentration.certifies_concentration:
+            result.warnings.append(
+                "RSM found but updates are unbounded; concentration unverified"
+            )
+
+    try:
+        result.upper = synthesize(
+            cfg,
+            inv,
+            init,
+            kind="upper",
+            degree=degree,
+            nonnegative=mode_info.require_nonnegative_template,
+            max_multiplicands=max_multiplicands,
+        )
+    except SynthesisError as exc:
+        result.warnings.append(f"no degree-{degree} upper bound: {exc}")
+
+    if compute_lower and mode_info.lower:
+        try:
+            result.lower = synthesize(
+                cfg,
+                inv,
+                init,
+                kind="lower",
+                degree=degree,
+                max_multiplicands=max_multiplicands,
+            )
+        except SynthesisError as exc:
+            result.warnings.append(f"no degree-{degree} lower bound: {exc}")
+
+    return result

@@ -1,0 +1,5 @@
+"""Reimplementation of the [74]-style potential-function baseline."""
+
+from .potential import baseline_applicable, baseline_upper_bound
+
+__all__ = ["baseline_applicable", "baseline_upper_bound"]

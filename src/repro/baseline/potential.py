@@ -1,0 +1,71 @@
+"""Baseline: bounded-expectations potential analysis in the style of
+Ngo, Carbonneaux and Hoffmann [74] (PLDI 2018).
+
+The paper's Table 2 compares against [74], whose applicability envelope
+is strictly smaller than the paper's:
+
+* stepwise costs must be **nonnegative constants** (no variable-
+  dependent or negative costs);
+* only **upper** bounds are produced;
+* the potential (our ``h``) is nonnegative everywhere.
+
+The core of [74] — nonnegative polynomial potentials whose one-step
+pre-expectation covers the step cost — coincides, on this fragment,
+with a nonnegative PUCS, so the baseline is implemented as a guarded
+restriction of the main synthesizer.  That mirrors the mathematical
+relationship the paper describes (Section 4.4: weakest-pre-expectation
+approaches need nonnegativity for monotonicity).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..core.conditions import check_bounded_costs, check_nonnegative_costs
+from ..core.synthesis import BoundResult, synthesize
+from ..errors import UnsupportedProgramError
+from ..invariants import InvariantMap
+from ..semantics.cfg import CFG
+
+__all__ = ["baseline_applicable", "baseline_upper_bound"]
+
+
+def baseline_applicable(cfg: CFG, invariants: Optional[InvariantMap] = None) -> bool:
+    """Whether the program fits the [74] fragment (constant nonneg costs)."""
+    return bool(check_bounded_costs(cfg)) and bool(check_nonnegative_costs(cfg, invariants))
+
+
+def baseline_upper_bound(
+    cfg: CFG,
+    invariants: InvariantMap,
+    init: Mapping[str, float],
+    degree: int = 2,
+    max_multiplicands: Optional[int] = None,
+) -> BoundResult:
+    """Upper bound via nonnegative potentials, as in [74].
+
+    Raises :class:`UnsupportedProgramError` on programs outside the
+    fragment — exactly the programs that motivated the paper (negative
+    costs, variable-dependent costs).
+    """
+    if not check_bounded_costs(cfg):
+        raise UnsupportedProgramError(
+            "baseline [74] requires constant stepwise costs; "
+            "this program has variable-dependent tick costs"
+        )
+    if not check_nonnegative_costs(cfg, invariants):
+        raise UnsupportedProgramError(
+            "baseline [74] requires nonnegative stepwise costs; "
+            "this program has negative tick costs"
+        )
+    result = synthesize(
+        cfg,
+        invariants,
+        init,
+        kind="upper",
+        degree=degree,
+        nonnegative=True,
+        max_multiplicands=max_multiplicands,
+    )
+    result.kind = "upper-baseline"
+    return result

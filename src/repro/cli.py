@@ -1,0 +1,176 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro analyze FILE [--init x=100,y=0] [--degree 2]
+                                 [--invariant LABEL:COND ...]
+                                 [--mode auto|signed|nonnegative]
+                                 [--concentration] [--no-lower]
+    python -m repro simulate FILE --init x=100 [--runs 1000] [--seed 0]
+    python -m repro cfg FILE
+    python -m repro bench NAME [--init x=100]
+    python -m repro list
+
+Program files use the surface syntax of the paper's Figure 1 grammar
+(see README).  Invariants may also be embedded in the program file as
+comment annotations::
+
+    # @invariant 1: x >= 0
+    # @invariant 4: x >= 0 and 1 - y >= 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import Dict, List, Optional
+
+from .analysis import analyze
+from .programs import all_benchmarks, get_benchmark
+from .semantics import build_cfg, simulate
+from .syntax import parse_program
+
+__all__ = ["main", "parse_valuation", "extract_invariant_annotations"]
+
+_ANNOTATION_RE = re.compile(r"^\s*#\s*@invariant\s+(\d+)\s*:\s*(.+?)\s*$", re.MULTILINE)
+
+
+def parse_valuation(text: Optional[str]) -> Dict[str, float]:
+    """Parse ``x=100,y=0`` into a valuation dict."""
+    if not text:
+        return {}
+    out: Dict[str, float] = {}
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise ValueError(f"malformed assignment {chunk!r}; expected var=value")
+        name, value = chunk.split("=", 1)
+        out[name.strip()] = float(value)
+    return out
+
+
+def extract_invariant_annotations(source: str) -> Dict[int, str]:
+    """Collect ``# @invariant LABEL: COND`` comment annotations."""
+    return {int(label): cond for label, cond in _ANNOTATION_RE.findall(source)}
+
+
+def _read_program(path: str):
+    with open(path) as handle:
+        source = handle.read()
+    return source, parse_program(source, name=path)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    source, program = _read_program(args.file)
+    invariants = extract_invariant_annotations(source)
+    for spec in args.invariant or []:
+        label, _, cond = spec.partition(":")
+        invariants[int(label)] = cond.strip()
+    result = analyze(
+        program,
+        init=parse_valuation(args.init),
+        invariants=invariants or None,
+        degree=args.degree,
+        mode=args.mode,
+        compute_lower=not args.no_lower,
+        check_concentration=args.concentration,
+    )
+    print(result.summary())
+    return 0 if result.upper is not None else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    _, program = _read_program(args.file)
+    if program.has_nondeterminism():
+        print(
+            "error: program has nondeterministic choices; replace them "
+            "(repro.replace_nondet) or analyze instead",
+            file=sys.stderr,
+        )
+        return 1
+    cfg = build_cfg(program)
+    stats = simulate(cfg, parse_valuation(args.init), runs=args.runs, seed=args.seed)
+    print(f"runs:             {stats.runs}")
+    print(f"mean cost:        {stats.mean:.6g}")
+    print(f"std:              {stats.std:.6g}")
+    print(f"min / max:        {stats.min:.6g} / {stats.max:.6g}")
+    print(f"mean steps:       {stats.mean_steps:.6g}")
+    print(f"termination rate: {stats.termination_rate:.3f}")
+    return 0
+
+
+def _cmd_cfg(args: argparse.Namespace) -> int:
+    _, program = _read_program(args.file)
+    print(build_cfg(program).pretty())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    bench = get_benchmark(args.name)
+    init = parse_valuation(args.init) or None
+    result = bench.analyze(init=init)
+    print(f"# {bench.title}")
+    print(result.summary())
+    if bench.paper_upper:
+        print(f"paper upper: {bench.paper_upper}")
+    if bench.paper_lower:
+        print(f"paper lower: {bench.paper_lower}")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for bench in all_benchmarks():
+        nd = " [nondet]" if bench.has_nondeterminism else ""
+        print(f"{bench.name:20s} ({bench.category}, degree {bench.degree}){nd}  {bench.title}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Expected-cost analysis of probabilistic programs (PLDI 2019)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="synthesize PUCS/PLCS bounds for a program file")
+    p_analyze.add_argument("file")
+    p_analyze.add_argument("--init", help="initial valuation, e.g. x=100,y=0")
+    p_analyze.add_argument("--degree", type=int, default=2)
+    p_analyze.add_argument("--mode", choices=["auto", "signed", "nonnegative"], default="auto")
+    p_analyze.add_argument(
+        "--invariant", action="append", metavar="LABEL:COND", help="per-label invariant annotation"
+    )
+    p_analyze.add_argument("--concentration", action="store_true", help="also synthesize an RSM")
+    p_analyze.add_argument("--no-lower", action="store_true", help="skip the PLCS lower bound")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_sim = sub.add_parser("simulate", help="Monte-Carlo simulation of a program file")
+    p_sim.add_argument("file")
+    p_sim.add_argument("--init", help="initial valuation, e.g. x=100")
+    p_sim.add_argument("--runs", type=int, default=1000)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_cfg = sub.add_parser("cfg", help="print the labelled control-flow graph")
+    p_cfg.add_argument("file")
+    p_cfg.set_defaults(func=_cmd_cfg)
+
+    p_bench = sub.add_parser("bench", help="analyze a named paper benchmark")
+    p_bench.add_argument("name")
+    p_bench.add_argument("--init", help="override the anchor valuation")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_list = sub.add_parser("list", help="list the paper benchmarks")
+    p_list.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""The paper's primary contribution: PUCS/PLCS synthesis via Handelman + LP."""
+
+from .conditions import (
+    AnalysisMode,
+    ConditionReport,
+    check_bounded_costs,
+    check_bounded_updates,
+    check_nonnegative_costs,
+    classify,
+)
+from .handelman import certificate_equalities, monoid_products
+from .lp import LinearProgram, LPSolution
+from .preexpectation import (
+    PreCase,
+    pre_expectation_cases,
+    pre_expectation_table,
+    pre_expectation_value,
+)
+from .synthesis import (
+    BoundResult,
+    SynthesisOptions,
+    synthesize,
+    synthesize_plcs,
+    synthesize_pucs,
+)
+from .templates import Template, make_template
+
+__all__ = [
+    "AnalysisMode",
+    "BoundResult",
+    "ConditionReport",
+    "LPSolution",
+    "LinearProgram",
+    "PreCase",
+    "SynthesisOptions",
+    "Template",
+    "certificate_equalities",
+    "check_bounded_costs",
+    "check_bounded_updates",
+    "check_nonnegative_costs",
+    "classify",
+    "make_template",
+    "monoid_products",
+    "pre_expectation_cases",
+    "pre_expectation_table",
+    "pre_expectation_value",
+    "synthesize",
+    "synthesize_plcs",
+    "synthesize_pucs",
+]

@@ -1,0 +1,105 @@
+"""Handelman certificates (Theorem 7.1; Section 7, step (3)).
+
+Handelman's theorem: if ``g > 0`` on the compact polyhedron
+``<Gamma> = {x | gamma(x) >= 0 for gamma in Gamma}`` (``Gamma`` a set of
+linear forms), then ``g = sum_k c_k f_k`` with ``c_k > 0`` and each
+``f_k`` a finite product of elements of ``Gamma``.
+
+The synthesis algorithm uses the theorem in the *sufficient* direction:
+writing a target polynomial in the form ``sum c_k f_k`` with ``c_k >= 0``
+certifies ``g >= 0`` on ``<Gamma>`` regardless of compactness.  Fixing a
+cap ``K`` on the number of multiplicands makes the certificate space
+finite; matching monomial coefficients of
+
+    g - sum_k c_k f_k = 0
+
+yields linear equalities over the template unknowns ``a_ij`` and the
+fresh multipliers ``c_k``, which is exactly what the LP solves.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import NonLinearError
+from ..polynomials import LinForm, Monomial, Polynomial
+
+__all__ = ["monoid_products", "certificate_equalities", "LinearEquality"]
+
+#: One linear equality ``sum(coeffs[u] * u) = rhs`` over LP unknowns.
+LinearEquality = Tuple[Dict[str, float], float]
+
+
+def monoid_products(gammas: Sequence[Polynomial], max_multiplicands: int) -> List[Polynomial]:
+    """All products of at most ``max_multiplicands`` elements of ``Gamma``.
+
+    The empty product (the constant polynomial 1) is always included —
+    it is the ``t = 0`` case of the paper's ``Monoid(Gamma)`` and lets
+    certificates carry a nonnegative constant slack.  Duplicate products
+    (e.g. from repeated constraints) are removed.
+    """
+    if max_multiplicands < 0:
+        raise ValueError("max_multiplicands must be nonnegative")
+    for g in gammas:
+        if not g.is_numeric():
+            raise NonLinearError("Handelman constraints must be numeric")
+        if not g.is_linear():
+            raise NonLinearError(f"Handelman constraints must be linear, got {g}")
+
+    products: List[Polynomial] = [Polynomial.constant(1.0)]
+    seen = {products[0]}
+    for count in range(1, max_multiplicands + 1):
+        for combo in combinations_with_replacement(range(len(gammas)), count):
+            prod = Polynomial.constant(1.0)
+            for idx in combo:
+                prod = prod * gammas[idx]
+            if prod not in seen:
+                seen.add(prod)
+                products.append(prod)
+    return products
+
+
+class _MultiplierNames:
+    """Fresh, readable names for certificate multipliers."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.count = 0
+
+    def fresh(self) -> str:
+        name = f"{self.prefix}_{self.count}"
+        self.count += 1
+        return name
+
+
+def certificate_equalities(
+    target: Polynomial,
+    gammas: Sequence[Polynomial],
+    max_multiplicands: int,
+    site_name: str,
+) -> Tuple[List[LinearEquality], List[str]]:
+    """Encode ``target = sum_k c_k f_k`` as linear equalities.
+
+    ``target`` is a polynomial whose coefficients are affine in the
+    template unknowns.  Returns the equality rows (one per monomial of
+    the combined polynomial) plus the names of the fresh nonnegative
+    multipliers ``c_k``; the caller registers those with the LP.
+
+    ``site_name`` keys the multiplier names so that constraint sites
+    stay distinguishable in LP dumps (useful when debugging
+    infeasibility).
+    """
+    names = _MultiplierNames(f"c_{site_name}")
+    multipliers: List[str] = []
+    residual = target
+    for product in monoid_products(gammas, max_multiplicands):
+        c_name = names.fresh()
+        multipliers.append(c_name)
+        residual = residual - product * LinForm.unknown(c_name)
+
+    equalities: List[LinearEquality] = []
+    for _mono, coeff in residual.terms():
+        form = coeff if isinstance(coeff, LinForm) else LinForm(float(coeff))
+        equalities.append((dict(form.terms), -form.const))
+    return equalities, multipliers

@@ -1,0 +1,160 @@
+"""Linear-programming backend (Section 7, step (4)).
+
+A thin, explicit wrapper over :func:`scipy.optimize.linprog` (HiGHS).
+The synthesis pipeline only needs:
+
+* unknowns that are either free (template coefficients ``a_ij``) or
+  nonnegative (Handelman multipliers ``c_k``);
+* equality rows from coefficient matching;
+* a linear objective (the bound value at the anchor valuation).
+
+Infeasibility and unboundedness are turned into the library's typed
+exceptions so callers can retry with different parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..errors import InfeasibleError, SynthesisError, UnboundedError
+from ..polynomials import LinForm
+
+__all__ = ["LinearProgram", "LPSolution"]
+
+
+@dataclass
+class LPSolution:
+    """A solved LP: unknown values plus solver metadata."""
+
+    values: Dict[str, float]
+    objective: float
+    num_variables: int
+    num_equalities: int
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]
+
+
+class LinearProgram:
+    """An LP under construction: ``min/max c.x  s.t.  A_eq x = b, bounds``."""
+
+    def __init__(self):
+        self._index: Dict[str, int] = {}
+        self._nonneg: List[bool] = []
+        self._rows: List[Dict[str, float]] = []
+        self._rhs: List[float] = []
+        self._objective: Optional[LinForm] = None
+        self._maximize = False
+
+    # -- construction -------------------------------------------------------
+
+    def add_unknown(self, name: str, nonnegative: bool = False) -> None:
+        """Register an unknown; re-registration must agree on the sign."""
+        if name in self._index:
+            if self._nonneg[self._index[name]] != nonnegative:
+                raise SynthesisError(f"unknown {name!r} registered with conflicting signs")
+            return
+        self._index[name] = len(self._nonneg)
+        self._nonneg.append(nonnegative)
+
+    def add_equality(self, coeffs: Mapping[str, float], rhs: float) -> None:
+        """Add the row ``sum(coeffs[u] * u) = rhs``.
+
+        Unknowns must have been registered.  All-zero rows are checked
+        for consistency immediately.
+        """
+        cleaned = {}
+        for name, coeff in coeffs.items():
+            if name not in self._index:
+                raise SynthesisError(f"equality references unregistered unknown {name!r}")
+            if coeff != 0.0:
+                cleaned[name] = float(coeff)
+        if not cleaned:
+            if abs(rhs) > 1e-9:
+                raise InfeasibleError(f"contradictory constant equality 0 = {rhs}")
+            return
+        self._rows.append(cleaned)
+        self._rhs.append(float(rhs))
+
+    def set_objective(self, form: LinForm, maximize: bool = False) -> None:
+        for name in form.terms:
+            if name not in self._index:
+                raise SynthesisError(f"objective references unregistered unknown {name!r}")
+        self._objective = form
+        self._maximize = maximize
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._index)
+
+    @property
+    def num_equalities(self) -> int:
+        return len(self._rows)
+
+    # -- solving ----------------------------------------------------------------
+
+    def solve(self) -> LPSolution:
+        """Solve with HiGHS; raises on infeasible/unbounded outcomes."""
+        n = len(self._index)
+        if n == 0:
+            raise SynthesisError("linear program has no unknowns")
+
+        c = np.zeros(n)
+        offset = 0.0
+        if self._objective is not None:
+            offset = self._objective.const
+            for name, coeff in self._objective.terms.items():
+                c[self._index[name]] = coeff
+        if self._maximize:
+            c = -c
+
+        if self._rows:
+            a_eq = np.zeros((len(self._rows), n))
+            for i, row in enumerate(self._rows):
+                for name, coeff in row.items():
+                    a_eq[i, self._index[name]] = coeff
+            b_eq = np.asarray(self._rhs)
+        else:
+            a_eq, b_eq = None, None
+
+        bounds: List[Tuple[Optional[float], Optional[float]]] = [
+            (0.0, None) if nonneg else (None, None) for nonneg in self._nonneg
+        ]
+
+        result = linprog(c, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs")
+        if result.status not in (0, 2, 3):
+            # Solver hiccup (e.g. HiGHS status 4 on badly scaled inputs):
+            # retry without presolve before giving up.
+            result = linprog(
+                c,
+                A_eq=a_eq,
+                b_eq=b_eq,
+                bounds=bounds,
+                method="highs",
+                options={"presolve": False},
+            )
+        if result.status == 2:
+            raise InfeasibleError(
+                "no Handelman certificate of the requested degree exists; "
+                "try a higher template degree, a larger multiplicand cap, "
+                "or stronger invariants"
+            )
+        if result.status == 3:
+            raise UnboundedError("LP objective is unbounded; the invariant is too weak to pin a bound")
+        if result.status != 0:
+            raise SynthesisError(f"LP solver failed: {result.message}")
+
+        values = {name: float(result.x[idx]) for name, idx in self._index.items()}
+        objective = float(result.fun) * (-1.0 if self._maximize else 1.0) + offset
+        return LPSolution(
+            values=values,
+            objective=objective,
+            num_variables=n,
+            num_equalities=len(self._rows),
+        )

@@ -1,0 +1,138 @@
+"""The pre-expectation calculus of Definition 6.3.
+
+Given a function ``h : L x Val -> R`` (numeric or a symbolic template),
+``pre_h(l, v)`` is the cost of the current step plus the expected value
+of ``h`` one step later:
+
+* assignment ``x := e``:       ``E_u[h(l', e(v, u))]``
+* branching on ``phi``:        ``1_{v |= phi} h(l1, v) + 1_{v |/= phi} h(l2, v)``
+* probabilistic ``prob(p)``:   ``p h(l1, v) + (1-p) h(l2, v)``
+* tick(``R``):                 ``R(v) + h(l', v)``
+* nondeterministic:            ``max`` over successors
+* terminal:                    ``h(l_out, v)``
+
+Two views are provided: :func:`pre_expectation_cases` decomposes
+``pre_h`` into guarded polynomial pieces (what the Handelman reduction
+consumes — indicators and max do not mix with polynomial identities),
+and :func:`pre_expectation_value` evaluates Definition 6.3 literally at
+a numeric state (what the Figure 9 table and the martingale validator
+use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..errors import CFGError
+from ..polynomials import Polynomial, expectation
+from ..semantics.cfg import (
+    CFG,
+    AssignLabel,
+    BranchLabel,
+    Label,
+    NondetLabel,
+    ProbLabel,
+    TerminalLabel,
+    TickLabel,
+)
+from ..syntax.ast import Atom
+
+__all__ = ["PreCase", "pre_expectation_cases", "pre_expectation_value"]
+
+
+@dataclass
+class PreCase:
+    """One guarded piece of ``pre_h`` at a label.
+
+    ``pre_h(l, v) = poly(v)`` whenever ``v`` additionally satisfies the
+    (possibly empty) conjunction ``guard``.  For nondeterministic labels
+    ``choice`` records which successor the piece corresponds to (the
+    pieces jointly under-approximate the ``max``).
+    """
+
+    poly: Polynomial
+    guard: List[Atom] = field(default_factory=list)
+    choice: Optional[int] = None
+
+
+def pre_expectation_cases(cfg: CFG, h: Mapping[int, Polynomial], label: Label) -> List[PreCase]:
+    """Decompose ``pre_h`` at ``label`` into guarded polynomial cases.
+
+    ``h`` maps label ids to polynomials (numeric or templates).  The
+    union of the returned guards covers the label's invariant:
+
+    * assignment / probabilistic / tick labels yield a single unguarded
+      case;
+    * a branching label yields one case per DNF disjunct of its guard
+      and one per disjunct of the negated guard (strict inequalities
+      relaxed — sound for both (C3) and (C3'));
+    * a nondeterministic label yields one case per successor, tagged
+      with ``choice``.
+    """
+    if isinstance(label, TerminalLabel):
+        return [PreCase(poly=h[label.id])]
+    if isinstance(label, AssignLabel):
+        substituted = h[label.succ].substitute(label.var, label.expr)
+        return [PreCase(poly=expectation(substituted, cfg.rvars))]
+    if isinstance(label, TickLabel):
+        return [PreCase(poly=label.cost + h[label.succ])]
+    if isinstance(label, ProbLabel):
+        blended = h[label.succ_then] * label.prob + h[label.succ_else] * (1.0 - label.prob)
+        return [PreCase(poly=blended)]
+    if isinstance(label, BranchLabel):
+        cases: List[PreCase] = []
+        for conj in label.cond.to_dnf():
+            cases.append(PreCase(poly=h[label.succ_true], guard=[a.relaxed() for a in conj]))
+        for conj in label.cond.negate().to_dnf():
+            cases.append(PreCase(poly=h[label.succ_false], guard=[a.relaxed() for a in conj]))
+        return cases
+    if isinstance(label, NondetLabel):
+        return [
+            PreCase(poly=h[label.succ_then], choice=0),
+            PreCase(poly=h[label.succ_else], choice=1),
+        ]
+    raise CFGError(f"unknown label kind {label.kind!r}")
+
+
+def pre_expectation_value(
+    cfg: CFG,
+    h: Mapping[int, Polynomial],
+    label_id: int,
+    valuation: Mapping[str, float],
+) -> float:
+    """Evaluate Definition 6.3 exactly at a numeric configuration.
+
+    ``h`` must be numeric here.  Indicators are evaluated, the
+    nondeterministic ``max`` is taken over both successors, and the
+    expectation over sampling variables uses exact moments.
+    """
+    label = cfg.labels[label_id]
+    if isinstance(label, TerminalLabel):
+        return h[label.id].evaluate_numeric(valuation)
+    if isinstance(label, AssignLabel):
+        substituted = h[label.succ].substitute(label.var, label.expr)
+        return expectation(substituted, cfg.rvars).evaluate_numeric(valuation)
+    if isinstance(label, TickLabel):
+        return (label.cost + h[label.succ]).evaluate_numeric(valuation)
+    if isinstance(label, ProbLabel):
+        then_v = h[label.succ_then].evaluate_numeric(valuation)
+        else_v = h[label.succ_else].evaluate_numeric(valuation)
+        return label.prob * then_v + (1.0 - label.prob) * else_v
+    if isinstance(label, BranchLabel):
+        taken = label.succ_true if label.cond.evaluate(valuation) else label.succ_false
+        return h[taken].evaluate_numeric(valuation)
+    if isinstance(label, NondetLabel):
+        return max(
+            h[label.succ_then].evaluate_numeric(valuation),
+            h[label.succ_else].evaluate_numeric(valuation),
+        )
+    raise CFGError(f"unknown label kind {label.kind!r}")
+
+
+def pre_expectation_table(
+    cfg: CFG, h: Mapping[int, Polynomial]
+) -> Dict[int, List[PreCase]]:
+    """``pre_h`` cases for every label — the symbolic analogue of the
+    Figure 9 / Table 1 tables in the paper."""
+    return {label.id: pre_expectation_cases(cfg, h, label) for label in cfg}

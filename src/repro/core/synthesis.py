@@ -1,0 +1,293 @@
+"""PUCS / PLCS synthesis — the paper's main algorithm (Section 7).
+
+Pipeline, per Section 7:
+
+1. **Template** — a degree-``d`` polynomial with unknown coefficients at
+   every non-terminal label; ``h(l_out) = 0`` (conditions (C1), (C2)).
+2. **Pre-expectation** — symbolic ``pre_h`` pieces per label
+   (Definition 6.3, computed by :mod:`repro.core.preexpectation`).
+3. **Handelman extraction** — each required inequality
+   ``h - pre_h >= 0`` (PUCS, condition (C3)) or ``pre_h - h >= 0``
+   (PLCS, condition (C3')) on the label's invariant becomes a
+   certificate ``g = sum c_k f_k`` with fresh ``c_k >= 0``
+   (:mod:`repro.core.handelman`).
+4. **LP** — minimize (PUCS) or maximize (PLCS) the bound value
+   ``h(l_in, v*)`` at the anchor valuation subject to the certificate
+   equalities (:mod:`repro.core.lp`).
+
+Nondeterminism: a PUCS must dominate *every* successor of a
+nondeterministic label (``pre_h`` is a max), so one constraint per
+successor is emitted.  A PLCS only needs to be dominated by *some*
+successor; :func:`synthesize_plcs` enumerates the (few) branch-choice
+combinations and keeps the best feasible bound.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from itertools import product as iter_product
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..errors import InfeasibleError, SynthesisError, UnboundedError
+from ..invariants import InvariantMap, Polyhedron
+from ..polynomials import LinForm, Polynomial
+from ..semantics.cfg import CFG, NondetLabel, TerminalLabel
+from .handelman import certificate_equalities
+from .lp import LinearProgram
+from .preexpectation import pre_expectation_cases
+from .templates import Template, make_template
+
+__all__ = ["BoundResult", "SynthesisOptions", "synthesize", "synthesize_pucs", "synthesize_plcs"]
+
+#: Enumerating nondeterministic policies for PLCS is exponential in the
+#: number of nondeterministic labels; above this many we fall back to
+#: the then-branch policy instead of enumerating.
+_MAX_NONDET_ENUMERATION = 6
+
+
+@dataclass
+class SynthesisOptions:
+    """Knobs of the synthesis algorithm.
+
+    ``degree``
+        Template degree ``d`` (condition (C1)).
+    ``nonnegative``
+        Additionally require ``h >= 0`` on every label's invariant —
+        needed for the nonnegative-cost soundness case (Theorem 6.14).
+    ``max_multiplicands``
+        Cap ``K`` on Handelman multiplicands; ``None`` picks, per
+        constraint site, the degree of the target polynomial (the
+        smallest cap that can possibly match it).
+    """
+
+    degree: int = 2
+    nonnegative: bool = False
+    max_multiplicands: Optional[int] = None
+
+
+@dataclass
+class BoundResult:
+    """A synthesized cost (super/sub)martingale and the bound it proves."""
+
+    kind: str  # "upper" (PUCS) or "lower" (PLCS)
+    degree: int
+    h: Dict[int, Polynomial]
+    bound: Polynomial  # h at the entry label, numeric
+    value: float  # bound evaluated at the anchor valuation
+    anchor: Dict[str, float]
+    lp_variables: int = 0
+    lp_equalities: int = 0
+    runtime: float = 0.0
+    nondet_choices: Optional[Dict[int, int]] = None
+    options: SynthesisOptions = field(default_factory=SynthesisOptions)
+
+    def bound_at(self, valuation: Mapping[str, float]) -> float:
+        """Evaluate the entry bound at another initial valuation.
+
+        Remark 7 of the paper: the synthesized polynomial is a valid
+        bound for *every* initial valuation satisfying the invariant,
+        not just the anchor it was optimized for.
+        """
+        full = dict(valuation)
+        for var in self.bound.variables():
+            full.setdefault(var, 0.0)
+        return self.bound.evaluate_numeric(full)
+
+    def __repr__(self) -> str:
+        return f"BoundResult({self.kind}, h(l_in) = {self.bound.round(6)}, value = {self.value:.6g})"
+
+
+# ---------------------------------------------------------------------------
+# Constraint-site generation
+# ---------------------------------------------------------------------------
+
+#: One Handelman site: (name, target polynomial g, constraint set Gamma).
+_Site = Tuple[str, Polynomial, List[Polynomial]]
+
+
+def _constraint_sites(
+    cfg: CFG,
+    template: Template,
+    invariants: InvariantMap,
+    kind: str,
+    nondet_choices: Mapping[int, int],
+    nonnegative: bool,
+) -> Iterator[_Site]:
+    h = template.polys
+    for label in cfg:
+        if isinstance(label, TerminalLabel):
+            continue
+        region = invariants.get(label.id)
+        cases = pre_expectation_cases(cfg, h, label)
+        for case_index, case in enumerate(cases):
+            if isinstance(label, NondetLabel) and kind == "lower":
+                # (C3') at a nondet label: max over successors >= h is
+                # witnessed by the policy's chosen successor only.
+                if case.choice != nondet_choices.get(label.id, 0):
+                    continue
+            if kind == "upper":
+                target = h[label.id] - case.poly
+            else:
+                target = case.poly - h[label.id]
+            # The inequality must hold on the whole invariant region:
+            # one Handelman site per polyhedron of the union.
+            for d_index, polyhedron in enumerate(region):
+                gammas = polyhedron.constraints + [atom.poly for atom in case.guard]
+                yield (f"l{label.id}_{case_index}_{d_index}", target, gammas)
+        if nonnegative:
+            for d_index, polyhedron in enumerate(region):
+                yield (f"l{label.id}_nn_{d_index}", h[label.id], polyhedron.constraints)
+
+
+# ---------------------------------------------------------------------------
+# Single-policy synthesis
+# ---------------------------------------------------------------------------
+
+
+def _synthesize_once(
+    cfg: CFG,
+    invariants: InvariantMap,
+    init: Mapping[str, float],
+    kind: str,
+    options: SynthesisOptions,
+    nondet_choices: Mapping[int, int],
+) -> BoundResult:
+    start = time.perf_counter()
+    template = make_template(cfg, options.degree)
+
+    lp = LinearProgram()
+    for name in template.unknowns:
+        lp.add_unknown(name, nonnegative=False)
+
+    for site_name, target, gammas in _constraint_sites(
+        cfg, template, invariants, kind, nondet_choices, options.nonnegative
+    ):
+        cap = options.max_multiplicands
+        if cap is None:
+            cap = max(target.degree(), 1)
+        equalities, multipliers = certificate_equalities(target, gammas, cap, site_name)
+        for c_name in multipliers:
+            lp.add_unknown(c_name, nonnegative=True)
+        for coeffs, rhs in equalities:
+            lp.add_equality(coeffs, rhs)
+
+    anchor = {var: float(init.get(var, 0.0)) for var in cfg.pvars}
+    objective = template.at(cfg.entry).evaluate(anchor)
+    if not isinstance(objective, LinForm):
+        objective = LinForm(float(objective))
+    lp.set_objective(objective, maximize=(kind == "lower"))
+
+    solution = lp.solve()
+    h_numeric = template.instantiate(solution.values)
+    bound = h_numeric[cfg.entry]
+    return BoundResult(
+        kind=kind,
+        degree=options.degree,
+        h=h_numeric,
+        bound=bound,
+        value=solution.objective,
+        anchor=anchor,
+        lp_variables=solution.num_variables,
+        lp_equalities=solution.num_equalities,
+        runtime=time.perf_counter() - start,
+        nondet_choices=dict(nondet_choices) or None,
+        options=options,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def synthesize(
+    cfg: CFG,
+    invariants: InvariantMap,
+    init: Mapping[str, float],
+    kind: str = "upper",
+    degree: int = 2,
+    nonnegative: bool = False,
+    max_multiplicands: Optional[int] = None,
+    nondet_choices: Optional[Mapping[int, int]] = None,
+) -> BoundResult:
+    """Synthesize a PUCS (``kind="upper"``) or PLCS (``kind="lower"``).
+
+    ``init`` is the anchor valuation ``v*`` the bound is optimized for
+    (Remark 7); the returned polynomial bound remains sound for every
+    valuation in the entry invariant.
+    """
+    if kind not in ("upper", "lower"):
+        raise ValueError("kind must be 'upper' or 'lower'")
+    options = SynthesisOptions(
+        degree=degree, nonnegative=nonnegative, max_multiplicands=max_multiplicands
+    )
+
+    nondet_labels = cfg.nondet_labels()
+    if kind == "upper" or not nondet_labels:
+        return _synthesize_once(cfg, invariants, init, kind, options, nondet_choices or {})
+
+    if nondet_choices is not None:
+        return _synthesize_once(cfg, invariants, init, kind, options, nondet_choices)
+
+    # PLCS with nondeterminism: enumerate branch policies, keep the best.
+    if len(nondet_labels) > _MAX_NONDET_ENUMERATION:
+        policy = {label.id: 0 for label in nondet_labels}
+        return _synthesize_once(cfg, invariants, init, kind, options, policy)
+
+    best: Optional[BoundResult] = None
+    failures: List[str] = []
+    for combo in iter_product((0, 1), repeat=len(nondet_labels)):
+        policy = {label.id: choice for label, choice in zip(nondet_labels, combo)}
+        try:
+            candidate = _synthesize_once(cfg, invariants, init, kind, options, policy)
+        except SynthesisError as exc:
+            failures.append(f"policy {policy}: {exc}")
+            continue
+        if best is None or candidate.value > best.value:
+            best = candidate
+    if best is None:
+        raise InfeasibleError(
+            "no PLCS found under any nondeterministic policy; " + "; ".join(failures)
+        )
+    return best
+
+
+def synthesize_pucs(
+    cfg: CFG,
+    invariants: InvariantMap,
+    init: Mapping[str, float],
+    degree: int = 2,
+    nonnegative: bool = False,
+    max_multiplicands: Optional[int] = None,
+) -> BoundResult:
+    """Upper bound on the maximal expected accumulated cost (Thms 6.10, 6.14)."""
+    return synthesize(
+        cfg,
+        invariants,
+        init,
+        kind="upper",
+        degree=degree,
+        nonnegative=nonnegative,
+        max_multiplicands=max_multiplicands,
+    )
+
+
+def synthesize_plcs(
+    cfg: CFG,
+    invariants: InvariantMap,
+    init: Mapping[str, float],
+    degree: int = 2,
+    max_multiplicands: Optional[int] = None,
+    nondet_choices: Optional[Mapping[int, int]] = None,
+) -> BoundResult:
+    """Lower bound on the maximal expected accumulated cost (Thm 6.12)."""
+    return synthesize(
+        cfg,
+        invariants,
+        init,
+        kind="lower",
+        degree=degree,
+        max_multiplicands=max_multiplicands,
+        nondet_choices=nondet_choices,
+    )

@@ -1,0 +1,66 @@
+"""Polynomial templates (Section 7, step (1)).
+
+For every non-terminal label ``l_i`` the synthesizer posits
+
+    h(l_i) = sum_j a_ij * m_j
+
+over the monomial basis ``m_j`` of degree at most ``d`` in the program
+variables; the ``a_ij`` are fresh LP unknowns.  Condition (C2) pins
+``h(l_out) = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..polynomials import LinForm, Monomial, Polynomial, monomials_up_to_degree
+from ..semantics.cfg import CFG, TerminalLabel
+
+__all__ = ["Template", "make_template"]
+
+
+@dataclass
+class Template:
+    """A symbolic candidate ``h``: one polynomial per label."""
+
+    degree: int
+    polys: Dict[int, Polynomial]
+    unknowns: List[str] = field(default_factory=list)
+    basis: List[Monomial] = field(default_factory=list)
+
+    def at(self, label_id: int) -> Polynomial:
+        return self.polys[label_id]
+
+    def instantiate(self, assignment: Dict[str, float]) -> Dict[int, Polynomial]:
+        """Plug in solved LP values, yielding numeric per-label polynomials."""
+        full = {name: assignment.get(name, 0.0) for name in self.unknowns}
+        return {label_id: poly.instantiate(full) for label_id, poly in self.polys.items()}
+
+
+def make_template(cfg: CFG, degree: int, variables: Optional[Sequence[str]] = None) -> Template:
+    """Create a degree-``degree`` template over ``variables``.
+
+    ``variables`` defaults to the program variables of the CFG.  Unknowns
+    are named ``a_<label>_<j>`` where ``j`` indexes the monomial basis in
+    graded-lexicographic order, which makes LP solutions easy to read
+    when debugging.
+    """
+    if degree < 0:
+        raise ValueError("template degree must be nonnegative")
+    names = list(variables) if variables is not None else list(cfg.pvars)
+    basis = monomials_up_to_degree(names, degree)
+
+    polys: Dict[int, Polynomial] = {}
+    unknowns: List[str] = []
+    for label in cfg:
+        if isinstance(label, TerminalLabel):
+            polys[label.id] = Polynomial.zero()
+            continue
+        terms = {}
+        for j, mono in enumerate(basis):
+            name = f"a_{label.id}_{j}"
+            unknowns.append(name)
+            terms[mono] = LinForm.unknown(name)
+        polys[label.id] = Polynomial(terms)
+    return Template(degree=degree, polys=polys, unknowns=unknowns, basis=basis)

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the
+pipeline stages: parsing, CFG construction, invariant handling and
+bound synthesis.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """Raised when source text does not conform to the paper's grammar."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class SemanticsError(ReproError):
+    """Raised for ill-formed programs (e.g. unknown variables)."""
+
+
+class CFGError(ReproError):
+    """Raised when a control-flow graph is inconsistent."""
+
+
+class InvariantError(ReproError):
+    """Raised for ill-formed invariant annotations."""
+
+
+class DegreeError(ReproError):
+    """Raised when an operation would exceed a required degree bound."""
+
+
+class NonLinearError(ReproError):
+    """Raised when a linear expression is required but a higher-degree
+    polynomial is supplied (e.g. invariant constraints, LinForm products)."""
+
+
+class SynthesisError(ReproError):
+    """Base class for bound-synthesis failures."""
+
+
+class InfeasibleError(SynthesisError):
+    """The generated linear program has no feasible solution.
+
+    This does *not* mean that no polynomial bound exists: it means no
+    bound exists of the requested degree, certified by Handelman
+    products of the supplied invariants.  Retrying with a higher
+    template degree, a larger multiplicand cap or stronger invariants
+    may succeed.
+    """
+
+
+class UnboundedError(SynthesisError):
+    """The linear program is unbounded in the chosen objective."""
+
+
+class UnsupportedProgramError(SynthesisError):
+    """The program falls outside the soundness envelope of the chosen
+    analysis mode (e.g. negative costs passed to the [74] baseline)."""

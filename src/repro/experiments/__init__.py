@@ -1,0 +1,33 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+* ``python -m repro.experiments.table2`` — Table 2 (vs the [74] baseline)
+* ``python -m repro.experiments.table3`` — Table 3 (symbolic bounds)
+* ``python -m repro.experiments.table4`` — Table 4 (numeric bounds + simulation)
+* ``python -m repro.experiments.table5`` — Table 5 (nondet replaced by prob(0.5))
+* ``python -m repro.experiments.figures`` — Figures 15-24 (bound/simulation curves)
+"""
+
+from .common import BoundsRow, ascii_plot, fmt, fmt_poly, render_table
+from .figures import FigureSeries, build_all_figures, build_figure
+from .table2 import Table2Row, build_table2
+from .table3 import Table3Row, build_table3
+from .table4 import build_table4
+from .table5 import build_table5, probabilistic_variant
+
+__all__ = [
+    "BoundsRow",
+    "FigureSeries",
+    "Table2Row",
+    "Table3Row",
+    "ascii_plot",
+    "build_all_figures",
+    "build_figure",
+    "build_table2",
+    "build_table3",
+    "build_table4",
+    "build_table5",
+    "fmt",
+    "fmt_poly",
+    "probabilistic_variant",
+    "render_table",
+]

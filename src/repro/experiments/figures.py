@@ -1,0 +1,161 @@
+"""Figures 15-24: bound curves vs simulation across initial valuations.
+
+Appendix F of the paper plots, for each of the ten benchmarks, the PUCS
+upper bound, the PLCS lower bound and the simulated mean cost over ~20
+initial valuations.  This module regenerates those series and renders
+them as ASCII plots (plus the raw numbers, which the test-suite checks
+for the bracketing property UB >= mean >= LB).
+
+Programs with nondeterminism are swept in their ``prob(0.5)`` variants
+(as in the paper's second simulation experiment), so a simulation series
+exists for every figure.
+
+Run as ``python -m repro.experiments.figures [--runs N] [--points K]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..programs import TABLE3_BENCHMARKS, Benchmark
+from ..semantics import simulate
+from .common import ascii_plot, fmt, render_table
+from .table5 import probabilistic_variant
+
+__all__ = ["FigureSeries", "build_figure", "build_all_figures", "main"]
+
+#: Paper figure number per benchmark (Figures 15-24 in order).
+FIGURE_NUMBERS = {
+    "bitcoin_mining": 15,
+    "bitcoin_pool": 16,
+    "queuing_network": 17,
+    "species_fight": 18,
+    "simple_loop": 19,
+    "nested_loop": 20,
+    "random_walk": 21,
+    "robot_2d": 22,
+    "goods_discount": 23,
+    "pollutant_disposal": 24,
+}
+
+
+@dataclass
+class FigureSeries:
+    """The three series of one Appendix-F figure."""
+
+    benchmark: str
+    figure_number: int
+    sweep_var: str
+    xs: List[float]
+    upper: List[Optional[float]]
+    lower: List[Optional[float]]
+    sim_mean: List[Optional[float]]
+    sim_stderr: List[Optional[float]] = None
+
+    def bracketing_violations(self, slack: float = 0.0, z: float = 5.0) -> List[float]:
+        """Sweep points where the simulated mean escapes the bounds.
+
+        The tolerance at each point is ``slack + z`` standard errors of
+        that point's Monte-Carlo mean.
+        """
+        bad = []
+        stderrs = self.sim_stderr or [0.0] * len(self.xs)
+        for x, ub, lb, mean, se in zip(self.xs, self.upper, self.lower, self.sim_mean, stderrs):
+            if mean is None:
+                continue
+            tol = slack + z * (se or 0.0)
+            if ub is not None and mean > ub + tol:
+                bad.append(x)
+            elif lb is not None and mean < lb - tol:
+                bad.append(x)
+        return bad
+
+
+def build_figure(
+    bench: Benchmark,
+    points: int = 20,
+    runs: int = 200,
+    seed: int = 0,
+) -> FigureSeries:
+    """Sweep the benchmark's figure variable and collect the series.
+
+    Bounds are re-synthesized at every sweep point (each initial
+    valuation is its own anchor ``v*``, matching how the paper's plots
+    were produced); the simulation uses the ``prob(0.5)`` variant when
+    the program is nondeterministic.
+    """
+    if bench.sweep_var is None or bench.sweep_range is None:
+        raise ValueError(f"benchmark {bench.name} has no figure sweep configured")
+    sim_bench = probabilistic_variant(bench)
+    lo, hi = bench.sweep_range
+    xs = [lo + (hi - lo) * i / (points - 1) for i in range(points)]
+
+    upper: List[Optional[float]] = []
+    lower: List[Optional[float]] = []
+    sim_mean: List[Optional[float]] = []
+    sim_stderr: List[Optional[float]] = []
+    for x in xs:
+        init: Dict[str, float] = dict(bench.init)
+        init[bench.sweep_var] = x
+        result = bench.analyze(init=init)
+        upper.append(result.upper.value if result.upper else None)
+        lower.append(result.lower.value if result.lower else None)
+        stats = simulate(
+            sim_bench.cfg, init, runs=runs, seed=seed, max_steps=bench.max_sim_steps
+        )
+        sim_mean.append(stats.mean)
+        sim_stderr.append(stats.stderr())
+    return FigureSeries(
+        benchmark=bench.name,
+        figure_number=FIGURE_NUMBERS.get(bench.name, 0),
+        sweep_var=bench.sweep_var,
+        xs=xs,
+        upper=upper,
+        lower=lower,
+        sim_mean=sim_mean,
+        sim_stderr=sim_stderr,
+    )
+
+
+def build_all_figures(
+    points: int = 20, runs: int = 200, seed: int = 0, benchmarks: Optional[List[Benchmark]] = None
+) -> List[FigureSeries]:
+    return [
+        build_figure(bench, points=points, runs=runs, seed=seed)
+        for bench in (benchmarks or TABLE3_BENCHMARKS)
+    ]
+
+
+def render_figure(series: FigureSeries) -> str:
+    title = f"Figure {series.figure_number}: {series.benchmark} (sweep {series.sweep_var})"
+    plot = ascii_plot(
+        series.xs,
+        [series.upper, series.lower, series.sim_mean],
+        labels=["PUCS upper", "PLCS lower", "simulated mean"],
+        title=title,
+    )
+    rows = [
+        [fmt(x), fmt(ub), fmt(lb), fmt(mean)]
+        for x, ub, lb, mean in zip(series.xs, series.upper, series.lower, series.sim_mean)
+    ]
+    table = render_table([series.sweep_var, "PUCS", "PLCS", "sim mean"], rows)
+    return f"{plot}\n\n{table}"
+
+
+def main(points: int = 20, runs: int = 200, seed: int = 0) -> str:
+    chunks = []
+    for series in build_all_figures(points=points, runs=runs, seed=seed):
+        chunks.append(render_figure(series))
+        chunks.append("")
+    return "\n".join(chunks)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--points", type=int, default=20)
+    parser.add_argument("--runs", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    print(main(points=args.points, runs=args.runs, seed=args.seed))

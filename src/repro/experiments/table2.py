@@ -1,0 +1,116 @@
+"""Table 2: comparison with Ngo-Carbonneaux-Hoffmann [74].
+
+For each of the fifteen Absynth-style benchmarks this prints
+
+* the upper bound of our reimplemented [74]-style baseline (nonnegative
+  potentials; ``n/a`` where the program leaves the [74] fragment),
+* the PUCS upper bound and PLCS lower bound of the paper's method,
+* the bounds the paper reports, for side-by-side comparison.
+
+Run as ``python -m repro.experiments.table2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..baseline import baseline_upper_bound
+from ..errors import SynthesisError, UnsupportedProgramError
+from ..programs import TABLE2_BENCHMARKS, Benchmark
+from .common import fmt, fmt_poly, render_table
+
+__all__ = ["Table2Row", "build_table2", "main"]
+
+
+@dataclass
+class Table2Row:
+    benchmark: str
+    baseline_upper: Optional[str]
+    our_upper: Optional[str]
+    our_lower: Optional[str]
+    our_upper_value: Optional[float]
+    our_lower_value: Optional[float]
+    paper_74: Optional[str]
+    paper_upper: Optional[str]
+    paper_lower: Optional[str]
+
+
+def _row(bench: Benchmark) -> Table2Row:
+    result = bench.analyze()
+    try:
+        base = baseline_upper_bound(bench.cfg, bench.invariant_map(), bench.init, degree=bench.degree)
+        baseline_str: Optional[str] = fmt_poly(base.bound)
+    except (UnsupportedProgramError, SynthesisError):
+        baseline_str = None
+    return Table2Row(
+        benchmark=bench.name,
+        baseline_upper=baseline_str,
+        our_upper=fmt_poly(result.upper_bound) if result.upper else None,
+        our_lower=fmt_poly(result.lower_bound) if result.lower else ("0" if bench.paper_lower == "0" else None),
+        our_upper_value=result.upper.value if result.upper else None,
+        our_lower_value=result.lower.value if result.lower else None,
+        paper_74=bench.paper_upper and None,  # placeholder, set below
+        paper_upper=bench.paper_upper,
+        paper_lower=bench.paper_lower,
+    )
+
+
+#: The "[74]" column of Table 2, transcribed from the paper.
+PAPER_74_UPPER = {
+    "ber": "2*n - 2*x",
+    "bin": "0.2*n + 1.8",
+    "linear01": "0.6*x",
+    "prdwalk": "1.14286*n - 1.14286*x + 4.5714",
+    "race": "0.666667*t - 0.666667*h + 6",
+    "rdseql": "2.25*x + y",
+    "rdwalk": "2*n - 2*x + 2",
+    "sprdwalk": "2*n - 2*x",
+    "C4B_t13": "1.25*x + y",
+    "prnes": "0.052631*y - 68.4795*n",
+    "condand": "m + n",
+    "pol04": "4.5*x^2 + 7.5*x",
+    "pol05": "x^2 + x",
+    "rdbub": "3*n^2",
+    "trader": "-5*smin^2 - 5*smin + 5*s^2 + 5*s",
+}
+
+
+def build_table2() -> List[Table2Row]:
+    rows = []
+    for bench in TABLE2_BENCHMARKS:
+        row = _row(bench)
+        row.paper_74 = PAPER_74_UPPER.get(bench.name)
+        rows.append(row)
+    return rows
+
+
+def main() -> str:
+    rows = build_table2()
+    text_rows = [
+        [
+            r.benchmark,
+            r.baseline_upper or "n/a",
+            r.our_upper or "-",
+            r.our_lower or "-",
+            r.paper_74 or "-",
+            r.paper_upper or "-",
+            r.paper_lower or "-",
+        ]
+        for r in rows
+    ]
+    headers = [
+        "program",
+        "[74]-style baseline (ours)",
+        "PUCS upper (ours)",
+        "PLCS lower (ours)",
+        "[74] (paper)",
+        "PUCS (paper)",
+        "PLCS (paper)",
+    ]
+    out = "Table 2: upper/lower bounds vs the [74] baseline\n" + render_table(headers, text_rows)
+    return out
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,74 @@
+"""Table 3: symbolic PUCS/PLCS bounds and runtimes on the new benchmarks.
+
+Run as ``python -m repro.experiments.table3``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..programs import TABLE3_BENCHMARKS, Benchmark
+from .common import fmt, fmt_poly, render_table
+
+__all__ = ["Table3Row", "build_table3", "main"]
+
+
+@dataclass
+class Table3Row:
+    benchmark: str
+    init: dict
+    upper: Optional[str]
+    lower: Optional[str]
+    upper_value: Optional[float]
+    lower_value: Optional[float]
+    runtime: float
+    paper_upper: Optional[str]
+    paper_lower: Optional[str]
+
+
+def build_table3(benchmarks: Optional[List[Benchmark]] = None) -> List[Table3Row]:
+    rows = []
+    for bench in benchmarks or TABLE3_BENCHMARKS:
+        start = time.perf_counter()
+        result = bench.analyze()
+        elapsed = time.perf_counter() - start
+        rows.append(
+            Table3Row(
+                benchmark=bench.name,
+                init=dict(bench.init),
+                upper=fmt_poly(result.upper_bound) if result.upper else None,
+                lower=fmt_poly(result.lower_bound) if result.lower else None,
+                upper_value=result.upper.value if result.upper else None,
+                lower_value=result.lower.value if result.lower else None,
+                runtime=elapsed,
+                paper_upper=bench.paper_upper,
+                paper_lower=bench.paper_lower,
+            )
+        )
+    return rows
+
+
+def main() -> str:
+    rows = build_table3()
+    text_rows = [
+        [
+            r.benchmark,
+            ", ".join(f"{k}={v:g}" for k, v in r.init.items() if v),
+            r.upper or "-",
+            r.lower or "-",
+            fmt(r.runtime, 3) + "s",
+        ]
+        for r in rows
+    ]
+    headers = ["program", "v0", "h(l_in) in PUCS", "h(l_in) in PLCS", "runtime"]
+    out = "Table 3: symbolic bounds via PUCS and PLCS\n" + render_table(headers, text_rows)
+    out += "\n\nPaper-reported bounds for comparison:\n"
+    paper_rows = [[r.benchmark, r.paper_upper or "-", r.paper_lower or "-"] for r in rows]
+    out += render_table(["program", "paper PUCS", "paper PLCS"], paper_rows)
+    return out
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,93 @@
+"""Table 4: numeric bounds at several initial valuations + simulation.
+
+For every Table 3 benchmark and each of its three initial valuations
+this reports the PUCS/PLCS values with synthesis runtimes, plus the
+mean/std of simulated total cost.  As in the paper, programs with
+nondeterminism (the two Bitcoin examples) have no simulation column —
+Monte-Carlo needs a policy; Table 5 handles them by replacing ``if *``
+with a coin flip.
+
+Run as ``python -m repro.experiments.table4 [--runs N]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List, Optional
+
+from ..programs import TABLE3_BENCHMARKS, Benchmark
+from ..semantics import simulate
+from .common import BoundsRow, fmt, render_table
+
+__all__ = ["build_table4", "main"]
+
+
+def bench_rows(
+    bench: Benchmark,
+    runs: int = 1000,
+    seed: int = 0,
+    simulate_nondet: bool = False,
+) -> List[BoundsRow]:
+    """Bounds + simulation rows for every initial valuation of ``bench``."""
+    rows = []
+    for init in sorted(bench.all_inits(), key=lambda v: sorted(v.items())):
+        t0 = time.perf_counter()
+        result = bench.analyze(init=init)
+        t_total = time.perf_counter() - t0
+        row = BoundsRow(benchmark=bench.name, init=dict(init))
+        if result.upper:
+            row.upper_value = result.upper.value
+            row.upper_str = str(result.upper.bound.round(5))
+            row.upper_time = result.upper.runtime
+        if result.lower:
+            row.lower_value = result.lower.value
+            row.lower_str = str(result.lower.bound.round(5))
+            row.lower_time = result.lower.runtime
+        if row.upper_time is None:
+            row.upper_time = t_total
+        if bench.simulation_supported or simulate_nondet:
+            stats = simulate(bench.cfg, init, runs=runs, seed=seed, max_steps=bench.max_sim_steps)
+            row.sim_mean = stats.mean
+            row.sim_std = stats.std
+        rows.append(row)
+    return rows
+
+
+def build_table4(
+    runs: int = 1000, seed: int = 0, benchmarks: Optional[List[Benchmark]] = None
+) -> List[BoundsRow]:
+    rows: List[BoundsRow] = []
+    for bench in benchmarks or TABLE3_BENCHMARKS:
+        rows.extend(bench_rows(bench, runs=runs, seed=seed))
+    return rows
+
+
+def main(runs: int = 1000, seed: int = 0) -> str:
+    rows = build_table4(runs=runs, seed=seed)
+    text_rows = [
+        [
+            r.benchmark,
+            ", ".join(f"{k}={v:g}" for k, v in r.init.items() if v),
+            fmt(r.upper_value),
+            fmt(r.upper_time, 3),
+            fmt(r.lower_value),
+            fmt(r.lower_time, 3),
+            fmt(r.sim_mean),
+            fmt(r.sim_std),
+        ]
+        for r in rows
+    ]
+    headers = ["program", "v0", "PUCS", "T(s)", "PLCS", "T(s)", "sim mean", "sim std"]
+    return (
+        f"Table 4: numeric bounds and simulation ({runs} runs per valuation)\n"
+        + render_table(headers, text_rows)
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=1000, help="simulated runs per valuation")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    print(main(runs=args.runs, seed=args.seed))

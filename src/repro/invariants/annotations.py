@@ -1,0 +1,143 @@
+"""Per-label invariant annotations.
+
+The paper assumes linear invariants are given as part of the input
+(Section 4.5, limitation 4) — e.g. the bracketed annotations of
+Figure 9.  :class:`InvariantMap` is that input: a mapping from label
+numbers to :class:`Region` (a finite union of polyhedra, as in
+Definition 6.1).  Annotations may be written as strings in the surface
+condition syntax, including disjunctions::
+
+    inv = InvariantMap.from_strings(cfg, {
+        1: "x >= 0",
+        4: "x >= 0 and y + 1 >= 0 and 1 - y >= 0",
+        6: "(d >= 30 and n >= 0) or (n <= 1 and n >= 0)",
+    })
+
+Labels without an annotation default to the trivial invariant ``true``
+(sound but weak; Handelman certificates then have little to work with).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+from ..errors import InvariantError
+from ..polynomials import Polynomial
+from ..syntax.ast import BoolExpr
+from ..syntax.parser import parse_condition
+from .polyhedron import Polyhedron, Region
+
+__all__ = ["InvariantMap"]
+
+AnnotationValue = Union[str, BoolExpr, Region, Polyhedron, Iterable[Polynomial]]
+
+
+class InvariantMap:
+    """A linear invariant: one region (union of polyhedra) per CFG label."""
+
+    def __init__(self, entries: Optional[Mapping[int, Region]] = None):
+        self._entries: Dict[int, Region] = dict(entries or {})
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def trivial(cls) -> "InvariantMap":
+        """The invariant assigning ``true`` everywhere."""
+        return cls()
+
+    @classmethod
+    def from_strings(cls, cfg, annotations: Mapping[int, AnnotationValue]) -> "InvariantMap":
+        """Parse string/expression annotations keyed by label number."""
+        entries: Dict[int, Region] = {}
+        for label_id, value in annotations.items():
+            if label_id not in cfg.labels:
+                raise InvariantError(f"annotation references unknown label {label_id}")
+            entries[label_id] = _coerce(value)
+        return cls(entries)
+
+    @classmethod
+    def uniform(cls, cfg, value: AnnotationValue) -> "InvariantMap":
+        """The same region at every non-terminal label (a *global*
+        invariant, convenient for simple one-loop programs)."""
+        region = _coerce(value)
+        entries = {label.id: region for label in cfg.nonterminal_labels()}
+        return cls(entries)
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, label_id: int) -> Region:
+        return self._entries.get(label_id, Region.whole_space())
+
+    def set(self, label_id: int, value: AnnotationValue) -> None:
+        self._entries[label_id] = _coerce(value)
+
+    def conjoin(self, label_id: int, value: AnnotationValue) -> None:
+        """Strengthen the invariant at one label."""
+        self._entries[label_id] = self.get(label_id).conjoin(_coerce(value))
+
+    def merge(self, other: "InvariantMap") -> "InvariantMap":
+        """Pointwise conjunction of two invariant maps."""
+        out = InvariantMap(dict(self._entries))
+        for label_id, region in other._entries.items():
+            out._entries[label_id] = out.get(label_id).conjoin(region)
+        return out
+
+    def items(self):
+        return self._entries.items()
+
+    def __contains__(self, label_id: int) -> bool:
+        return label_id in self._entries
+
+    # -- validation ---------------------------------------------------------
+
+    def validate_by_simulation(
+        self,
+        cfg,
+        init: Mapping[str, float],
+        runs: int = 50,
+        seed: Optional[int] = 0,
+        max_steps: int = 100_000,
+        scheduler=None,
+        tol: float = 1e-6,
+    ) -> None:
+        """Empirically check the invariant along simulated runs.
+
+        Raises :class:`InvariantError` naming the first violated label.
+        This cannot *prove* an invariant, but it catches wrong
+        annotations quickly and is used throughout the test suite.
+        """
+        from ..semantics.interpreter import run as run_one
+        from ..semantics.schedulers import RandomScheduler
+
+        rng = random.Random(seed)
+        scheduler = scheduler or RandomScheduler(seed=seed)
+        for _ in range(runs):
+            result = run_one(
+                cfg, init, scheduler=scheduler, rng=rng, max_steps=max_steps, record_trajectory=True
+            )
+            for label_id, valuation, _cost in result.trajectory or ():
+                region = self._entries.get(label_id)
+                if region is None:
+                    continue
+                if not region.contains(valuation, tol):
+                    raise InvariantError(
+                        f"invariant violated at label {label_id}: "
+                        f"{region!r} fails under {valuation}"
+                    )
+
+    def __repr__(self) -> str:
+        lines = [f"  {label_id}: {region!r}" for label_id, region in sorted(self._entries.items())]
+        return "InvariantMap(\n" + "\n".join(lines) + "\n)"
+
+
+def _coerce(value: AnnotationValue) -> Region:
+    if isinstance(value, Region):
+        return value
+    if isinstance(value, Polyhedron):
+        return Region.of(value)
+    if isinstance(value, str):
+        return Region.from_condition(parse_condition(value))
+    if isinstance(value, BoolExpr):
+        return Region.from_condition(value)
+    return Region.of(Polyhedron(value))

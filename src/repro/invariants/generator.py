@@ -1,0 +1,289 @@
+"""Automatic linear invariant generation via interval analysis.
+
+The paper uses the Stanford Invariant Generator [82] to obtain linear
+invariants; any sound generator can be substituted because invariants
+are an *input* to the method.  This module provides a classic interval
+abstract interpretation with widening:
+
+* abstract state: one interval per program variable (plus bottom for
+  unreachable labels);
+* transfer functions follow the CFG label kinds; guards refine the
+  intervals of variables they bound;
+* a worklist iteration with widening after a few visits guarantees
+  termination.
+
+The result is an :class:`InvariantMap` of interval constraints
+(``x - lo >= 0`` and ``hi - x >= 0``), which can be merged with
+hand-written relational annotations when the benchmarks need them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..polynomials import Monomial, Polynomial
+from ..semantics.cfg import (
+    CFG,
+    AssignLabel,
+    BranchLabel,
+    NondetLabel,
+    ProbLabel,
+    TickLabel,
+)
+from ..syntax.ast import Atom, BoolExpr
+from .annotations import InvariantMap
+from .polyhedron import Polyhedron, Region
+
+__all__ = ["Interval", "generate_interval_invariants"]
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` (possibly unbounded)."""
+
+    lo: float = -_INF
+    hi: float = _INF
+
+    def __post_init__(self):
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    @classmethod
+    def top(cls) -> "Interval":
+        return cls()
+
+    @classmethod
+    def point(cls, value: float) -> "Interval":
+        return cls(value, value)
+
+    def is_top(self) -> bool:
+        return self.lo == -_INF and self.hi == _INF
+
+    # -- lattice operations ------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Standard interval widening: unstable bounds jump to infinity."""
+        lo = self.lo if newer.lo >= self.lo else -_INF
+        hi = self.hi if newer.hi <= self.hi else _INF
+        return Interval(lo, hi)
+
+    def meet(self, other: "Interval") -> Optional["Interval"]:
+        lo, hi = max(self.lo, other.lo), min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def __le__(self, other: "Interval") -> bool:
+        return self.lo >= other.lo and self.hi <= other.hi
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def scale(self, factor: float) -> "Interval":
+        points = [factor * self.lo, factor * self.hi]
+        points = [0.0 if math.isnan(p) else p for p in points]
+        return Interval(min(points), max(points))
+
+    def mul(self, other: "Interval") -> "Interval":
+        products = []
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                p = a * b
+                products.append(0.0 if math.isnan(p) else p)
+        return Interval(min(products), max(products))
+
+    def power(self, k: int) -> "Interval":
+        result = Interval.point(1.0)
+        for _ in range(k):
+            result = result.mul(self)
+        return result
+
+    def __repr__(self) -> str:
+        return f"[{self.lo:g}, {self.hi:g}]"
+
+
+State = Dict[str, Interval]
+
+
+def _eval_poly(poly: Polynomial, state: State, rvar_bounds: Mapping[str, Tuple[float, float]]) -> Interval:
+    """Interval evaluation of a (numeric) polynomial."""
+    total = Interval.point(0.0)
+    for mono, coeff in poly.terms():
+        term = Interval.point(1.0)
+        for var, exp in mono:
+            if var in rvar_bounds:
+                lo, hi = rvar_bounds[var]
+                base = Interval(lo, hi)
+            else:
+                base = state.get(var, Interval.top())
+            term = term.mul(base.power(exp))
+        total = total.add(term.scale(float(coeff)))
+    return total
+
+
+def _linear_bound(atom: Atom) -> Optional[Tuple[str, float, float]]:
+    """Decompose ``a*x + b >= 0`` into ``(x, a, b)`` if single-variable linear."""
+    poly = atom.relaxed().poly
+    if not poly.is_linear():
+        return None
+    variables = poly.variables()
+    if len(variables) != 1:
+        return None
+    (var,) = variables
+    a = float(poly.coeff(Monomial.variable(var)))
+    b = float(poly.constant_term())
+    if a == 0.0:
+        return None
+    return var, a, b
+
+
+def _refine(state: State, cond: BoolExpr, assume_true: bool) -> Optional[State]:
+    """Refine intervals assuming ``cond`` is true (or false).
+
+    Only single-variable linear atoms refine; anything else is ignored
+    (a sound over-approximation).  Returns ``None`` when the branch is
+    provably unreachable.
+    """
+    disjuncts = cond.to_dnf() if assume_true else cond.negate().to_dnf()
+    if not disjuncts:
+        return None  # condition is constant-false: branch unreachable
+    refined_states: List[State] = []
+    for conj in disjuncts:
+        current: Optional[State] = dict(state)
+        for atom in conj:
+            decomp = _linear_bound(atom)
+            if decomp is None or current is None:
+                continue
+            var, a, b = decomp
+            bound = -b / a
+            limit = Interval(bound, _INF) if a > 0 else Interval(-_INF, bound)
+            met = current.get(var, Interval.top()).meet(limit)
+            if met is None:
+                current = None
+                break
+            current[var] = met
+        if current is not None:
+            refined_states.append(current)
+    if not refined_states:
+        return None
+    out = refined_states[0]
+    for other in refined_states[1:]:
+        out = _join_states(out, other)
+    return out
+
+
+def _join_states(a: State, b: State) -> State:
+    keys = set(a) | set(b)
+    return {k: a.get(k, Interval.top()).join(b.get(k, Interval.top())) for k in keys}
+
+
+def _states_equal(a: Optional[State], b: Optional[State]) -> bool:
+    if a is None or b is None:
+        return a is b
+    keys = set(a) | set(b)
+    return all(a.get(k, Interval.top()) == b.get(k, Interval.top()) for k in keys)
+
+
+def _edge_states(
+    label, state: State, rvar_bounds: Mapping[str, Tuple[float, float]]
+) -> List[Tuple[int, Optional[State]]]:
+    """The abstract states flowing out of ``label`` along each edge."""
+    if isinstance(label, AssignLabel):
+        new_state = dict(state)
+        new_state[label.var] = _eval_poly(label.expr, state, rvar_bounds)
+        return [(label.succ, new_state)]
+    if isinstance(label, BranchLabel):
+        return [
+            (label.succ_true, _refine(state, label.cond, assume_true=True)),
+            (label.succ_false, _refine(state, label.cond, assume_true=False)),
+        ]
+    if isinstance(label, (ProbLabel, NondetLabel)):
+        return [(label.succ_then, dict(state)), (label.succ_else, dict(state))]
+    if isinstance(label, TickLabel):
+        return [(label.succ, dict(state))]
+    return []  # terminal
+
+
+def generate_interval_invariants(
+    cfg: CFG,
+    init: Mapping[str, float],
+    widen_after: int = 3,
+    narrow_passes: int = 3,
+    max_iterations: int = 10_000,
+) -> InvariantMap:
+    """Run the interval analysis from the initial valuation ``init``.
+
+    Variables not mentioned by ``init`` start at 0 (matching the
+    interpreter).  The ascending phase uses widening for termination; a
+    few descending (narrowing) passes then recover the guard-derived
+    bounds that widening destroyed.  Returns interval constraints at
+    every reachable label; unreachable labels get the (vacuous) trivial
+    invariant.
+    """
+    rvar_bounds = {name: dist.support_bounds() for name, dist in cfg.rvars.items()}
+    entry_state: State = {var: Interval.point(float(init.get(var, 0.0))) for var in cfg.pvars}
+
+    states: Dict[int, Optional[State]] = {label.id: None for label in cfg}
+    visit_counts: Dict[int, int] = {label.id: 0 for label in cfg}
+    states[cfg.entry] = entry_state
+
+    worklist: List[int] = [cfg.entry]
+    iterations = 0
+    while worklist and iterations < max_iterations:
+        iterations += 1
+        label_id = worklist.pop(0)
+        state = states[label_id]
+        if state is None:
+            continue
+        label = cfg.labels[label_id]
+
+        for succ, new_state in _edge_states(label, state, rvar_bounds):
+            if new_state is None:
+                continue
+            old = states[succ]
+            merged = new_state if old is None else _join_states(old, new_state)
+            if old is not None and visit_counts[succ] >= widen_after:
+                merged = {k: old.get(k, Interval.top()).widen(merged.get(k, Interval.top())) for k in merged}
+            if not _states_equal(old, merged):
+                states[succ] = merged
+                visit_counts[succ] += 1
+                if succ not in worklist:
+                    worklist.append(succ)
+
+    # Descending (narrowing) passes: recompute every label's state from
+    # its predecessors' stable states.  Starting from a sound
+    # post-fixpoint, each pass stays sound and recovers guard bounds.
+    for _ in range(narrow_passes):
+        inflow: Dict[int, Optional[State]] = {label.id: None for label in cfg}
+        inflow[cfg.entry] = dict(entry_state)
+        for label_id, state in states.items():
+            if state is None:
+                continue
+            for succ, new_state in _edge_states(cfg.labels[label_id], state, rvar_bounds):
+                if new_state is None:
+                    continue
+                old = inflow[succ]
+                inflow[succ] = new_state if old is None else _join_states(old, new_state)
+        states = inflow
+
+    entries: Dict[int, Region] = {}
+    for label_id, state in states.items():
+        if state is None:
+            continue
+        constraints: List[Polynomial] = []
+        for var, interval in sorted(state.items()):
+            if math.isfinite(interval.lo):
+                constraints.append(Polynomial.variable(var) - interval.lo)
+            if math.isfinite(interval.hi):
+                constraints.append(Polynomial.constant(interval.hi) - Polynomial.variable(var))
+        entries[label_id] = Region.of(Polyhedron(constraints))
+    return InvariantMap(entries)

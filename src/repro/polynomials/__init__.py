@@ -1,0 +1,21 @@
+"""Polynomial algebra substrate.
+
+Sparse multivariate polynomials (:class:`Polynomial`) over named
+variables, monomial bases for synthesis templates, affine forms over LP
+unknowns (:class:`LinForm`) and the expectation operator that powers the
+pre-expectation calculus of Definition 6.3.
+"""
+
+from .expectation import expectation
+from .linform import Coeff, LinForm
+from .monomial import Monomial, monomials_up_to_degree
+from .polynomial import Polynomial
+
+__all__ = [
+    "Coeff",
+    "LinForm",
+    "Monomial",
+    "Polynomial",
+    "expectation",
+    "monomials_up_to_degree",
+]

@@ -1,0 +1,46 @@
+"""Expectation of a polynomial over independent sampling variables.
+
+This implements the ``E_u[h(l', F(v, u))]`` operator of Definition 6.3:
+given a polynomial over program *and* sampling variables, replace each
+power ``r**k`` of a sampling variable by the ``k``-th raw moment of its
+distribution.  Sampling variables are mutually independent (each is a
+fresh draw, Section 2.2), so a product ``r1**k1 * r2**k2`` contributes
+``E[r1**k1] * E[r2**k2]``.
+
+Distributions are duck-typed: anything exposing ``moment(k) -> float``
+works (see :mod:`repro.semantics.distributions`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .linform import cmul
+from .monomial import Monomial
+from .polynomial import Polynomial
+
+__all__ = ["expectation"]
+
+
+def expectation(poly: Polynomial, distributions: Mapping[str, object]) -> Polynomial:
+    """Integrate out the sampling variables of ``poly``.
+
+    ``distributions`` maps sampling-variable names to distribution
+    objects with a ``moment(k)`` method.  Variables of ``poly`` that do
+    not appear in the mapping are treated as program variables and left
+    symbolic.  Raises ``KeyError``-free: unknown variables simply stay.
+    """
+    if not distributions:
+        return poly
+    sampled = set(distributions)
+    result = Polynomial.zero()
+    for mono, coeff in poly.terms():
+        factor = 1.0
+        residual: dict = {}
+        for var, exp in mono:
+            if var in sampled:
+                factor *= float(distributions[var].moment(exp))
+            else:
+                residual[var] = exp
+        result = result + Polynomial.monomial(Monomial(residual), cmul(coeff, factor))
+    return result

@@ -1,0 +1,178 @@
+"""Affine forms over named LP unknowns.
+
+During template synthesis (Section 7 of the paper) polynomial
+coefficients are not numbers but *affine expressions* in the unknown
+template coefficients ``a_ij`` and the Handelman multipliers ``c_k``.
+:class:`LinForm` represents such an expression::
+
+    const + sum(coeff_i * unknown_i)
+
+LinForms support addition, subtraction and multiplication by scalars
+(and by *constant* LinForms).  Multiplying two genuinely symbolic
+LinForms would create a quadratic expression, which the LP reduction
+cannot handle; that operation raises :class:`NonLinearError`, which in
+practice flags a template-construction bug early.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+from ..errors import NonLinearError
+
+__all__ = ["LinForm", "Coeff", "cadd", "cmul", "cneg", "cis_zero", "as_linform"]
+
+Scalar = Union[int, float]
+
+
+class LinForm:
+    """An affine expression ``const + sum(coeff * unknown)``."""
+
+    __slots__ = ("const", "terms")
+
+    def __init__(self, const: Scalar = 0.0, terms: Mapping[str, Scalar] | None = None):
+        self.const = float(const)
+        self.terms: Dict[str, float] = {}
+        if terms:
+            for name, coeff in terms.items():
+                c = float(coeff)
+                if c != 0.0:
+                    self.terms[name] = c
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def unknown(cls, name: str, coeff: Scalar = 1.0) -> "LinForm":
+        """The form ``coeff * name``."""
+        return cls(0.0, {name: coeff})
+
+    @classmethod
+    def constant(cls, value: Scalar) -> "LinForm":
+        """The constant form ``value``."""
+        return cls(value)
+
+    # -- inspection -----------------------------------------------------
+
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def is_zero(self, tol: float = 0.0) -> bool:
+        return abs(self.const) <= tol and not self.terms
+
+    def unknowns(self) -> frozenset:
+        return frozenset(self.terms)
+
+    def evaluate(self, assignment: Mapping[str, float]) -> float:
+        """Numeric value once every unknown has been solved for."""
+        return self.const + sum(c * float(assignment[name]) for name, c in self.terms.items())
+
+    # -- algebra ----------------------------------------------------------
+
+    def __add__(self, other: Union["LinForm", Scalar]) -> "LinForm":
+        if isinstance(other, (int, float)):
+            return LinForm(self.const + other, self.terms)
+        if isinstance(other, LinForm):
+            terms = dict(self.terms)
+            for name, coeff in other.terms.items():
+                terms[name] = terms.get(name, 0.0) + coeff
+            return LinForm(self.const + other.const, terms)
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinForm":
+        return LinForm(-self.const, {n: -c for n, c in self.terms.items()})
+
+    def __sub__(self, other: Union["LinForm", Scalar]) -> "LinForm":
+        return self + (-other if isinstance(other, LinForm) else -float(other))
+
+    def __rsub__(self, other: Scalar) -> "LinForm":
+        return (-self) + float(other)
+
+    def __mul__(self, other: Union["LinForm", Scalar]) -> "LinForm":
+        if isinstance(other, (int, float)):
+            return LinForm(self.const * other, {n: c * other for n, c in self.terms.items()})
+        if isinstance(other, LinForm):
+            if other.is_constant():
+                return self * other.const
+            if self.is_constant():
+                return other * self.const
+            raise NonLinearError(
+                "product of two symbolic LinForms is not affine; "
+                "templates may only be multiplied by numeric polynomials"
+            )
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Scalar) -> "LinForm":
+        return self * (1.0 / float(other))
+
+    # -- dunder plumbing --------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, float)):
+            return self.is_constant() and self.const == float(other)
+        if isinstance(other, LinForm):
+            return self.const == other.const and self.terms == other.terms
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.const, tuple(sorted(self.terms.items()))))
+
+    def __repr__(self) -> str:
+        return f"LinForm({self.const!r}, {self.terms!r})"
+
+    def __str__(self) -> str:
+        parts = []
+        if self.const or not self.terms:
+            parts.append(f"{self.const:g}")
+        for name in sorted(self.terms):
+            coeff = self.terms[name]
+            sign = "+" if coeff >= 0 else "-"
+            mag = abs(coeff)
+            term = name if mag == 1.0 else f"{mag:g}*{name}"
+            if parts:
+                parts.append(f"{sign} {term}")
+            else:
+                parts.append(term if coeff >= 0 else f"-{term}")
+        return " ".join(parts)
+
+
+#: A polynomial coefficient: either a plain number or a symbolic affine form.
+Coeff = Union[float, int, LinForm]
+
+
+def as_linform(value: Coeff) -> LinForm:
+    """Coerce a numeric or LinForm coefficient to a LinForm."""
+    if isinstance(value, LinForm):
+        return value
+    return LinForm(float(value))
+
+
+def cadd(a: Coeff, b: Coeff) -> Coeff:
+    """Add two coefficients, staying numeric when both are numeric."""
+    if isinstance(a, LinForm) or isinstance(b, LinForm):
+        return as_linform(a) + as_linform(b)
+    return float(a) + float(b)
+
+
+def cmul(a: Coeff, b: Coeff) -> Coeff:
+    """Multiply two coefficients (at most one may be symbolic)."""
+    if isinstance(a, LinForm) or isinstance(b, LinForm):
+        return as_linform(a) * (b if isinstance(b, (int, float)) else as_linform(b))
+    return float(a) * float(b)
+
+
+def cneg(a: Coeff) -> Coeff:
+    """Negate a coefficient."""
+    if isinstance(a, LinForm):
+        return -a
+    return -float(a)
+
+
+def cis_zero(a: Coeff, tol: float = 0.0) -> bool:
+    """True if a coefficient is (numerically) zero."""
+    if isinstance(a, LinForm):
+        return a.is_zero(tol)
+    return abs(float(a)) <= tol

@@ -1,0 +1,151 @@
+"""Monomials: finite power products of named variables.
+
+A :class:`Monomial` is an immutable, hashable mapping from variable
+names to positive integer exponents, e.g. ``x**2 * y``.  Monomials are
+the dictionary keys of sparse :class:`~repro.polynomials.Polynomial`
+objects, so hashing and comparison need to be cheap and total.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+from typing import Iterable, Iterator, Mapping, Tuple
+
+__all__ = ["Monomial", "monomials_up_to_degree"]
+
+
+class Monomial:
+    """An immutable power product ``prod(var**exp)``.
+
+    The empty product (degree 0) represents the constant monomial ``1``.
+    """
+
+    __slots__ = ("_powers", "_hash")
+
+    def __init__(self, powers: Mapping[str, int] | Iterable[Tuple[str, int]] = ()):
+        items = powers.items() if isinstance(powers, Mapping) else powers
+        cleaned = []
+        for var, exp in items:
+            if exp < 0:
+                raise ValueError(f"negative exponent {exp} for variable {var!r}")
+            if exp > 0:
+                cleaned.append((str(var), int(exp)))
+        cleaned.sort()
+        self._powers: Tuple[Tuple[str, int], ...] = tuple(cleaned)
+        self._hash = hash(self._powers)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def one(cls) -> "Monomial":
+        """The constant monomial ``1``."""
+        return _ONE
+
+    @classmethod
+    def variable(cls, name: str, exp: int = 1) -> "Monomial":
+        """The monomial ``name**exp``."""
+        return cls({name: exp})
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def powers(self) -> Tuple[Tuple[str, int], ...]:
+        """Sorted tuple of ``(variable, exponent)`` pairs."""
+        return self._powers
+
+    def degree(self) -> int:
+        """Total degree (sum of exponents)."""
+        return sum(exp for _, exp in self._powers)
+
+    def degree_in(self, var: str) -> int:
+        """Exponent of ``var`` (0 if absent)."""
+        for name, exp in self._powers:
+            if name == var:
+                return exp
+        return 0
+
+    def variables(self) -> frozenset:
+        """Set of variables occurring with positive exponent."""
+        return frozenset(name for name, _ in self._powers)
+
+    def is_constant(self) -> bool:
+        """True iff this is the constant monomial ``1``."""
+        return not self._powers
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(self._powers)
+
+    def __len__(self) -> int:
+        return len(self._powers)
+
+    # -- algebra ----------------------------------------------------------
+
+    def __mul__(self, other: "Monomial") -> "Monomial":
+        if not isinstance(other, Monomial):
+            return NotImplemented
+        merged = dict(self._powers)
+        for var, exp in other._powers:
+            merged[var] = merged.get(var, 0) + exp
+        return Monomial(merged)
+
+    def __pow__(self, k: int) -> "Monomial":
+        if k < 0:
+            raise ValueError("monomials cannot be raised to negative powers")
+        return Monomial({var: exp * k for var, exp in self._powers})
+
+    def without(self, var: str) -> "Monomial":
+        """This monomial with ``var`` removed entirely."""
+        return Monomial([(v, e) for v, e in self._powers if v != var])
+
+    def evaluate(self, valuation: Mapping[str, float]) -> float:
+        """Numeric value under a (total, for its variables) valuation."""
+        result = 1.0
+        for var, exp in self._powers:
+            result *= float(valuation[var]) ** exp
+        return result
+
+    # -- dunder plumbing --------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Monomial) and self._powers == other._powers
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Monomial") -> bool:
+        """Graded lexicographic order (useful for stable printing)."""
+        if not isinstance(other, Monomial):
+            return NotImplemented
+        return (self.degree(), self._powers) < (other.degree(), other._powers)
+
+    def __repr__(self) -> str:
+        return f"Monomial({dict(self._powers)!r})"
+
+    def __str__(self) -> str:
+        if not self._powers:
+            return "1"
+        parts = []
+        for var, exp in self._powers:
+            parts.append(var if exp == 1 else f"{var}^{exp}")
+        return "*".join(parts)
+
+
+_ONE = Monomial()
+
+
+def monomials_up_to_degree(variables: Iterable[str], degree: int) -> list:
+    """All monomials over ``variables`` of total degree at most ``degree``.
+
+    Returned in graded lexicographic order, starting with the constant
+    monomial ``1``.  This is the monomial basis used for the degree-``d``
+    templates of Section 7, step (1) of the paper.
+    """
+    names = sorted(set(variables))
+    result = [Monomial.one()]
+    for d in range(1, degree + 1):
+        for combo in combinations_with_replacement(names, d):
+            powers: dict = {}
+            for name in combo:
+                powers[name] = powers.get(name, 0) + 1
+            result.append(Monomial(powers))
+    return result

@@ -1,0 +1,15 @@
+"""Benchmark program suite (Tables 2 and 3 of the paper)."""
+
+from .base import Benchmark
+from .registry import all_benchmarks, benchmarks_by_category, get_benchmark
+from .table2 import TABLE2_BENCHMARKS
+from .table3 import TABLE3_BENCHMARKS
+
+__all__ = [
+    "Benchmark",
+    "TABLE2_BENCHMARKS",
+    "TABLE3_BENCHMARKS",
+    "all_benchmarks",
+    "benchmarks_by_category",
+    "get_benchmark",
+]

@@ -1,0 +1,112 @@
+"""Benchmark definitions: program source + invariants + experiment metadata.
+
+Every benchmark bundles what the paper's tool takes as input — source
+text, per-label linear invariants (Definition 6.1; supplied as input
+per Section 4.5), the anchor initial valuation — plus the metadata the
+experiment harness needs: the paper's reported bounds (for
+paper-vs-measured tables), the valuations of Table 4, and whether plain
+simulation applies (programs with nondeterminism cannot be simulated
+without fixing a policy, cf. Table 4's missing rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..analysis.bounds import CostAnalysisResult, analyze
+from ..invariants import InvariantMap
+from ..semantics.cfg import CFG, build_cfg
+from ..syntax.ast import Program
+from ..syntax.parser import parse_program
+
+__all__ = ["Benchmark"]
+
+
+@dataclass
+class Benchmark:
+    """One benchmark program with everything needed to reproduce its row."""
+
+    name: str
+    title: str
+    source: str
+    invariants: Dict[int, str]
+    init: Dict[str, float]
+    degree: int = 2
+    #: "auto" | "signed" | "nonnegative" — matches ``analyze(mode=...)``.
+    mode: str = "auto"
+    category: str = "table3"  # "table2" or "table3"
+    #: Extra initial valuations for the Table 4 sweep.
+    extra_inits: List[Dict[str, float]] = field(default_factory=list)
+    #: The paper's reported symbolic bounds (strings, for reports only).
+    paper_upper: Optional[str] = None
+    paper_lower: Optional[str] = None
+    #: Reconstruction notes for EXPERIMENTS.md.
+    notes: str = ""
+    #: Variable swept in the figures (Appendix F) and its sweep range.
+    sweep_var: Optional[str] = None
+    sweep_range: Optional[Tuple[float, float]] = None
+    max_sim_steps: int = 1_000_000
+    #: Invariants that depend on the initial valuation (Definition 6.1
+    #: invariants are relative to an initial valuation; e.g. the
+    #: inductive relation ``n + d >= n0 + d0`` of Goods Discount).
+    init_invariants: Optional[Callable[[Dict[str, float]], Dict[int, str]]] = None
+
+    # -- derived artifacts --------------------------------------------------
+
+    @cached_property
+    def program(self) -> Program:
+        return parse_program(self.source, name=self.name)
+
+    @cached_property
+    def cfg(self) -> CFG:
+        return build_cfg(self.program)
+
+    def invariant_map(self, init: Optional[Mapping[str, float]] = None) -> InvariantMap:
+        inv = InvariantMap.from_strings(self.cfg, self.invariants)
+        if self.init_invariants is not None:
+            anchored = self.init_invariants(dict(init if init is not None else self.init))
+            inv = inv.merge(InvariantMap.from_strings(self.cfg, anchored))
+        return inv
+
+    @property
+    def has_nondeterminism(self) -> bool:
+        return self.program.has_nondeterminism()
+
+    @property
+    def simulation_supported(self) -> bool:
+        """Monte-Carlo simulation needs a fully probabilistic program."""
+        return not self.has_nondeterminism
+
+    def all_inits(self) -> List[Dict[str, float]]:
+        """Anchor valuation plus the Table 4 extras (deduplicated)."""
+        seen = []
+        for valuation in [self.init, *self.extra_inits]:
+            if valuation not in seen:
+                seen.append(valuation)
+        return seen
+
+    # -- analysis ---------------------------------------------------------------
+
+    def analyze(
+        self,
+        init: Optional[Mapping[str, float]] = None,
+        degree: Optional[int] = None,
+        compute_lower: bool = True,
+        check_concentration: bool = False,
+    ) -> CostAnalysisResult:
+        """Run the full pipeline on this benchmark."""
+        anchor = dict(init if init is not None else self.init)
+        return analyze(
+            self.program,
+            init=anchor,
+            invariants=self.invariant_map(anchor),
+            degree=degree if degree is not None else self.degree,
+            mode=self.mode,
+            compute_lower=compute_lower,
+            check_concentration=check_concentration,
+        )
+
+    def __repr__(self) -> str:
+        return f"Benchmark({self.name!r}, category={self.category!r}, degree={self.degree})"

@@ -1,0 +1,34 @@
+"""Benchmark registry: lookup by name, iteration by category."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Benchmark
+from .table2 import TABLE2_BENCHMARKS
+from .table3 import TABLE3_BENCHMARKS
+
+__all__ = ["all_benchmarks", "benchmarks_by_category", "get_benchmark"]
+
+_REGISTRY: Dict[str, Benchmark] = {}
+for _bench in [*TABLE2_BENCHMARKS, *TABLE3_BENCHMARKS]:
+    if _bench.name in _REGISTRY:
+        raise ValueError(f"duplicate benchmark name {_bench.name!r}")
+    _REGISTRY[_bench.name] = _bench
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up a benchmark by name; raises ``KeyError`` with suggestions."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def all_benchmarks() -> List[Benchmark]:
+    return list(_REGISTRY.values())
+
+
+def benchmarks_by_category(category: str) -> List[Benchmark]:
+    return [b for b in _REGISTRY.values() if b.category == category]

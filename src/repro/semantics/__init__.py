@@ -1,0 +1,60 @@
+"""Program semantics: distributions, control-flow graphs, interpreter."""
+
+from .cfg import (
+    CFG,
+    AssignLabel,
+    BranchLabel,
+    Label,
+    NondetLabel,
+    ProbLabel,
+    TerminalLabel,
+    TickLabel,
+    build_cfg,
+)
+from .distributions import (
+    BernoulliDistribution,
+    BinomialDistribution,
+    DiscreteDistribution,
+    Distribution,
+    PointDistribution,
+    UniformDistribution,
+    UniformIntDistribution,
+)
+from .interpreter import RunResult, SimulationStats, run, simulate
+from .schedulers import (
+    CallbackScheduler,
+    ElseScheduler,
+    FixedScheduler,
+    RandomScheduler,
+    Scheduler,
+    ThenScheduler,
+)
+
+__all__ = [
+    "CFG",
+    "AssignLabel",
+    "BernoulliDistribution",
+    "BinomialDistribution",
+    "BranchLabel",
+    "CallbackScheduler",
+    "DiscreteDistribution",
+    "Distribution",
+    "ElseScheduler",
+    "FixedScheduler",
+    "Label",
+    "NondetLabel",
+    "PointDistribution",
+    "ProbLabel",
+    "RandomScheduler",
+    "RunResult",
+    "Scheduler",
+    "SimulationStats",
+    "TerminalLabel",
+    "TickLabel",
+    "ThenScheduler",
+    "UniformDistribution",
+    "UniformIntDistribution",
+    "build_cfg",
+    "run",
+    "simulate",
+]

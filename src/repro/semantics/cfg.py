@@ -1,0 +1,329 @@
+"""Control-flow graphs for probabilistic programs (Section 2.2).
+
+A CFG is the tuple ``(Vp, Vr, L, ->)`` of the paper: program variables,
+sampling variables, labels and transitions.  Labels carry their kind —
+assignment, branching, probabilistic, nondeterministic, tick — plus the
+special terminal label ``l_out``.
+
+Labels are numbered **in textual program order starting from 1**, with
+``l_out`` receiving the last number, exactly like the paper's examples
+(Figure 2: ``while`` = 1, the two assignments = 2, 3, ``tick`` = 4,
+``l_out`` = 5).  This makes it possible to attach the paper's printed
+invariants to labels by number.
+
+``skip`` statements are elided from the CFG (they change nothing and
+carry no cost); the paper itself omits ``else skip`` branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import CFGError
+from ..polynomials import Polynomial
+from ..syntax.ast import (
+    Assign,
+    BoolExpr,
+    If,
+    NondetIf,
+    ProbIf,
+    Program,
+    Seq,
+    Skip,
+    Stmt,
+    Tick,
+    While,
+)
+
+__all__ = [
+    "Label",
+    "AssignLabel",
+    "BranchLabel",
+    "ProbLabel",
+    "NondetLabel",
+    "TickLabel",
+    "TerminalLabel",
+    "CFG",
+    "build_cfg",
+]
+
+
+@dataclass(frozen=True)
+class Label:
+    """Base class for CFG labels; ``id`` is the program-order number."""
+
+    id: int
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+    def successors(self) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AssignLabel(Label):
+    """``var := expr`` (``expr`` may mention sampling variables)."""
+
+    var: str
+    expr: Polynomial
+    succ: int = -1
+
+    @property
+    def kind(self) -> str:
+        return "assign"
+
+    def successors(self) -> Tuple[int, ...]:
+        return (self.succ,)
+
+    def describe(self) -> str:
+        return f"{self.var} := {self.expr}"
+
+
+@dataclass(frozen=True)
+class BranchLabel(Label):
+    """Conditional branching on ``cond`` (``if`` or ``while`` guard)."""
+
+    cond: BoolExpr
+    succ_true: int = -1
+    succ_false: int = -1
+    is_loop_head: bool = False
+
+    @property
+    def kind(self) -> str:
+        return "branch"
+
+    def successors(self) -> Tuple[int, ...]:
+        return (self.succ_true, self.succ_false)
+
+    def describe(self) -> str:
+        head = "while" if self.is_loop_head else "if"
+        return f"{head} {self.cond}"
+
+
+@dataclass(frozen=True)
+class ProbLabel(Label):
+    """Probabilistic branching: then with probability ``prob``."""
+
+    prob: float
+    succ_then: int = -1
+    succ_else: int = -1
+
+    @property
+    def kind(self) -> str:
+        return "prob"
+
+    def successors(self) -> Tuple[int, ...]:
+        return (self.succ_then, self.succ_else)
+
+    def describe(self) -> str:
+        return f"if prob({self.prob:g})"
+
+
+@dataclass(frozen=True)
+class NondetLabel(Label):
+    """Demonic nondeterministic branching (``if *``)."""
+
+    succ_then: int = -1
+    succ_else: int = -1
+
+    @property
+    def kind(self) -> str:
+        return "nondet"
+
+    def successors(self) -> Tuple[int, ...]:
+        return (self.succ_then, self.succ_else)
+
+    def describe(self) -> str:
+        return "if *"
+
+
+@dataclass(frozen=True)
+class TickLabel(Label):
+    """``tick(cost)`` — triggers ``cost`` and moves on."""
+
+    cost: Polynomial
+    succ: int = -1
+
+    @property
+    def kind(self) -> str:
+        return "tick"
+
+    def successors(self) -> Tuple[int, ...]:
+        return (self.succ,)
+
+    def describe(self) -> str:
+        return f"tick({self.cost})"
+
+
+@dataclass(frozen=True)
+class TerminalLabel(Label):
+    """The terminal label ``l_out``; runs stay here forever at no cost."""
+
+    @property
+    def kind(self) -> str:
+        return "terminal"
+
+    def successors(self) -> Tuple[int, ...]:
+        return ()
+
+    def describe(self) -> str:
+        return "l_out"
+
+
+class CFG:
+    """A control-flow graph together with its variable declarations."""
+
+    def __init__(self, program: Program, labels: Dict[int, Label], entry: int, exit_: int):
+        self.program = program
+        self.labels = labels
+        self.entry = entry
+        self.exit = exit_
+        self._check()
+
+    def _check(self) -> None:
+        ids = set(self.labels)
+        if self.entry not in ids:
+            raise CFGError(f"entry label {self.entry} missing")
+        if self.exit not in ids:
+            raise CFGError(f"exit label {self.exit} missing")
+        if not isinstance(self.labels[self.exit], TerminalLabel):
+            raise CFGError("exit label must be terminal")
+        for label in self.labels.values():
+            for succ in label.successors():
+                if succ not in ids:
+                    raise CFGError(f"label {label.id} points at missing label {succ}")
+
+    # -- inspection -----------------------------------------------------
+
+    def label(self, label_id: int) -> Label:
+        try:
+            return self.labels[label_id]
+        except KeyError:
+            raise CFGError(f"no label with id {label_id}") from None
+
+    def __iter__(self) -> Iterator[Label]:
+        return iter(sorted(self.labels.values(), key=lambda l: l.id))
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def pvars(self) -> List[str]:
+        return self.program.pvars
+
+    @property
+    def rvars(self) -> Dict[str, object]:
+        return self.program.rvars
+
+    def nonterminal_labels(self) -> List[Label]:
+        return [l for l in self if not isinstance(l, TerminalLabel)]
+
+    def tick_labels(self) -> List[TickLabel]:
+        return [l for l in self if isinstance(l, TickLabel)]
+
+    def nondet_labels(self) -> List[NondetLabel]:
+        return [l for l in self if isinstance(l, NondetLabel)]
+
+    def predecessors(self, label_id: int) -> List[int]:
+        return [l.id for l in self if label_id in l.successors()]
+
+    def to_networkx(self):
+        """Export as a :mod:`networkx` DiGraph (for analysis/plotting)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for label in self:
+            graph.add_node(label.id, kind=label.kind, text=label.describe())
+        for label in self:
+            for succ in label.successors():
+                graph.add_edge(label.id, succ)
+        return graph
+
+    def pretty(self) -> str:
+        """Human-readable dump, one line per label."""
+        lines = []
+        for label in self:
+            succs = ",".join(str(s) for s in label.successors()) or "-"
+            lines.append(f"{label.id:>3}: [{label.kind:>8}] {label.describe()}  -> {succs}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+
+def _assign_ids(stmt: Stmt, counter: List[int], ids: Dict[int, int]) -> None:
+    """First pass: number every labelled statement in textual order.
+
+    ``ids`` maps ``id(stmt)`` (object identity) to the label number.
+    ``Seq`` and ``Skip`` nodes are transparent.
+    """
+    if isinstance(stmt, Seq):
+        for child in stmt.stmts:
+            _assign_ids(child, counter, ids)
+        return
+    if isinstance(stmt, Skip):
+        return
+    ids[id(stmt)] = counter[0]
+    counter[0] += 1
+    if isinstance(stmt, While):
+        _assign_ids(stmt.body, counter, ids)
+    elif isinstance(stmt, (If, ProbIf, NondetIf)):
+        _assign_ids(stmt.then_branch, counter, ids)
+        _assign_ids(stmt.else_branch, counter, ids)
+
+
+def _wire(stmt: Stmt, next_id: int, ids: Dict[int, int], labels: Dict[int, Label]) -> int:
+    """Second pass: create labels and wire successors.
+
+    Returns the entry label id of ``stmt`` (``next_id`` if the statement
+    is empty, i.e. a skip).
+    """
+    if isinstance(stmt, Skip):
+        return next_id
+    if isinstance(stmt, Seq):
+        entry = next_id
+        for child in reversed(stmt.stmts):
+            entry = _wire(child, entry, ids, labels)
+        return entry
+
+    label_id = ids[id(stmt)]
+    if isinstance(stmt, Assign):
+        labels[label_id] = AssignLabel(label_id, stmt.var, stmt.expr, succ=next_id)
+    elif isinstance(stmt, Tick):
+        labels[label_id] = TickLabel(label_id, stmt.cost, succ=next_id)
+    elif isinstance(stmt, If):
+        then_entry = _wire(stmt.then_branch, next_id, ids, labels)
+        else_entry = _wire(stmt.else_branch, next_id, ids, labels)
+        labels[label_id] = BranchLabel(label_id, stmt.cond, succ_true=then_entry, succ_false=else_entry)
+    elif isinstance(stmt, ProbIf):
+        then_entry = _wire(stmt.then_branch, next_id, ids, labels)
+        else_entry = _wire(stmt.else_branch, next_id, ids, labels)
+        labels[label_id] = ProbLabel(label_id, stmt.prob, succ_then=then_entry, succ_else=else_entry)
+    elif isinstance(stmt, NondetIf):
+        then_entry = _wire(stmt.then_branch, next_id, ids, labels)
+        else_entry = _wire(stmt.else_branch, next_id, ids, labels)
+        labels[label_id] = NondetLabel(label_id, succ_then=then_entry, succ_else=else_entry)
+    elif isinstance(stmt, While):
+        body_entry = _wire(stmt.body, label_id, ids, labels)
+        labels[label_id] = BranchLabel(
+            label_id, stmt.cond, succ_true=body_entry, succ_false=next_id, is_loop_head=True
+        )
+    else:
+        raise CFGError(f"cannot build CFG for statement {type(stmt).__name__}")
+    return label_id
+
+
+def build_cfg(program: Program) -> CFG:
+    """Build the CFG of ``program`` with paper-style label numbering."""
+    counter = [1]
+    ids: Dict[int, int] = {}
+    _assign_ids(program.body, counter, ids)
+    exit_id = counter[0]
+    labels: Dict[int, Label] = {exit_id: TerminalLabel(exit_id)}
+    entry = _wire(program.body, exit_id, ids, labels)
+    return CFG(program, labels, entry=entry, exit_=exit_id)

@@ -1,0 +1,190 @@
+"""Probability distributions for sampling variables.
+
+The paper (Remark 1) supports *any* predefined distribution for sampling
+variables; what the analysis actually consumes is
+
+* raw moments ``E[r**k]`` (for the pre-expectation calculus), and
+* support bounds (for the bounded-update side condition of Theorem 6.10),
+
+while the Monte-Carlo interpreter additionally needs ``sample(rng)``.
+All distributions here provide the three, exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Dict, Sequence, Tuple
+
+__all__ = [
+    "Distribution",
+    "DiscreteDistribution",
+    "BernoulliDistribution",
+    "BinomialDistribution",
+    "UniformDistribution",
+    "UniformIntDistribution",
+    "PointDistribution",
+]
+
+
+class Distribution(ABC):
+    """A probability distribution over the reals."""
+
+    @abstractmethod
+    def moment(self, k: int) -> float:
+        """The raw moment ``E[X**k]`` (``k >= 0``)."""
+
+    @abstractmethod
+    def sample(self, rng) -> float:
+        """Draw one value using a :class:`random.Random`-like ``rng``."""
+
+    @abstractmethod
+    def support_bounds(self) -> Tuple[float, float]:
+        """An interval ``[lo, hi]`` containing the support."""
+
+    def mean(self) -> float:
+        return self.moment(1)
+
+    def variance(self) -> float:
+        m1 = self.moment(1)
+        return self.moment(2) - m1 * m1
+
+    def is_bounded(self) -> bool:
+        """True iff the support is contained in a finite interval."""
+        lo, hi = self.support_bounds()
+        return math.isfinite(lo) and math.isfinite(hi)
+
+
+class DiscreteDistribution(Distribution):
+    """A finite discrete distribution ``(v1, ..., vk) : (p1, ..., pk)``.
+
+    This is the paper's inline notation, e.g.
+    ``y := y + (-1, 0, 1) : (0.5, 0.1, 0.4)`` in Figure 4.
+    """
+
+    def __init__(self, values: Sequence[float], probs: Sequence[float]):
+        if len(values) != len(probs):
+            raise ValueError("values and probabilities must have equal length")
+        if not values:
+            raise ValueError("discrete distribution needs at least one outcome")
+        if any(p < 0 for p in probs):
+            raise ValueError("probabilities must be nonnegative")
+        total = float(sum(probs))
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"probabilities must sum to 1 (got {total})")
+        merged: Dict[float, float] = {}
+        for v, p in zip(values, probs):
+            merged[float(v)] = merged.get(float(v), 0.0) + float(p)
+        self.values: Tuple[float, ...] = tuple(merged)
+        self.probs: Tuple[float, ...] = tuple(merged[v] for v in self.values)
+
+    def moment(self, k: int) -> float:
+        if k < 0:
+            raise ValueError("moment order must be nonnegative")
+        return sum(p * v**k for v, p in zip(self.values, self.probs))
+
+    def sample(self, rng) -> float:
+        u = rng.random()
+        acc = 0.0
+        for v, p in zip(self.values, self.probs):
+            acc += p
+            if u <= acc:
+                return v
+        return self.values[-1]
+
+    def support_bounds(self) -> Tuple[float, float]:
+        return (min(self.values), max(self.values))
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{v:g}: {p:g}" for v, p in zip(self.values, self.probs))
+        return f"discrete({pairs})"
+
+
+class BernoulliDistribution(DiscreteDistribution):
+    """Value 1 with probability ``p``, else 0."""
+
+    def __init__(self, p: float):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("Bernoulli parameter must be in [0, 1]")
+        self.p = float(p)
+        super().__init__([0.0, 1.0], [1.0 - p, p])
+
+    def __repr__(self) -> str:
+        return f"bernoulli({self.p:g})"
+
+
+class BinomialDistribution(DiscreteDistribution):
+    """Number of successes in ``n`` independent ``p``-trials."""
+
+    def __init__(self, n: int, p: float):
+        if n < 0:
+            raise ValueError("binomial count must be nonnegative")
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("binomial parameter must be in [0, 1]")
+        self.n = int(n)
+        self.p = float(p)
+        values = list(range(n + 1))
+        probs = [math.comb(n, k) * p**k * (1.0 - p) ** (n - k) for k in values]
+        super().__init__([float(v) for v in values], probs)
+
+    def __repr__(self) -> str:
+        return f"binomial({self.n}, {self.p:g})"
+
+
+class UniformDistribution(Distribution):
+    """Continuous uniform on ``[a, b]``.
+
+    Raw moments are exact: ``E[X**k] = (b**(k+1) - a**(k+1)) / ((k+1)(b-a))``.
+    """
+
+    def __init__(self, a: float, b: float):
+        if not b > a:
+            raise ValueError("uniform distribution requires a < b")
+        self.a = float(a)
+        self.b = float(b)
+
+    def moment(self, k: int) -> float:
+        if k < 0:
+            raise ValueError("moment order must be nonnegative")
+        if k == 0:
+            return 1.0
+        return (self.b ** (k + 1) - self.a ** (k + 1)) / ((k + 1) * (self.b - self.a))
+
+    def sample(self, rng) -> float:
+        return rng.uniform(self.a, self.b)
+
+    def support_bounds(self) -> Tuple[float, float]:
+        return (self.a, self.b)
+
+    def __repr__(self) -> str:
+        return f"uniform({self.a:g}, {self.b:g})"
+
+
+class UniformIntDistribution(DiscreteDistribution):
+    """Uniform over the integers ``a, a+1, ..., b`` (inclusive).
+
+    Used e.g. by the Pollutant Disposal benchmark ("integer-valued random
+    variables which have an equivalent sampling rate between 1 and 10").
+    """
+
+    def __init__(self, a: int, b: int):
+        if b < a:
+            raise ValueError("uniform-int distribution requires a <= b")
+        self.a = int(a)
+        self.b = int(b)
+        count = self.b - self.a + 1
+        super().__init__([float(v) for v in range(self.a, self.b + 1)], [1.0 / count] * count)
+
+    def __repr__(self) -> str:
+        return f"unifint({self.a}, {self.b})"
+
+
+class PointDistribution(DiscreteDistribution):
+    """The degenerate distribution concentrated on one value."""
+
+    def __init__(self, value: float):
+        self.value = float(value)
+        super().__init__([float(value)], [1.0])
+
+    def __repr__(self) -> str:
+        return f"point({self.value:g})"

@@ -1,0 +1,185 @@
+"""Monte-Carlo operational semantics (Appendix C).
+
+Runs execute the CFG one label at a time: assignments draw fresh values
+for every sampling variable they mention, branching labels test their
+guard, probabilistic labels flip a coin, nondeterministic labels consult
+the scheduler, and tick labels accrue cost.  A run terminates when it
+reaches ``l_out``.
+
+:func:`simulate` aggregates many runs into the mean/std statistics that
+Tables 4 and 5 of the paper report (1000 simulated executions each).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import SemanticsError
+from .cfg import (
+    CFG,
+    AssignLabel,
+    BranchLabel,
+    NondetLabel,
+    ProbLabel,
+    TerminalLabel,
+    TickLabel,
+)
+from .schedulers import Scheduler, ThenScheduler
+
+__all__ = ["RunResult", "SimulationStats", "run", "simulate"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of a single run."""
+
+    total_cost: float
+    steps: int
+    terminated: bool
+    final_valuation: Dict[str, float]
+    #: Present only when ``record_trajectory=True``:
+    #: list of (label id, valuation snapshot, step cost).
+    trajectory: Optional[List[Tuple[int, Dict[str, float], float]]] = None
+
+
+@dataclass
+class SimulationStats:
+    """Aggregate cost statistics over many runs (cf. Tables 4-5)."""
+
+    runs: int
+    mean: float
+    std: float
+    min: float
+    max: float
+    mean_steps: float
+    termination_rate: float
+    costs: List[float] = field(repr=False, default_factory=list)
+
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.runs <= 1:
+            return float("inf")
+        return self.std / math.sqrt(self.runs)
+
+    def confidence_interval(self, z: float = 2.576) -> Tuple[float, float]:
+        """Normal-approximation CI for the mean (default 99%)."""
+        half = z * self.stderr()
+        return (self.mean - half, self.mean + half)
+
+
+def _sample_valuation(cfg: CFG, expr_vars, rng: random.Random) -> Dict[str, float]:
+    """Draw one value for every sampling variable in ``expr_vars``."""
+    draws: Dict[str, float] = {}
+    for var in expr_vars:
+        dist = cfg.rvars.get(var)
+        if dist is not None:
+            draws[var] = dist.sample(rng)
+    return draws
+
+
+def run(
+    cfg: CFG,
+    init: Mapping[str, float],
+    scheduler: Optional[Scheduler] = None,
+    rng: Optional[random.Random] = None,
+    max_steps: int = 1_000_000,
+    record_trajectory: bool = False,
+) -> RunResult:
+    """Execute one run from the initial valuation ``init``.
+
+    Runs that exceed ``max_steps`` are truncated and reported with
+    ``terminated=False`` (their accumulated cost so far is returned).
+    """
+    scheduler = scheduler or ThenScheduler()
+    scheduler.reset()
+    rng = rng or random.Random()
+
+    valuation: Dict[str, float] = {var: 0.0 for var in cfg.pvars}
+    for var, value in init.items():
+        if var not in valuation:
+            raise SemanticsError(f"initial valuation mentions unknown variable {var!r}")
+        valuation[var] = float(value)
+
+    history: List[Tuple[int, Dict[str, float]]] = []
+    trajectory: Optional[List[Tuple[int, Dict[str, float], float]]] = [] if record_trajectory else None
+
+    current = cfg.entry
+    total_cost = 0.0
+    steps = 0
+
+    while steps < max_steps:
+        label = cfg.labels[current]
+        if isinstance(label, TerminalLabel):
+            if trajectory is not None:
+                trajectory.append((label.id, dict(valuation), 0.0))
+            return RunResult(total_cost, steps, True, valuation, trajectory)
+
+        step_cost = 0.0
+        if isinstance(label, AssignLabel):
+            draws = _sample_valuation(cfg, label.expr.variables(), rng)
+            scope = dict(valuation)
+            scope.update(draws)
+            value = label.expr.evaluate_numeric(scope)
+            nxt = label.succ
+        elif isinstance(label, BranchLabel):
+            nxt = label.succ_true if label.cond.evaluate(valuation) else label.succ_false
+        elif isinstance(label, ProbLabel):
+            nxt = label.succ_then if rng.random() < label.prob else label.succ_else
+        elif isinstance(label, NondetLabel):
+            take_then = scheduler.choose(label, valuation, history)
+            nxt = label.succ_then if take_then else label.succ_else
+        elif isinstance(label, TickLabel):
+            step_cost = label.cost.evaluate_numeric(valuation)
+            total_cost += step_cost
+            nxt = label.succ
+        else:  # pragma: no cover - exhaustive over label kinds
+            raise SemanticsError(f"unknown label kind {label.kind!r}")
+
+        if trajectory is not None:
+            trajectory.append((label.id, dict(valuation), step_cost))
+        history.append((label.id, dict(valuation)))
+        if isinstance(label, AssignLabel):
+            valuation[label.var] = value
+
+        current = nxt
+        steps += 1
+
+    return RunResult(total_cost, steps, False, valuation, trajectory)
+
+
+def simulate(
+    cfg: CFG,
+    init: Mapping[str, float],
+    runs: int = 1000,
+    scheduler: Optional[Scheduler] = None,
+    seed: Optional[int] = None,
+    max_steps: int = 1_000_000,
+) -> SimulationStats:
+    """Run ``runs`` independent executions and aggregate cost statistics."""
+    if runs <= 0:
+        raise ValueError("number of runs must be positive")
+    rng = random.Random(seed)
+    costs: List[float] = []
+    total_steps = 0
+    terminated = 0
+    for _ in range(runs):
+        result = run(cfg, init, scheduler=scheduler, rng=rng, max_steps=max_steps)
+        costs.append(result.total_cost)
+        total_steps += result.steps
+        terminated += int(result.terminated)
+
+    mean = sum(costs) / runs
+    var = sum((c - mean) ** 2 for c in costs) / (runs - 1) if runs > 1 else 0.0
+    return SimulationStats(
+        runs=runs,
+        mean=mean,
+        std=math.sqrt(var),
+        min=min(costs),
+        max=max(costs),
+        mean_steps=total_steps / runs,
+        termination_rate=terminated / runs,
+        costs=costs,
+    )

@@ -1,0 +1,98 @@
+"""Schedulers: policies resolving demonic nondeterminism (Appendix C).
+
+A scheduler chooses, at every nondeterministic label, between the
+``then`` and ``else`` branch.  The paper allows fully history-dependent
+schedulers; the interpreter passes the run prefix so user-defined
+schedulers can use it.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable, Mapping, Optional, Sequence, Tuple
+
+from .cfg import NondetLabel
+
+__all__ = [
+    "Scheduler",
+    "ThenScheduler",
+    "ElseScheduler",
+    "FixedScheduler",
+    "RandomScheduler",
+    "CallbackScheduler",
+]
+
+#: One step of history: (label id, valuation snapshot).
+HistoryEntry = Tuple[int, Mapping[str, float]]
+
+
+class Scheduler(ABC):
+    """Policy interface: return True for the then-branch."""
+
+    @abstractmethod
+    def choose(
+        self,
+        label: NondetLabel,
+        valuation: Mapping[str, float],
+        history: Sequence[HistoryEntry],
+    ) -> bool:
+        """Resolve the choice at ``label`` given the current state."""
+
+    def reset(self) -> None:
+        """Called once per run; stateful schedulers may override."""
+
+
+class ThenScheduler(Scheduler):
+    """Always takes the then-branch."""
+
+    def choose(self, label, valuation, history) -> bool:
+        return True
+
+
+class ElseScheduler(Scheduler):
+    """Always takes the else-branch."""
+
+    def choose(self, label, valuation, history) -> bool:
+        return False
+
+
+class FixedScheduler(Scheduler):
+    """A memoryless policy given as ``{label_id: take_then}``.
+
+    Labels absent from the mapping fall back to ``default``.
+    """
+
+    def __init__(self, choices: Mapping[int, bool], default: bool = True):
+        self.choices = dict(choices)
+        self.default = default
+
+    def choose(self, label, valuation, history) -> bool:
+        return self.choices.get(label.id, self.default)
+
+
+class RandomScheduler(Scheduler):
+    """Flips a (biased) coin at every nondeterministic label.
+
+    Note this is *not* the same as replacing ``if *`` by ``if prob(p)``
+    in the analysis — it merely gives simulations a concrete policy.
+    """
+
+    def __init__(self, p_then: float = 0.5, seed: Optional[int] = None):
+        if not 0.0 <= p_then <= 1.0:
+            raise ValueError("p_then must be in [0, 1]")
+        self.p_then = p_then
+        self._rng = random.Random(seed)
+
+    def choose(self, label, valuation, history) -> bool:
+        return self._rng.random() < self.p_then
+
+
+class CallbackScheduler(Scheduler):
+    """Wraps an arbitrary callable ``(label, valuation, history) -> bool``."""
+
+    def __init__(self, fn: Callable[[NondetLabel, Mapping[str, float], Sequence[HistoryEntry]], bool]):
+        self.fn = fn
+
+    def choose(self, label, valuation, history) -> bool:
+        return bool(self.fn(label, valuation, history))

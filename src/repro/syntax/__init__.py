@@ -1,0 +1,50 @@
+"""Language frontend: AST, lexer, parser, pretty-printer, transforms."""
+
+from .ast import (
+    And,
+    Assign,
+    Atom,
+    BoolConst,
+    BoolExpr,
+    If,
+    NondetIf,
+    Not,
+    Or,
+    ProbIf,
+    Program,
+    Seq,
+    Skip,
+    Stmt,
+    Tick,
+    While,
+)
+from .parser import parse_condition, parse_expression, parse_program
+from .pretty import pretty, pretty_cond, pretty_stmt
+from .transform import map_statements, replace_nondet
+
+__all__ = [
+    "And",
+    "Assign",
+    "Atom",
+    "BoolConst",
+    "BoolExpr",
+    "If",
+    "NondetIf",
+    "Not",
+    "Or",
+    "ProbIf",
+    "Program",
+    "Seq",
+    "Skip",
+    "Stmt",
+    "Tick",
+    "While",
+    "map_statements",
+    "parse_condition",
+    "parse_expression",
+    "parse_program",
+    "pretty",
+    "pretty_cond",
+    "pretty_stmt",
+    "replace_nondet",
+]

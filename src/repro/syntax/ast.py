@@ -1,0 +1,435 @@
+"""Abstract syntax for nondeterministic probabilistic programs.
+
+This mirrors the grammar of Figure 1 in the paper:
+
+* statements: ``skip``, assignment, ``tick``, sequencing, conditionals,
+  probabilistic branching ``if prob(p)``, nondeterministic branching
+  ``if *`` and ``while`` loops;
+* arithmetic expressions are polynomials over program and sampling
+  variables (we reuse :class:`repro.polynomials.Polynomial` directly);
+* boolean expressions are propositional formulas over polynomial
+  inequalities.
+
+Boolean atoms are normalized to ``poly >= 0`` / ``poly > 0``; negation
+is pushed to the atoms (``not (p >= 0)`` becomes ``-p > 0``), and a DNF
+conversion is provided because the synthesis algorithm generates one
+Handelman constraint site per disjunct of a guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from typing import TYPE_CHECKING
+
+from ..errors import NonLinearError, SemanticsError
+from ..polynomials import Polynomial
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..semantics.distributions import Distribution
+
+__all__ = [
+    "Atom",
+    "BoolExpr",
+    "And",
+    "Or",
+    "Not",
+    "BoolConst",
+    "Stmt",
+    "Skip",
+    "Assign",
+    "Tick",
+    "Seq",
+    "If",
+    "ProbIf",
+    "NondetIf",
+    "While",
+    "Program",
+]
+
+
+# ---------------------------------------------------------------------------
+# Boolean expressions
+# ---------------------------------------------------------------------------
+
+
+class BoolExpr:
+    """Base class of boolean expressions over program variables."""
+
+    def evaluate(self, valuation: Mapping[str, float]) -> bool:
+        raise NotImplementedError
+
+    def negate(self) -> "BoolExpr":
+        """Logical negation in negation normal form."""
+        raise NotImplementedError
+
+    def to_dnf(self) -> List[List["Atom"]]:
+        """Disjunctive normal form: a list of conjunctions of atoms."""
+        raise NotImplementedError
+
+    def atoms(self) -> Iterator["Atom"]:
+        raise NotImplementedError
+
+    def variables(self) -> frozenset:
+        out: set = set()
+        for atom in self.atoms():
+            out |= atom.poly.variables()
+        return frozenset(out)
+
+
+@dataclass(frozen=True)
+class Atom(BoolExpr):
+    """The inequality ``poly >= 0`` (or ``poly > 0`` when ``strict``)."""
+
+    poly: Polynomial
+    strict: bool = False
+
+    def __post_init__(self):
+        if not self.poly.is_numeric():
+            raise NonLinearError("boolean atoms must have numeric coefficients")
+
+    @classmethod
+    def compare(cls, lhs: Polynomial, op: str, rhs: Polynomial) -> "BoolExpr":
+        """Build an atom from a comparison ``lhs op rhs``."""
+        if op == ">=":
+            return cls(lhs - rhs, strict=False)
+        if op == "<=":
+            return cls(rhs - lhs, strict=False)
+        if op == ">":
+            return cls(lhs - rhs, strict=True)
+        if op == "<":
+            return cls(rhs - lhs, strict=True)
+        if op == "==":
+            return And(cls(lhs - rhs), cls(rhs - lhs))
+        raise SemanticsError(f"unsupported comparison operator {op!r}")
+
+    def evaluate(self, valuation: Mapping[str, float]) -> bool:
+        value = self.poly.evaluate_numeric(valuation)
+        return value > 0 if self.strict else value >= 0
+
+    def negate(self) -> "Atom":
+        # not (p >= 0)  ==  -p > 0 ; not (p > 0)  ==  -p >= 0
+        return Atom(-self.poly, strict=not self.strict)
+
+    def relaxed(self) -> "Atom":
+        """The non-strict closure (used for constraint generation)."""
+        return Atom(self.poly, strict=False) if self.strict else self
+
+    def to_dnf(self) -> List[List["Atom"]]:
+        return [[self]]
+
+    def atoms(self) -> Iterator["Atom"]:
+        yield self
+
+    def __str__(self) -> str:
+        return f"{self.poly} {'>' if self.strict else '>='} 0"
+
+
+@dataclass(frozen=True)
+class BoolConst(BoolExpr):
+    """The constants ``true`` / ``false``."""
+
+    value: bool
+
+    def evaluate(self, valuation: Mapping[str, float]) -> bool:
+        return self.value
+
+    def negate(self) -> "BoolConst":
+        return BoolConst(not self.value)
+
+    def to_dnf(self) -> List[List[Atom]]:
+        # true: one empty conjunction; false: no disjuncts.
+        return [[]] if self.value else []
+
+    def atoms(self) -> Iterator[Atom]:
+        return iter(())
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class And(BoolExpr):
+    left: BoolExpr
+    right: BoolExpr
+
+    def evaluate(self, valuation: Mapping[str, float]) -> bool:
+        return self.left.evaluate(valuation) and self.right.evaluate(valuation)
+
+    def negate(self) -> BoolExpr:
+        return Or(self.left.negate(), self.right.negate())
+
+    def to_dnf(self) -> List[List[Atom]]:
+        return [lc + rc for lc in self.left.to_dnf() for rc in self.right.to_dnf()]
+
+    def atoms(self) -> Iterator[Atom]:
+        yield from self.left.atoms()
+        yield from self.right.atoms()
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(BoolExpr):
+    left: BoolExpr
+    right: BoolExpr
+
+    def evaluate(self, valuation: Mapping[str, float]) -> bool:
+        return self.left.evaluate(valuation) or self.right.evaluate(valuation)
+
+    def negate(self) -> BoolExpr:
+        return And(self.left.negate(), self.right.negate())
+
+    def to_dnf(self) -> List[List[Atom]]:
+        return self.left.to_dnf() + self.right.to_dnf()
+
+    def atoms(self) -> Iterator[Atom]:
+        yield from self.left.atoms()
+        yield from self.right.atoms()
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(BoolExpr):
+    """Negation node; normalized away by :meth:`negate`/:meth:`to_dnf`."""
+
+    operand: BoolExpr
+
+    def evaluate(self, valuation: Mapping[str, float]) -> bool:
+        return not self.operand.evaluate(valuation)
+
+    def negate(self) -> BoolExpr:
+        return self.operand
+
+    def to_dnf(self) -> List[List[Atom]]:
+        return self.operand.negate().to_dnf()
+
+    def atoms(self) -> Iterator[Atom]:
+        yield from self.operand.atoms()
+
+    def __str__(self) -> str:
+        return f"(not {self.operand})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class of program statements."""
+
+    def children(self) -> Sequence["Stmt"]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Skip(Stmt):
+    """``skip`` — the no-op assignment."""
+
+    def __str__(self) -> str:
+        return "skip"
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``var := expr`` where ``expr`` may mention sampling variables."""
+
+    var: str
+    expr: Polynomial
+
+    def __str__(self) -> str:
+        return f"{self.var} := {self.expr}"
+
+
+@dataclass(frozen=True)
+class Tick(Stmt):
+    """``tick(cost)`` — accrue ``cost`` (a polynomial over program vars)."""
+
+    cost: Polynomial
+
+    def __str__(self) -> str:
+        return f"tick({self.cost})"
+
+
+@dataclass(frozen=True)
+class Seq(Stmt):
+    """Sequential composition of two or more statements."""
+
+    stmts: Tuple[Stmt, ...]
+
+    def __post_init__(self):
+        if len(self.stmts) < 2:
+            raise SemanticsError("Seq requires at least two statements")
+
+    @classmethod
+    def of(cls, *stmts: Stmt) -> Stmt:
+        """Smart constructor flattening nested sequences."""
+        flat: List[Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, Seq):
+                flat.extend(stmt.stmts)
+            else:
+                flat.append(stmt)
+        if not flat:
+            return Skip()
+        if len(flat) == 1:
+            return flat[0]
+        return cls(tuple(flat))
+
+    def children(self) -> Sequence[Stmt]:
+        return self.stmts
+
+    def __str__(self) -> str:
+        return "; ".join(str(s) for s in self.stmts)
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """``if cond then ... else ... fi`` (else defaults to skip)."""
+
+    cond: BoolExpr
+    then_branch: Stmt
+    else_branch: Stmt = field(default_factory=Skip)
+
+    def children(self) -> Sequence[Stmt]:
+        return (self.then_branch, self.else_branch)
+
+    def __str__(self) -> str:
+        return f"if {self.cond} then {self.then_branch} else {self.else_branch} fi"
+
+
+@dataclass(frozen=True)
+class ProbIf(Stmt):
+    """``if prob(p) then ... else ... fi``."""
+
+    prob: float
+    then_branch: Stmt
+    else_branch: Stmt = field(default_factory=Skip)
+
+    def __post_init__(self):
+        if not 0.0 <= self.prob <= 1.0:
+            raise SemanticsError(f"branch probability {self.prob} outside [0, 1]")
+
+    def children(self) -> Sequence[Stmt]:
+        return (self.then_branch, self.else_branch)
+
+    def __str__(self) -> str:
+        return f"if prob({self.prob:g}) then {self.then_branch} else {self.else_branch} fi"
+
+
+@dataclass(frozen=True)
+class NondetIf(Stmt):
+    """``if * then ... else ... fi`` — demonic nondeterminism."""
+
+    then_branch: Stmt
+    else_branch: Stmt = field(default_factory=Skip)
+
+    def children(self) -> Sequence[Stmt]:
+        return (self.then_branch, self.else_branch)
+
+    def __str__(self) -> str:
+        return f"if * then {self.then_branch} else {self.else_branch} fi"
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """``while cond do ... od``."""
+
+    cond: BoolExpr
+    body: Stmt
+
+    def children(self) -> Sequence[Stmt]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"while {self.cond} do {self.body} od"
+
+
+# ---------------------------------------------------------------------------
+# Programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Program:
+    """A complete program: declarations plus a body statement.
+
+    ``pvars`` are the program variables (Section 2.2); ``rvars`` maps
+    each sampling variable to its distribution.  The two sets must be
+    disjoint.
+    """
+
+    pvars: List[str]
+    rvars: Dict[str, Distribution]
+    body: Stmt
+    name: Optional[str] = None
+
+    def __post_init__(self):
+        overlap = set(self.pvars) & set(self.rvars)
+        if overlap:
+            raise SemanticsError(f"variables declared as both program and sampling: {sorted(overlap)}")
+        self.validate()
+
+    # -- validation -------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check that every identifier is declared and used legally."""
+        declared = set(self.pvars) | set(self.rvars)
+        pvars = set(self.pvars)
+
+        def check_expr(poly: Polynomial, allow_rvars: bool, where: str) -> None:
+            for var in poly.variables():
+                if var not in declared:
+                    raise SemanticsError(f"undeclared variable {var!r} in {where}")
+                if not allow_rvars and var not in pvars:
+                    raise SemanticsError(
+                        f"sampling variable {var!r} used in {where}; only program variables are allowed"
+                    )
+
+        def check_cond(cond: BoolExpr, where: str) -> None:
+            for atom in cond.atoms():
+                check_expr(atom.poly, allow_rvars=False, where=where)
+
+        def walk(stmt: Stmt) -> None:
+            if isinstance(stmt, Assign):
+                if stmt.var not in pvars:
+                    raise SemanticsError(f"assignment to undeclared program variable {stmt.var!r}")
+                check_expr(stmt.expr, allow_rvars=True, where=f"assignment to {stmt.var}")
+            elif isinstance(stmt, Tick):
+                check_expr(stmt.cost, allow_rvars=False, where="tick cost")
+            elif isinstance(stmt, While):
+                check_cond(stmt.cond, "loop guard")
+            elif isinstance(stmt, If):
+                check_cond(stmt.cond, "branch condition")
+            for child in stmt.children():
+                walk(child)
+
+        walk(self.body)
+
+    # -- convenience --------------------------------------------------------
+
+    def statements(self) -> Iterator[Stmt]:
+        """Pre-order traversal of all statements."""
+
+        def walk(stmt: Stmt) -> Iterator[Stmt]:
+            yield stmt
+            for child in stmt.children():
+                yield from walk(child)
+
+        return walk(self.body)
+
+    def has_nondeterminism(self) -> bool:
+        return any(isinstance(s, NondetIf) for s in self.statements())
+
+    def tick_costs(self) -> List[Polynomial]:
+        return [s.cost for s in self.statements() if isinstance(s, Tick)]
+
+    def __str__(self) -> str:
+        from .pretty import pretty  # local import to avoid a cycle
+
+        return pretty(self)

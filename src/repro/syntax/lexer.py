@@ -1,0 +1,116 @@
+"""Tokenizer for the surface language.
+
+Token kinds are deliberately few: identifiers/keywords, numeric
+literals, and a fixed set of punctuation/operator symbols.  The lexer
+tracks line and column for error messages and supports ``#``-to-end-of-
+line comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "var",
+        "sample",
+        "skip",
+        "tick",
+        "if",
+        "then",
+        "else",
+        "fi",
+        "prob",
+        "while",
+        "do",
+        "od",
+        "and",
+        "or",
+        "not",
+        "true",
+        "false",
+        "discrete",
+        "uniform",
+        "unifint",
+        "bernoulli",
+        "binomial",
+        "point",
+    }
+)
+
+# Multi-character symbols first so maximal munch works by ordered scan.
+_SYMBOLS = [":=", "<=", ">=", "==", "~", ";", ",", ":", "(", ")", "*", "+", "-", "<", ">", "="]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'keyword' | 'number' | symbol text | 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return self.text if self.kind != "eof" else "<end of input>"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`ParseError` on illegal input."""
+    tokens: List[Token] = []
+    line, col = 1, 1
+    i, n = 0, len(source)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (source[i].isdigit() or (source[i] == "." and not seen_dot)):
+                if source[i] == ".":
+                    seen_dot = True
+                i += 1
+            text = source[start:i]
+            if text.endswith("."):
+                raise ParseError(f"malformed number {text!r}", line, col)
+            tokens.append(Token("number", text, line, col))
+            col += i - start
+            continue
+        matched = False
+        for sym in _SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Token(sym, sym, line, col))
+                i += len(sym)
+                col += len(sym)
+                matched = True
+                break
+        if not matched:
+            raise ParseError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens

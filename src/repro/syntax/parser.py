@@ -1,0 +1,372 @@
+"""Recursive-descent parser for the paper's language (Figure 1).
+
+Surface syntax example::
+
+    var x, y;
+    sample r  ~ discrete(1: 0.25, -1: 0.75);
+    sample r2 ~ uniform(1, 2);
+
+    while x >= 1 do
+        x := x + r;
+        y := r2;
+        tick(x * y)
+    od
+
+Supported statements: ``skip``, assignment ``:=``, ``tick(e)``,
+``if b then s else s fi`` (else optional), ``if prob(p) ...``,
+``if * ...`` (nondeterminism), ``while b do s od`` and ``;`` sequencing.
+
+The paper's inline discrete-distribution notation
+``y := y + (-1, 0, 1) : (0.5, 0.1, 0.4)`` (Figure 4) is desugared into a
+fresh sampling variable with a :class:`DiscreteDistribution`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ParseError
+from ..polynomials import Polynomial
+from ..semantics.distributions import (
+    BernoulliDistribution,
+    BinomialDistribution,
+    DiscreteDistribution,
+    Distribution,
+    PointDistribution,
+    UniformDistribution,
+    UniformIntDistribution,
+)
+from .ast import (
+    And,
+    Assign,
+    Atom,
+    BoolConst,
+    BoolExpr,
+    If,
+    NondetIf,
+    Not,
+    Or,
+    ProbIf,
+    Program,
+    Seq,
+    Skip,
+    Stmt,
+    Tick,
+    While,
+)
+from .lexer import Token, tokenize
+
+__all__ = ["parse_program", "parse_expression", "parse_condition"]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.pvars: List[str] = []
+        self.rvars: Dict[str, Distribution] = {}
+        self._fresh_counter = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if not self.check(kind, text):
+            wanted = text or kind
+            raise ParseError(f"expected {wanted!r}, found {tok!s}", tok.line, tok.column)
+        return self.advance()
+
+    def error(self, message: str) -> ParseError:
+        tok = self.peek()
+        return ParseError(message, tok.line, tok.column)
+
+    # -- declarations -------------------------------------------------------
+
+    def parse_program(self, name: Optional[str] = None) -> Program:
+        while self.check("keyword", "var") or self.check("keyword", "sample"):
+            if self.accept("keyword", "var"):
+                self._parse_var_decl()
+            else:
+                self.advance()
+                self._parse_sample_decl()
+        body = self.parse_stmt()
+        self.expect("eof")
+        return Program(pvars=self.pvars, rvars=self.rvars, body=body, name=name)
+
+    def _parse_var_decl(self) -> None:
+        while True:
+            tok = self.expect("ident")
+            if tok.text in self.pvars or tok.text in self.rvars:
+                raise ParseError(f"duplicate declaration of {tok.text!r}", tok.line, tok.column)
+            self.pvars.append(tok.text)
+            if not self.accept(","):
+                break
+        self.expect(";")
+
+    def _parse_sample_decl(self) -> None:
+        tok = self.expect("ident")
+        if tok.text in self.pvars or tok.text in self.rvars:
+            raise ParseError(f"duplicate declaration of {tok.text!r}", tok.line, tok.column)
+        self.expect("~")
+        self.rvars[tok.text] = self._parse_distribution()
+        self.expect(";")
+
+    def _parse_distribution(self) -> Distribution:
+        tok = self.peek()
+        if tok.kind != "keyword":
+            raise self.error("expected a distribution name")
+        self.advance()
+        self.expect("(")
+        try:
+            dist = self._parse_distribution_body(tok.text)
+        except ValueError as exc:  # re-raise with position info
+            raise ParseError(str(exc), tok.line, tok.column) from exc
+        self.expect(")")
+        return dist
+
+    def _parse_distribution_body(self, kind: str) -> Distribution:
+        if kind == "discrete":
+            values, probs = [], []
+            while True:
+                values.append(self._parse_signed_number())
+                self.expect(":")
+                probs.append(self._parse_signed_number())
+                if not self.accept(","):
+                    break
+            return DiscreteDistribution(values, probs)
+        if kind == "uniform":
+            a = self._parse_signed_number()
+            self.expect(",")
+            b = self._parse_signed_number()
+            return UniformDistribution(a, b)
+        if kind == "unifint":
+            a = self._parse_signed_number()
+            self.expect(",")
+            b = self._parse_signed_number()
+            return UniformIntDistribution(int(a), int(b))
+        if kind == "bernoulli":
+            return BernoulliDistribution(self._parse_signed_number())
+        if kind == "binomial":
+            n = self._parse_signed_number()
+            self.expect(",")
+            p = self._parse_signed_number()
+            return BinomialDistribution(int(n), p)
+        if kind == "point":
+            return PointDistribution(self._parse_signed_number())
+        raise self.error(f"unknown distribution {kind!r}")
+
+    def _parse_signed_number(self) -> float:
+        sign = -1.0 if self.accept("-") else 1.0
+        tok = self.expect("number")
+        return sign * float(tok.text)
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_stmt(self) -> Stmt:
+        stmts = [self._parse_simple_stmt()]
+        while self.accept(";"):
+            # Permit a trailing semicolon before block closers.
+            if self.peek().kind in ("eof",) or self.peek().text in ("od", "fi", "else"):
+                break
+            stmts.append(self._parse_simple_stmt())
+        return Seq.of(*stmts)
+
+    def _parse_simple_stmt(self) -> Stmt:
+        tok = self.peek()
+        if self.accept("keyword", "skip"):
+            return Skip()
+        if self.accept("keyword", "tick"):
+            self.expect("(")
+            cost = self.parse_expr()
+            self.expect(")")
+            return Tick(cost)
+        if self.accept("keyword", "while"):
+            cond = self.parse_bexpr()
+            self.expect("keyword", "do")
+            body = self.parse_stmt()
+            self.expect("keyword", "od")
+            return While(cond, body)
+        if self.accept("keyword", "if"):
+            return self._parse_if()
+        if tok.kind == "ident":
+            name = self.advance().text
+            self.expect(":=")
+            expr = self.parse_expr()
+            return Assign(name, expr)
+        raise self.error(f"expected a statement, found {tok!s}")
+
+    def _parse_if(self) -> Stmt:
+        if self.accept("*"):
+            then_branch, else_branch = self._parse_if_tail()
+            return NondetIf(then_branch, else_branch)
+        if self.accept("keyword", "prob"):
+            self.expect("(")
+            p = self._parse_signed_number()
+            self.expect(")")
+            then_branch, else_branch = self._parse_if_tail()
+            return ProbIf(p, then_branch, else_branch)
+        cond = self.parse_bexpr()
+        then_branch, else_branch = self._parse_if_tail()
+        return If(cond, then_branch, else_branch)
+
+    def _parse_if_tail(self) -> Tuple[Stmt, Stmt]:
+        self.expect("keyword", "then")
+        then_branch = self.parse_stmt()
+        else_branch: Stmt = Skip()
+        if self.accept("keyword", "else"):
+            else_branch = self.parse_stmt()
+        self.expect("keyword", "fi")
+        return then_branch, else_branch
+
+    # -- boolean expressions -----------------------------------------------
+
+    def parse_bexpr(self) -> BoolExpr:
+        left = self._parse_bterm()
+        while self.accept("keyword", "or"):
+            left = Or(left, self._parse_bterm())
+        return left
+
+    def _parse_bterm(self) -> BoolExpr:
+        left = self._parse_bfactor()
+        while self.accept("keyword", "and"):
+            left = And(left, self._parse_bfactor())
+        return left
+
+    def _parse_bfactor(self) -> BoolExpr:
+        if self.accept("keyword", "not"):
+            return Not(self._parse_bfactor())
+        if self.accept("keyword", "true"):
+            return BoolConst(True)
+        if self.accept("keyword", "false"):
+            return BoolConst(False)
+        # A parenthesis is ambiguous: '(' bexpr ')' or '(' expr ')' '<=' ...
+        if self.check("("):
+            saved = self.pos
+            self.advance()
+            try:
+                inner = self.parse_bexpr()
+                self.expect(")")
+                return inner
+            except ParseError:
+                self.pos = saved
+        lhs = self.parse_expr()
+        op_tok = self.peek()
+        if op_tok.text not in ("<=", ">=", "<", ">", "=="):
+            raise self.error(f"expected a comparison operator, found {op_tok!s}")
+        self.advance()
+        rhs = self.parse_expr()
+        return Atom.compare(lhs, op_tok.text, rhs)
+
+    # -- arithmetic expressions -----------------------------------------------
+
+    def parse_expr(self) -> Polynomial:
+        left = self._parse_term()
+        while True:
+            if self.accept("+"):
+                left = left + self._parse_term()
+            elif self.accept("-"):
+                left = left - self._parse_term()
+            else:
+                return left
+
+    def _parse_term(self) -> Polynomial:
+        left = self._parse_factor()
+        while self.accept("*"):
+            left = left * self._parse_factor()
+        return left
+
+    def _parse_factor(self) -> Polynomial:
+        tok = self.peek()
+        if self.accept("-"):
+            return -self._parse_factor()
+        if tok.kind == "number":
+            self.advance()
+            return Polynomial.constant(float(tok.text))
+        if tok.kind == "ident":
+            self.advance()
+            return Polynomial.variable(tok.text)
+        if self.check("("):
+            inline = self._try_parse_inline_distribution()
+            if inline is not None:
+                return inline
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        raise self.error(f"expected an expression, found {tok!s}")
+
+    def _try_parse_inline_distribution(self) -> Optional[Polynomial]:
+        """Parse ``(v1, ..., vk) : (p1, ..., pk)`` with backtracking."""
+        saved = self.pos
+        try:
+            self.expect("(")
+            values = [self._parse_signed_number()]
+            while self.accept(","):
+                values.append(self._parse_signed_number())
+            self.expect(")")
+            if len(values) < 2 or not self.check(":"):
+                self.pos = saved
+                return None
+            self.expect(":")
+            self.expect("(")
+            probs = [self._parse_signed_number()]
+            while self.accept(","):
+                probs.append(self._parse_signed_number())
+            self.expect(")")
+        except ParseError:
+            self.pos = saved
+            return None
+        tok = self.tokens[saved]
+        try:
+            dist = DiscreteDistribution(values, probs)
+        except ValueError as exc:
+            raise ParseError(str(exc), tok.line, tok.column) from exc
+        name = self._fresh_rvar()
+        self.rvars[name] = dist
+        return Polynomial.variable(name)
+
+    def _fresh_rvar(self) -> str:
+        while True:
+            name = f"__d{self._fresh_counter}"
+            self._fresh_counter += 1
+            if name not in self.rvars and name not in self.pvars:
+                return name
+
+
+def parse_program(source: str, name: Optional[str] = None) -> Program:
+    """Parse a full program (declarations + body) from source text."""
+    return _Parser(tokenize(source)).parse_program(name=name)
+
+
+def parse_expression(source: str) -> Polynomial:
+    """Parse a standalone arithmetic expression (for tests and tools)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expr()
+    parser.expect("eof")
+    return expr
+
+
+def parse_condition(source: str) -> BoolExpr:
+    """Parse a standalone boolean expression (for invariant annotations)."""
+    parser = _Parser(tokenize(source))
+    cond = parser.parse_bexpr()
+    parser.expect("eof")
+    return cond

@@ -1,0 +1,92 @@
+"""Pretty-printer: render an AST back to parseable surface syntax.
+
+``parse_program(pretty(p))`` is semantically identical to ``p`` (the
+round-trip property is checked by the test suite); inline distributions
+that were desugared into fresh sampling variables are printed as
+ordinary ``sample`` declarations.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    And,
+    Assign,
+    Atom,
+    BoolConst,
+    BoolExpr,
+    If,
+    NondetIf,
+    Not,
+    Or,
+    ProbIf,
+    Program,
+    Seq,
+    Skip,
+    Stmt,
+    Tick,
+    While,
+)
+
+__all__ = ["pretty", "pretty_stmt", "pretty_cond"]
+
+_INDENT = "    "
+
+
+def pretty_cond(cond: BoolExpr) -> str:
+    """Render a boolean expression."""
+    if isinstance(cond, Atom):
+        op = ">" if cond.strict else ">="
+        return f"{cond.poly} {op} 0"
+    if isinstance(cond, BoolConst):
+        return "true" if cond.value else "false"
+    if isinstance(cond, And):
+        return f"({pretty_cond(cond.left)} and {pretty_cond(cond.right)})"
+    if isinstance(cond, Or):
+        return f"({pretty_cond(cond.left)} or {pretty_cond(cond.right)})"
+    if isinstance(cond, Not):
+        return f"(not {pretty_cond(cond.operand)})"
+    raise TypeError(f"unknown condition node {type(cond).__name__}")
+
+
+def pretty_stmt(stmt: Stmt, depth: int = 0) -> str:
+    """Render a statement with indentation."""
+    pad = _INDENT * depth
+    if isinstance(stmt, Skip):
+        return f"{pad}skip"
+    if isinstance(stmt, Assign):
+        return f"{pad}{stmt.var} := {stmt.expr}"
+    if isinstance(stmt, Tick):
+        return f"{pad}tick({stmt.cost})"
+    if isinstance(stmt, Seq):
+        return ";\n".join(pretty_stmt(s, depth) for s in stmt.stmts)
+    if isinstance(stmt, While):
+        body = pretty_stmt(stmt.body, depth + 1)
+        return f"{pad}while {pretty_cond(stmt.cond)} do\n{body}\n{pad}od"
+    if isinstance(stmt, (If, ProbIf, NondetIf)):
+        if isinstance(stmt, If):
+            head = f"if {pretty_cond(stmt.cond)}"
+        elif isinstance(stmt, ProbIf):
+            head = f"if prob({stmt.prob:g})"
+        else:
+            head = "if *"
+        then_text = pretty_stmt(stmt.then_branch, depth + 1)
+        lines = [f"{pad}{head} then", then_text]
+        if not isinstance(stmt.else_branch, Skip):
+            lines.append(f"{pad}else")
+            lines.append(pretty_stmt(stmt.else_branch, depth + 1))
+        lines.append(f"{pad}fi")
+        return "\n".join(lines)
+    raise TypeError(f"unknown statement node {type(stmt).__name__}")
+
+
+def pretty(program: Program) -> str:
+    """Render a full program, declarations included."""
+    lines = []
+    if program.pvars:
+        lines.append("var " + ", ".join(program.pvars) + ";")
+    for name, dist in program.rvars.items():
+        lines.append(f"sample {name} ~ {dist!r};")
+    if lines:
+        lines.append("")
+    lines.append(pretty_stmt(program.body))
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Source-to-source program transformations.
+
+Currently provided:
+
+* :func:`replace_nondet` — replace every ``if *`` by ``if prob(p)``.
+  This is the transformation behind Table 5 of the paper ("Programs in
+  which Nondeterminism is Replaced with Probability"), needed because
+  plain Monte-Carlo simulation cannot resolve demonic choices.
+* :func:`map_statements` — generic bottom-up statement rewriting, the
+  building block for user-defined transformations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+from .ast import If, NondetIf, ProbIf, Program, Seq, Stmt, While
+
+__all__ = ["map_statements", "replace_nondet"]
+
+
+def map_statements(stmt: Stmt, fn: Callable[[Stmt], Stmt]) -> Stmt:
+    """Rebuild ``stmt`` bottom-up, applying ``fn`` to every node.
+
+    ``fn`` receives each node *after* its children were rewritten and
+    returns the node to use in its place.
+    """
+    if isinstance(stmt, Seq):
+        rebuilt: Stmt = Seq.of(*(map_statements(s, fn) for s in stmt.stmts))
+    elif isinstance(stmt, While):
+        rebuilt = While(stmt.cond, map_statements(stmt.body, fn))
+    elif isinstance(stmt, If):
+        rebuilt = If(stmt.cond, map_statements(stmt.then_branch, fn), map_statements(stmt.else_branch, fn))
+    elif isinstance(stmt, ProbIf):
+        rebuilt = ProbIf(stmt.prob, map_statements(stmt.then_branch, fn), map_statements(stmt.else_branch, fn))
+    elif isinstance(stmt, NondetIf):
+        rebuilt = NondetIf(map_statements(stmt.then_branch, fn), map_statements(stmt.else_branch, fn))
+    else:
+        rebuilt = stmt
+    return fn(rebuilt)
+
+
+def replace_nondet(program: Program, prob: float = 0.5, name: Optional[str] = None) -> Program:
+    """Replace every nondeterministic branch by ``if prob(prob)``.
+
+    Produces the "modified" programs of Table 5; the original program is
+    left untouched.
+    """
+
+    def rewrite(stmt: Stmt) -> Stmt:
+        if isinstance(stmt, NondetIf):
+            return ProbIf(prob, stmt.then_branch, stmt.else_branch)
+        return stmt
+
+    new_body = map_statements(program.body, rewrite)
+    new_name = name if name is not None else (f"{program.name}-probabilistic" if program.name else None)
+    return Program(pvars=list(program.pvars), rvars=dict(program.rvars), body=new_body, name=new_name)

@@ -1,0 +1,5 @@
+"""Termination substrate: ranking supermartingales, concentration."""
+
+from .rsm import RankingCertificate, certify_concentration, synthesize_rsm
+
+__all__ = ["RankingCertificate", "certify_concentration", "synthesize_rsm"]

@@ -1,0 +1,149 @@
+"""Ranking supermartingales and the concentration property.
+
+Theorems 6.10/6.12 require the *concentration* property: positive
+constants ``a, b`` with ``P(T > n) <= a * exp(-b n)`` for every
+scheduler.  Following the paper (which reuses the tool of [18]), a
+sufficient certificate is a **difference-bounded ranking
+supermartingale** (RSM): a function ``eta`` over configurations with
+
+* ``eta(l, v) >= 0``                      on every label's invariant,
+* ``pre_eta(l, v) <= eta(l, v) - eps``    at every non-terminal label
+  (for *all* successors of nondeterministic labels — termination must
+  hold under every scheduler),
+* bounded stepwise differences.
+
+We synthesize a linear RSM with the same Handelman + LP machinery as
+the cost analysis; for a linear ``eta``, bounded differences follow
+from the bounded-update property, which is checked separately.  As a
+by-product, ``eta(l_in, v) / eps`` bounds the expected termination
+time, so the certificate also witnesses finite termination.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..core.conditions import ConditionReport, check_bounded_updates
+from ..core.handelman import certificate_equalities
+from ..core.lp import LinearProgram
+from ..core.preexpectation import pre_expectation_cases
+from ..core.templates import make_template
+from ..errors import InfeasibleError, UnboundedError
+from ..invariants import InvariantMap
+from ..polynomials import LinForm, Polynomial
+from ..semantics.cfg import CFG, TerminalLabel
+
+__all__ = ["RankingCertificate", "synthesize_rsm", "certify_concentration"]
+
+
+@dataclass
+class RankingCertificate:
+    """A synthesized RSM and what it certifies."""
+
+    eta: Dict[int, Polynomial]
+    epsilon: float
+    expected_time_bound: float
+    bounded_updates: ConditionReport
+    lp_variables: int = 0
+    lp_equalities: int = 0
+    runtime: float = 0.0
+
+    @property
+    def certifies_concentration(self) -> bool:
+        """Concentration needs the RSM *and* bounded differences."""
+        return bool(self.bounded_updates)
+
+    def eta_at(self, label_id: int, valuation: Mapping[str, float]) -> float:
+        return self.eta[label_id].evaluate_numeric(valuation)
+
+
+def synthesize_rsm(
+    cfg: CFG,
+    invariants: InvariantMap,
+    init: Mapping[str, float],
+    epsilon: float = 1.0,
+    degree: int = 1,
+    max_multiplicands: Optional[int] = None,
+) -> RankingCertificate:
+    """Synthesize an ``epsilon``-decreasing ranking supermartingale.
+
+    Raises :class:`InfeasibleError` when no RSM of the requested degree
+    exists over the given invariants (the program may still terminate —
+    the certificate is sufficient, not necessary).
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    start = time.perf_counter()
+    template = make_template(cfg, degree)
+    lp = LinearProgram()
+    for name in template.unknowns:
+        lp.add_unknown(name, nonnegative=False)
+
+    eta = template.polys
+    for label in cfg:
+        if isinstance(label, TerminalLabel):
+            continue
+        region = invariants.get(label.id)
+        cap_default = max(degree, 1)
+        for d_index, polyhedron in enumerate(region):
+            gamma_base = polyhedron.constraints
+            # Nonnegativity of eta on the invariant.
+            equalities, multipliers = certificate_equalities(
+                eta[label.id], gamma_base, cap_default, f"rsm_nn_{label.id}_{d_index}"
+            )
+            for name in multipliers:
+                lp.add_unknown(name, nonnegative=True)
+            for coeffs, rhs in equalities:
+                lp.add_equality(coeffs, rhs)
+            # Ranking condition: eta - pre_eta - eps >= 0, for every case
+            # and every nondeterministic successor (demonic termination).
+            for case_index, case in enumerate(pre_expectation_cases(cfg, eta, label)):
+                target = eta[label.id] - case.poly - epsilon
+                gammas = gamma_base + [atom.poly for atom in case.guard]
+                cap = max_multiplicands if max_multiplicands is not None else max(target.degree(), 1)
+                equalities, multipliers = certificate_equalities(
+                    target, gammas, cap, f"rsm_{label.id}_{case_index}_{d_index}"
+                )
+                for name in multipliers:
+                    lp.add_unknown(name, nonnegative=True)
+                for coeffs, rhs in equalities:
+                    lp.add_equality(coeffs, rhs)
+
+    anchor = {var: float(init.get(var, 0.0)) for var in cfg.pvars}
+    objective = template.at(cfg.entry).evaluate(anchor)
+    if not isinstance(objective, LinForm):
+        objective = LinForm(float(objective))
+    lp.set_objective(objective, maximize=False)
+
+    solution = lp.solve()
+    eta_numeric = template.instantiate(solution.values)
+    return RankingCertificate(
+        eta=eta_numeric,
+        epsilon=epsilon,
+        expected_time_bound=solution.objective / epsilon,
+        bounded_updates=check_bounded_updates(cfg),
+        lp_variables=solution.num_variables,
+        lp_equalities=solution.num_equalities,
+        runtime=time.perf_counter() - start,
+    )
+
+
+def certify_concentration(
+    cfg: CFG,
+    invariants: InvariantMap,
+    init: Mapping[str, float],
+    epsilon: float = 1.0,
+    degree: int = 1,
+) -> Optional[RankingCertificate]:
+    """Try to certify the concentration property (Section 2.2).
+
+    Returns a certificate whose :attr:`certifies_concentration` flag is
+    set when both the RSM synthesis and the bounded-difference check
+    succeed, or ``None`` when no RSM of the requested degree exists.
+    """
+    try:
+        return synthesize_rsm(cfg, invariants, init, epsilon=epsilon, degree=degree)
+    except (InfeasibleError, UnboundedError):
+        return None

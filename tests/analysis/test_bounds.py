@@ -1,0 +1,92 @@
+"""Tests for the analyze() facade."""
+
+import pytest
+
+from repro import analyze
+from repro.errors import SemanticsError
+from tests.conftest import FIGURE2_SOURCE, RDWALK_SOURCE
+
+
+class TestAnalyze:
+    def test_from_source_string(self):
+        result = analyze(RDWALK_SOURCE, init={"x": 100}, invariants={1: "x >= 0"})
+        assert result.upper.value == pytest.approx(200.0, rel=1e-6)
+        assert result.lower.value == pytest.approx(198.0, rel=1e-6)
+
+    def test_auto_invariants_alone_suffice_for_rdwalk(self):
+        result = analyze(RDWALK_SOURCE, init={"x": 100})
+        assert result.upper is not None
+        assert result.upper.value == pytest.approx(200.0, rel=1e-4)
+
+    def test_figure2(self):
+        result = analyze(
+            FIGURE2_SOURCE,
+            init={"x": 100, "y": 0},
+            invariants={
+                1: "x >= 0",
+                2: "x >= 1",
+                # y bounds let the bounded-update check accept y := r2.
+                3: "x >= 0 and y + 1 >= 0 and 1 - y >= 0",
+                4: "x >= 0 and y + 1 >= 0 and 1 - y >= 0",
+            },
+        )
+        assert result.upper.value == pytest.approx(10100 / 3, rel=1e-6)
+        assert result.mode.name == "signed-bounded-update"
+
+    def test_mode_detection_nonnegative(self):
+        result = analyze(
+            "var a; while a >= 5 do a := 0.9 * a; tick(1) od",
+            init={"a": 100},
+            invariants={1: "a >= 4.5", 2: "a >= 5"},
+        )
+        assert result.mode.name == "nonnegative-general-update"
+        assert result.lower is None
+
+    def test_forced_signed_mode_warns(self):
+        result = analyze(
+            "var a; while a >= 5 do a := 0.9 * a; tick(1) od",
+            init={"a": 100},
+            invariants={1: "a >= 4.5", 2: "a >= 5"},
+            mode="signed",
+        )
+        assert any("forced signed regime" in w for w in result.warnings)
+        assert result.mode.lower
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            analyze(RDWALK_SOURCE, init={"x": 1}, mode="bogus")
+
+    def test_compute_lower_false(self):
+        result = analyze(RDWALK_SOURCE, init={"x": 10}, invariants={1: "x >= 0"}, compute_lower=False)
+        assert result.lower is None
+
+    def test_concentration_check(self):
+        result = analyze(
+            RDWALK_SOURCE, init={"x": 10}, invariants={1: "x >= 0"}, check_concentration=True
+        )
+        assert result.concentration is not None
+        assert result.concentration.certifies_concentration
+
+    def test_infeasible_degree_becomes_warning(self):
+        result = analyze(
+            FIGURE2_SOURCE,
+            init={"x": 10, "y": 0},
+            invariants={1: "x >= 0", 2: "x >= 1", 3: "x >= 0", 4: "x >= 0 and y + 1 >= 0 and 1 - y >= 0"},
+            degree=1,
+        )
+        assert result.upper is None
+        assert any("no degree-1 upper bound" in w for w in result.warnings)
+
+    def test_summary_renders(self):
+        result = analyze(RDWALK_SOURCE, init={"x": 10}, invariants={1: "x >= 0"})
+        text = result.summary()
+        assert "upper:" in text and "lower:" in text
+
+    def test_properties(self):
+        result = analyze(RDWALK_SOURCE, init={"x": 10}, invariants={1: "x >= 0"})
+        assert result.upper_bound is not None
+        assert result.lower_bound is not None
+
+    def test_bad_initial_variable(self):
+        with pytest.raises(SemanticsError):
+            analyze(RDWALK_SOURCE, init={"nope": 3}).upper  # noqa: B018

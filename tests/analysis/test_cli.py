@@ -1,0 +1,91 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import extract_invariant_annotations, main, parse_valuation
+
+PROGRAM = """
+# @invariant 1: x >= 0
+# @invariant 2: x >= 1
+var x;
+while x >= 1 do
+    x := x + (1, -1) : (0.25, 0.75);
+    tick(1)
+od
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "walk.prob"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestHelpers:
+    def test_parse_valuation(self):
+        assert parse_valuation("x=100, y=-2.5") == {"x": 100.0, "y": -2.5}
+
+    def test_parse_valuation_empty(self):
+        assert parse_valuation(None) == {}
+        assert parse_valuation("") == {}
+
+    def test_parse_valuation_malformed(self):
+        with pytest.raises(ValueError):
+            parse_valuation("x:3")
+
+    def test_extract_annotations(self):
+        anns = extract_invariant_annotations(PROGRAM)
+        assert anns == {1: "x >= 0", 2: "x >= 1"}
+
+
+class TestCommands:
+    def test_analyze(self, program_file, capsys):
+        code = main(["analyze", program_file, "--init", "x=100", "--degree", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "upper:" in out and "2*x" in out
+
+    def test_analyze_with_cli_invariant(self, program_file, capsys):
+        code = main(
+            ["analyze", program_file, "--init", "x=50", "--degree", "1", "--invariant", "3: x >= 0"]
+        )
+        assert code == 0
+
+    def test_analyze_no_lower(self, program_file, capsys):
+        main(["analyze", program_file, "--init", "x=10", "--no-lower"])
+        assert "lower:" not in capsys.readouterr().out
+
+    def test_simulate(self, program_file, capsys):
+        code = main(["simulate", program_file, "--init", "x=10", "--runs", "200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean cost:" in out
+        assert "termination rate: 1.000" in out
+
+    def test_simulate_refuses_nondet(self, tmp_path, capsys):
+        path = tmp_path / "nd.prob"
+        path.write_text("var x; if * then tick(1) fi")
+        code = main(["simulate", str(path), "--init", "x=0"])
+        assert code == 1
+        assert "nondeterministic" in capsys.readouterr().err
+
+    def test_cfg(self, program_file, capsys):
+        assert main(["cfg", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "branch" in out and "tick" in out
+
+    def test_bench(self, capsys):
+        assert main(["bench", "simple_loop"]) == 0
+        out = capsys.readouterr().out
+        assert "paper upper" in out
+
+    def test_bench_with_init_override(self, capsys):
+        assert main(["bench", "random_walk", "--init", "x=4,n=20,y=0"]) == 0
+        assert "-40" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bitcoin_mining" in out and "[nondet]" in out
+        assert out.count("\n") == 25

@@ -1,0 +1,48 @@
+"""Tests for the empirical martingale validator."""
+
+import pytest
+
+from repro.analysis import check_cost_martingale
+from repro.core import synthesize_plcs, synthesize_pucs
+from repro.polynomials import Polynomial
+
+X = Polynomial.variable("x")
+
+
+class TestValidator:
+    def test_synthesized_pucs_passes(self, rdwalk_cfg, rdwalk_invariants):
+        result = synthesize_pucs(rdwalk_cfg, rdwalk_invariants, {"x": 20}, degree=1)
+        report = check_cost_martingale(rdwalk_cfg, result.h, "upper", {"x": 20}, runs=20, seed=0)
+        assert report.ok()
+        assert report.configurations_checked > 0
+
+    def test_synthesized_plcs_passes(self, rdwalk_cfg, rdwalk_invariants):
+        result = synthesize_plcs(rdwalk_cfg, rdwalk_invariants, {"x": 20}, degree=1)
+        report = check_cost_martingale(rdwalk_cfg, result.h, "lower", {"x": 20}, runs=20, seed=0)
+        assert report.ok()
+
+    def test_wrong_certificate_caught(self, rdwalk_cfg):
+        # h = x is NOT a PUCS for rdwalk (the true bound is 2x): at the
+        # tick label, pre = 1 + h(l1) = x + 1, a violation of exactly 1.
+        bogus = {1: X, 2: X, 3: X, 4: Polynomial.zero()}
+        report = check_cost_martingale(rdwalk_cfg, bogus, "upper", {"x": 20}, runs=5, seed=0)
+        assert not report.ok()
+        assert report.max_violation == pytest.approx(1.0, abs=1e-9)
+        assert report.worst_config is not None
+        assert report.violations
+
+    def test_too_generous_lower_caught(self, rdwalk_cfg):
+        bogus = {1: 3 * X, 2: 3 * X, 3: 3 * X, 4: Polynomial.zero()}
+        report = check_cost_martingale(rdwalk_cfg, bogus, "lower", {"x": 20}, runs=5, seed=0)
+        assert not report.ok()
+
+    def test_invalid_kind(self, rdwalk_cfg):
+        with pytest.raises(ValueError):
+            check_cost_martingale(rdwalk_cfg, {}, "middle", {"x": 1})
+
+    def test_figure2_certificates(self, figure2_cfg, figure2_invariants):
+        ub = synthesize_pucs(figure2_cfg, figure2_invariants, {"x": 20, "y": 0}, degree=2)
+        report = check_cost_martingale(
+            figure2_cfg, ub.h, "upper", {"x": 20, "y": 0}, runs=10, seed=1
+        )
+        assert report.ok(tol=1e-5)

@@ -1,0 +1,63 @@
+"""Tests for the [74]-style potential baseline and its envelope."""
+
+import pytest
+
+from repro.baseline import baseline_applicable, baseline_upper_bound
+from repro.errors import UnsupportedProgramError
+from repro.invariants import InvariantMap
+from repro.semantics import build_cfg
+from repro.syntax import parse_program
+
+
+def test_applicable_on_constant_nonneg_costs(rdwalk_cfg, rdwalk_invariants):
+    assert baseline_applicable(rdwalk_cfg, rdwalk_invariants)
+
+
+def test_baseline_matches_pucs_on_its_fragment(rdwalk_cfg, rdwalk_invariants):
+    result = baseline_upper_bound(rdwalk_cfg, rdwalk_invariants, {"x": 50}, degree=1)
+    assert result.value == pytest.approx(100.0, rel=1e-6)
+    assert result.kind == "upper-baseline"
+
+
+def test_baseline_potential_is_nonnegative(rdwalk_cfg, rdwalk_invariants):
+    result = baseline_upper_bound(rdwalk_cfg, rdwalk_invariants, {"x": 50}, degree=1)
+    for x in range(0, 100):
+        assert result.h[1].evaluate_numeric({"x": float(x)}) >= -1e-7
+
+
+def test_rejects_negative_costs():
+    cfg = build_cfg(parse_program("var x; while x >= 1 do x := x - 1; tick(-1) od"))
+    inv = InvariantMap.from_strings(cfg, {1: "x >= 0", 2: "x >= 1", 3: "x >= 0"})
+    assert not baseline_applicable(cfg, inv)
+    with pytest.raises(UnsupportedProgramError):
+        baseline_upper_bound(cfg, inv, {"x": 10}, degree=1)
+
+
+def test_rejects_variable_costs():
+    cfg = build_cfg(parse_program("var x; while x >= 1 do x := x - 1; tick(x) od"))
+    inv = InvariantMap.from_strings(cfg, {1: "x >= 0", 2: "x >= 1", 3: "x >= 0"})
+    with pytest.raises(UnsupportedProgramError):
+        baseline_upper_bound(cfg, inv, {"x": 10}, degree=2)
+
+
+def test_motivating_examples_outside_fragment():
+    """The paper's bitcoin example (negative rewards) defeats [74]."""
+    from repro.programs import get_benchmark
+
+    bench = get_benchmark("bitcoin_mining")
+    with pytest.raises(UnsupportedProgramError):
+        baseline_upper_bound(bench.cfg, bench.invariant_map(), bench.init, degree=1)
+
+
+def test_baseline_never_beats_pucs():
+    """On the shared fragment the baseline is a restriction of PUCS, so
+    its optimal bound can never be below the PUCS bound."""
+    from repro.core import synthesize_pucs
+    from repro.programs import benchmarks_by_category
+
+    for bench in benchmarks_by_category("table2"):
+        if not baseline_applicable(bench.cfg, bench.invariant_map()):
+            continue
+        pucs = synthesize_pucs(bench.cfg, bench.invariant_map(), bench.init, degree=bench.degree)
+        base = baseline_upper_bound(bench.cfg, bench.invariant_map(), bench.init, degree=bench.degree)
+        assert base.value >= pucs.value - 1e-6

@@ -1,0 +1,64 @@
+"""Shared fixtures: the paper's running example and small helper programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InvariantMap, build_cfg, parse_program
+
+FIGURE2_SOURCE = """
+var x, y;
+sample r  ~ discrete(1: 0.25, -1: 0.75);
+sample r2 ~ discrete(1: 0.6666666666666667, -1: 0.3333333333333333);
+while x >= 1 do
+    x := x + r;
+    y := r2;
+    tick(x * y)
+od
+"""
+
+RDWALK_SOURCE = """
+var x;
+while x >= 1 do
+    x := x + (1, -1) : (0.25, 0.75);
+    tick(1)
+od
+"""
+
+
+@pytest.fixture
+def figure2_program():
+    return parse_program(FIGURE2_SOURCE, name="figure2")
+
+
+@pytest.fixture
+def figure2_cfg(figure2_program):
+    return build_cfg(figure2_program)
+
+
+@pytest.fixture
+def figure2_invariants(figure2_cfg):
+    return InvariantMap.from_strings(
+        figure2_cfg,
+        {
+            1: "x >= 0",
+            2: "x >= 1",
+            3: "x >= 0 and y + 1 >= 0 and 1 - y >= 0",
+            4: "x >= 0 and y + 1 >= 0 and 1 - y >= 0",
+        },
+    )
+
+
+@pytest.fixture
+def rdwalk_program():
+    return parse_program(RDWALK_SOURCE, name="rdwalk")
+
+
+@pytest.fixture
+def rdwalk_cfg(rdwalk_program):
+    return build_cfg(rdwalk_program)
+
+
+@pytest.fixture
+def rdwalk_invariants(rdwalk_cfg):
+    return InvariantMap.from_strings(rdwalk_cfg, {1: "x >= 0", 2: "x >= 1", 3: "x >= 0"})

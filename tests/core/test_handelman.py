@@ -1,0 +1,114 @@
+"""Handelman certificate machinery tests."""
+
+import pytest
+
+from repro.core import certificate_equalities, monoid_products
+from repro.errors import NonLinearError
+from repro.polynomials import LinForm, Polynomial
+
+X = Polynomial.variable("x")
+Y = Polynomial.variable("y")
+
+
+class TestMonoid:
+    def test_includes_one(self):
+        products = monoid_products([X], 2)
+        assert Polynomial.constant(1.0) in products
+
+    def test_cap_zero(self):
+        assert monoid_products([X, Y], 0) == [Polynomial.constant(1.0)]
+
+    def test_count_single_gamma(self):
+        # 1, x, x^2, x^3
+        assert len(monoid_products([X], 3)) == 4
+
+    def test_count_two_gammas(self):
+        # 1 | x, y | x^2, xy, y^2
+        assert len(monoid_products([X, Y], 2)) == 6
+
+    def test_duplicates_removed(self):
+        assert len(monoid_products([X, X], 2)) == 3  # 1, x, x^2
+
+    def test_degrees_bounded_by_cap(self):
+        assert all(p.degree() <= 3 for p in monoid_products([X, Y, 1 - X], 3))
+
+    def test_nonlinear_gamma_rejected(self):
+        with pytest.raises(NonLinearError):
+            monoid_products([X * X], 2)
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            monoid_products([X], -1)
+
+    def test_example_products(self):
+        # Gamma = {x, x - 1} as in Example 7.3 (label 1).
+        products = monoid_products([X, X - 1], 2)
+        expected = [
+            Polynomial.constant(1.0),
+            X,
+            X - 1,
+            X * X,
+            X * (X - 1),
+            (X - 1) * (X - 1),
+        ]
+        for e in expected:
+            assert any(p == e for p in products)
+
+
+class TestCertificates:
+    def test_row_count_matches_monomials(self):
+        target = Polynomial.constant(LinForm.unknown("a")) * X + LinForm.unknown("b")
+        equalities, multipliers = certificate_equalities(target, [X], 1, "site")
+        # Combined polynomial has monomials {1, x}: two rows.
+        assert len(equalities) == 2
+        assert len(multipliers) == 2  # c for 1 and for x
+
+    def test_multiplier_names_unique_per_site(self):
+        t = Polynomial.constant(LinForm.unknown("a"))
+        _, m1 = certificate_equalities(t, [X], 1, "s1")
+        _, m2 = certificate_equalities(t, [X], 1, "s2")
+        assert not set(m1) & set(m2)
+
+    def test_solvable_certificate_exists(self):
+        """x + 1 >= 0 on {x >= 0} has the certificate 1*1 + 1*x."""
+        from repro.core import LinearProgram
+
+        target = X + 1  # numeric target
+        equalities, multipliers = certificate_equalities(target, [X], 1, "t")
+        lp = LinearProgram()
+        for name in multipliers:
+            lp.add_unknown(name, nonnegative=True)
+        for coeffs, rhs in equalities:
+            lp.add_equality(coeffs, rhs)
+        lp.set_objective(LinForm(0.0))
+        solution = lp.solve()
+        assert solution.values[multipliers[0]] == pytest.approx(1.0)
+
+    def test_unsatisfiable_certificate(self):
+        """-1 >= 0 on {x >= 0} has no certificate."""
+        from repro.core import LinearProgram
+        from repro.errors import InfeasibleError
+
+        equalities, multipliers = certificate_equalities(Polynomial.constant(-1.0), [X], 2, "t")
+        lp = LinearProgram()
+        for name in multipliers:
+            lp.add_unknown(name, nonnegative=True)
+        for coeffs, rhs in equalities:
+            lp.add_equality(coeffs, rhs)
+        lp.set_objective(LinForm(0.0))
+        with pytest.raises(InfeasibleError):
+            lp.solve()
+
+    def test_quadratic_on_interval(self):
+        """x(1-x) >= 0 on {x >= 0, 1 - x >= 0} via the product x * (1-x)."""
+        from repro.core import LinearProgram
+
+        target = X * (1 - X)
+        equalities, multipliers = certificate_equalities(target, [X, 1 - X], 2, "t")
+        lp = LinearProgram()
+        for name in multipliers:
+            lp.add_unknown(name, nonnegative=True)
+        for coeffs, rhs in equalities:
+            lp.add_equality(coeffs, rhs)
+        lp.set_objective(LinForm(0.0))
+        lp.solve()  # must not raise

@@ -1,0 +1,110 @@
+"""LP backend tests."""
+
+import pytest
+
+from repro.core import LinearProgram
+from repro.errors import InfeasibleError, SynthesisError, UnboundedError
+from repro.polynomials import LinForm
+
+
+def test_simple_minimization():
+    lp = LinearProgram()
+    lp.add_unknown("x", nonnegative=True)
+    lp.add_unknown("y", nonnegative=True)
+    lp.add_equality({"x": 1.0, "y": 1.0}, 10.0)
+    lp.set_objective(LinForm(0.0, {"x": 1.0}))
+    sol = lp.solve()
+    assert sol.values["x"] == pytest.approx(0.0)
+    assert sol.values["y"] == pytest.approx(10.0)
+    assert sol.objective == pytest.approx(0.0)
+
+
+def test_maximization():
+    lp = LinearProgram()
+    lp.add_unknown("x", nonnegative=True)
+    lp.add_unknown("y", nonnegative=True)
+    lp.add_equality({"x": 1.0, "y": 2.0}, 8.0)
+    lp.set_objective(LinForm(0.0, {"x": 1.0}), maximize=True)
+    assert lp.solve().objective == pytest.approx(8.0)
+
+
+def test_free_variables_can_go_negative():
+    lp = LinearProgram()
+    lp.add_unknown("a", nonnegative=False)
+    lp.add_unknown("c", nonnegative=True)
+    lp.add_equality({"a": 1.0, "c": 1.0}, -5.0)
+    lp.set_objective(LinForm(0.0, {"a": 1.0}), maximize=True)
+    assert lp.solve().values["a"] == pytest.approx(-5.0)
+
+
+def test_objective_offset():
+    lp = LinearProgram()
+    lp.add_unknown("x", nonnegative=True)
+    lp.add_equality({"x": 1.0}, 3.0)
+    lp.set_objective(LinForm(7.0, {"x": 1.0}))
+    assert lp.solve().objective == pytest.approx(10.0)
+
+
+def test_infeasible():
+    lp = LinearProgram()
+    lp.add_unknown("x", nonnegative=True)
+    lp.add_equality({"x": 1.0}, -2.0)
+    lp.set_objective(LinForm(0.0, {"x": 1.0}))
+    with pytest.raises(InfeasibleError):
+        lp.solve()
+
+
+def test_unbounded():
+    lp = LinearProgram()
+    lp.add_unknown("a", nonnegative=False)
+    lp.set_objective(LinForm(0.0, {"a": 1.0}), maximize=True)
+    with pytest.raises(UnboundedError):
+        lp.solve()
+
+
+def test_contradictory_constant_row():
+    lp = LinearProgram()
+    lp.add_unknown("x", nonnegative=True)
+    with pytest.raises(InfeasibleError):
+        lp.add_equality({}, 1.0)
+
+
+def test_zero_row_with_zero_rhs_ignored():
+    lp = LinearProgram()
+    lp.add_unknown("x", nonnegative=True)
+    lp.add_equality({"x": 0.0}, 0.0)
+    assert lp.num_equalities == 0
+
+
+def test_unregistered_unknown_rejected():
+    lp = LinearProgram()
+    with pytest.raises(SynthesisError):
+        lp.add_equality({"ghost": 1.0}, 0.0)
+
+
+def test_conflicting_sign_registration_rejected():
+    lp = LinearProgram()
+    lp.add_unknown("x", nonnegative=True)
+    with pytest.raises(SynthesisError):
+        lp.add_unknown("x", nonnegative=False)
+
+
+def test_idempotent_registration():
+    lp = LinearProgram()
+    lp.add_unknown("x", nonnegative=True)
+    lp.add_unknown("x", nonnegative=True)
+    assert lp.num_variables == 1
+
+
+def test_empty_lp_rejected():
+    with pytest.raises(SynthesisError):
+        LinearProgram().solve()
+
+
+def test_solution_indexing():
+    lp = LinearProgram()
+    lp.add_unknown("x", nonnegative=True)
+    lp.add_equality({"x": 2.0}, 4.0)
+    lp.set_objective(LinForm(0.0, {"x": 1.0}))
+    sol = lp.solve()
+    assert sol["x"] == pytest.approx(2.0)

@@ -1,0 +1,101 @@
+"""Pre-expectation tests, reproducing the Figure 9 table exactly."""
+
+import pytest
+
+from repro.core import pre_expectation_cases, pre_expectation_table, pre_expectation_value
+from repro.polynomials import Polynomial
+from repro.semantics import build_cfg
+from repro.syntax import parse_program
+
+X = Polynomial.variable("x")
+Y = Polynomial.variable("y")
+
+#: The h of Example 6.4 / Figure 9 (bottom).
+FIGURE9_H = {
+    1: X * X / 3 + X / 3,
+    2: X * X / 3 + X / 3,
+    3: X * X / 3 + 2 * X / 3,
+    4: X * X / 3 + X * Y + X / 3,
+    5: Polynomial.zero(),
+}
+
+
+class TestFigure9:
+    """pre_h for the running example must match the paper's table."""
+
+    def test_label2_assignment(self, figure2_cfg):
+        (case,) = pre_expectation_cases(figure2_cfg, FIGURE9_H, figure2_cfg.labels[2])
+        # (1/4) h(l3, x+1) + (3/4) h(l3, x-1) = x^2/3 + x/3
+        assert case.poly.almost_equal(X * X / 3 + X / 3)
+
+    def test_label3_assignment(self, figure2_cfg):
+        (case,) = pre_expectation_cases(figure2_cfg, FIGURE9_H, figure2_cfg.labels[3])
+        # (2/3) h(l4, x, 1) + (1/3) h(l4, x, -1) = x^2/3 + 2x/3
+        assert case.poly.almost_equal(X * X / 3 + 2 * X / 3)
+
+    def test_label4_tick(self, figure2_cfg):
+        (case,) = pre_expectation_cases(figure2_cfg, FIGURE9_H, figure2_cfg.labels[4])
+        # x*y + h(l1, x, y)
+        assert case.poly.almost_equal(X * X / 3 + X * Y + X / 3)
+
+    def test_label1_branch_cases(self, figure2_cfg):
+        cases = pre_expectation_cases(figure2_cfg, FIGURE9_H, figure2_cfg.labels[1])
+        assert len(cases) == 2
+        true_case = next(c for c in cases if c.poly == FIGURE9_H[2])
+        assert len(true_case.guard) == 1
+
+    def test_pucs_inequality_holds(self, figure2_cfg):
+        # pre_h(l, v) <= h(l, v) at sample reachable configurations (C3).
+        for x in range(0, 20):
+            for label_id in (1, 2, 3, 4):
+                if label_id == 2 and x < 1:
+                    continue
+                v = {"x": float(x), "y": 1.0}
+                pre = pre_expectation_value(figure2_cfg, FIGURE9_H, label_id, v)
+                h_val = FIGURE9_H[label_id].evaluate_numeric(v)
+                assert pre <= h_val + 1e-9
+
+    def test_plcs_inequality_holds(self, figure2_cfg):
+        # The same h is also a PLCS (Example 6.8): pre_h >= h.
+        for x in range(1, 20):
+            for label_id in (2, 3, 4):
+                v = {"x": float(x), "y": -1.0}
+                pre = pre_expectation_value(figure2_cfg, FIGURE9_H, label_id, v)
+                h_val = FIGURE9_H[label_id].evaluate_numeric(v)
+                assert pre >= h_val - 1e-9
+
+    def test_table_covers_all_labels(self, figure2_cfg):
+        table = pre_expectation_table(figure2_cfg, FIGURE9_H)
+        assert set(table) == {1, 2, 3, 4, 5}
+
+
+class TestValueSemantics:
+    def test_branch_value_follows_guard(self, figure2_cfg):
+        v_in = {"x": 5.0, "y": 0.0}
+        v_out = {"x": 0.0, "y": 0.0}
+        assert pre_expectation_value(figure2_cfg, FIGURE9_H, 1, v_in) == pytest.approx(
+            FIGURE9_H[2].evaluate_numeric(v_in)
+        )
+        assert pre_expectation_value(figure2_cfg, FIGURE9_H, 1, v_out) == 0.0
+
+    def test_terminal_value(self, figure2_cfg):
+        assert pre_expectation_value(figure2_cfg, FIGURE9_H, 5, {"x": 3.0, "y": 1.0}) == 0.0
+
+    def test_nondet_takes_max(self):
+        cfg = build_cfg(parse_program("var x; if * then tick(10) else tick(-10) fi"))
+        h = {1: Polynomial.zero(), 2: Polynomial.constant(10.0), 3: Polynomial.constant(-10.0), 4: Polynomial.zero()}
+        assert pre_expectation_value(cfg, h, 1, {"x": 0.0}) == 10.0
+
+    def test_nondet_cases_tagged_with_choice(self):
+        cfg = build_cfg(parse_program("var x; if * then tick(1) else tick(2) fi"))
+        cases = pre_expectation_cases(cfg, {i: Polynomial.zero() for i in cfg.labels}, cfg.labels[1])
+        assert [c.choice for c in cases] == [0, 1]
+
+    def test_prob_label_blends(self):
+        cfg = build_cfg(parse_program("var x; if prob(0.25) then tick(8) fi"))
+        h = {1: Polynomial.zero(), 2: Polynomial.constant(8.0), 3: Polynomial.zero()}
+        assert pre_expectation_value(cfg, h, 1, {"x": 0.0}) == pytest.approx(2.0)
+
+    def test_tick_adds_cost(self, rdwalk_cfg):
+        h = {i: Polynomial.zero() for i in rdwalk_cfg.labels}
+        assert pre_expectation_value(rdwalk_cfg, h, 3, {"x": 5.0}) == 1.0

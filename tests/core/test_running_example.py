@@ -1,0 +1,81 @@
+"""Appendix E, step by step: the worked synthesis of Example 7.3.
+
+The appendix spells out, for the Figure 2 program with the Figure 9
+invariants, the Gamma sets, the monoid elements with at most two
+multiplicands, and the final solution.  This module replays each step
+against our implementation.
+"""
+
+import pytest
+
+from repro.core import monoid_products, synthesize_plcs, synthesize_pucs
+from repro.invariants import InvariantMap
+from repro.polynomials import Polynomial
+
+X = Polynomial.variable("x")
+Y = Polynomial.variable("y")
+
+
+class TestAppendixE:
+    def test_gamma_label1_true_branch_monoid(self):
+        """(label 1, l' = l2): Gamma = {x, x - 1}, six monoid elements."""
+        products = monoid_products([X, X - 1], 2)
+        expected = [
+            Polynomial.constant(1.0),
+            X,
+            X - 1,
+            X * X - X,
+            X * X,
+            X * X - 2 * X + 1,
+        ]
+        assert len(products) == 6
+        for u in expected:
+            assert any(p == u for p in products)
+
+    def test_gamma_label2_monoid(self):
+        """(label 2): Gamma = {x - 1}, three monoid elements."""
+        products = monoid_products([X - 1], 2)
+        assert len(products) == 3
+
+    def test_gamma_label4_monoid(self):
+        """(label 4): Gamma = {x, 1 - y, 1 + y}, ten elements listed."""
+        products = monoid_products([X, 1 - Y, 1 + Y], 2)
+        assert len(products) == 10
+
+    @pytest.fixture
+    def solved(self, figure2_cfg, figure2_invariants):
+        return synthesize_pucs(figure2_cfg, figure2_invariants, {"x": 100, "y": 0}, degree=2)
+
+    def test_optimal_solution_h1(self, solved):
+        """h(l1) = (1/3)x^2 + (1/3)x."""
+        assert solved.h[1].almost_equal(X * X / 3 + X / 3, tol=1e-6)
+
+    def test_optimal_solution_h4_value(self, solved):
+        """h(l4) = (1/3)x^2 + xy + (1/3)x — checked at sample points (the
+        LP optimum is unique in value, not in every coefficient)."""
+        expected = X * X / 3 + X * Y + X / 3
+        for x in (0.0, 1.0, 50.0, 100.0):
+            for y in (-1.0, 0.0, 1.0):
+                assert solved.h[4].evaluate_numeric({"x": x, "y": y}) == pytest.approx(
+                    expected.evaluate_numeric({"x": x, "y": y}), rel=1e-5, abs=1e-5
+                )
+
+    def test_pucs_equals_plcs(self, figure2_cfg, figure2_invariants):
+        """Appendix E: the same template is both PUCS and PLCS, so the
+        expected cost is exactly (1/3)x0^2 + (1/3)x0 (Remark 8)."""
+        ub = synthesize_pucs(figure2_cfg, figure2_invariants, {"x": 100, "y": 0}, degree=2)
+        lb = synthesize_plcs(figure2_cfg, figure2_invariants, {"x": 100, "y": 0}, degree=2)
+        assert ub.value == pytest.approx(10100 / 3, rel=1e-7)
+        # Our PLCS differs by the exit-region constant 2/3 (Table 3).
+        assert lb.value == pytest.approx(10100 / 3 - 2 / 3, rel=1e-7)
+
+    def test_objective_form(self, figure2_cfg, figure2_invariants):
+        """The objective minimized is h(l1, 100, 0) = 10000 a11 + 100 a13 + a16."""
+        solved = synthesize_pucs(figure2_cfg, figure2_invariants, {"x": 100, "y": 0}, degree=2)
+        assert solved.value == pytest.approx(
+            solved.h[1].evaluate_numeric({"x": 100.0, "y": 0.0}), rel=1e-9
+        )
+
+    def test_paper_reported_value(self, solved):
+        """The paper reports 3366.6 for x0 = 100."""
+        assert solved.value == pytest.approx(3366.6667, abs=0.01)

@@ -1,0 +1,116 @@
+"""Experiment harness tests (with small run counts for speed)."""
+
+import pytest
+
+from repro.experiments import (
+    build_figure,
+    build_table2,
+    build_table4,
+    build_table5,
+    fmt,
+    probabilistic_variant,
+    render_table,
+)
+from repro.experiments.table2 import PAPER_74_UPPER, main as table2_main
+from repro.experiments.table3 import build_table3
+from repro.programs import get_benchmark
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return build_table2()
+
+    def test_fifteen_rows(self, rows):
+        assert len(rows) == 15
+
+    def test_all_have_upper_bound(self, rows):
+        assert all(r.our_upper for r in rows)
+
+    def test_paper_column_complete(self, rows):
+        assert all(r.paper_74 for r in rows)
+        assert set(PAPER_74_UPPER) == {r.benchmark for r in rows}
+
+    def test_baseline_refuses_variable_cost_programs(self, rows):
+        by_name = {r.benchmark: r for r in rows}
+        for name in ("pol04", "pol05", "trader"):
+            assert by_name[name].baseline_upper is None
+
+    def test_lower_bounds_where_regime_admits(self, rows):
+        by_name = {r.benchmark: r for r in rows}
+        assert by_name["ber"].our_lower is not None
+        assert by_name["rdbub"].our_lower == "0"
+
+    def test_renders(self):
+        assert "Table 2" in table2_main()
+
+
+class TestTable3:
+    def test_rows_for_fast_subset(self):
+        benches = [get_benchmark(n) for n in ("simple_loop", "random_walk")]
+        rows = build_table3(benches)
+        assert [r.benchmark for r in rows] == ["simple_loop", "random_walk"]
+        assert all(r.upper for r in rows)
+        assert all(r.runtime > 0 for r in rows)
+
+
+class TestTable4:
+    def test_bitcoin_rows_have_no_simulation(self):
+        rows = build_table4(runs=10, benchmarks=[get_benchmark("bitcoin_mining")])
+        assert len(rows) == 3
+        assert all(r.sim_mean is None for r in rows)
+
+    def test_simulable_rows_bracket(self):
+        rows = build_table4(runs=150, benchmarks=[get_benchmark("simple_loop")])
+        for row in rows:
+            assert row.sim_mean is not None
+            assert row.bracket_ok(slack=4 * row.sim_std / (150**0.5))
+
+
+class TestTable5:
+    def test_bitcoin_becomes_simulable(self):
+        rows = build_table5(runs=30, benchmarks=[get_benchmark("bitcoin_mining")])
+        assert all(r.sim_mean is not None for r in rows)
+        assert all(r.benchmark == "bitcoin_mining_prob" for r in rows)
+
+    def test_probabilistic_variant_identity_for_prob_programs(self):
+        bench = get_benchmark("simple_loop")
+        assert probabilistic_variant(bench) is bench
+
+    def test_probabilistic_variant_bounds_still_synthesize(self):
+        variant = probabilistic_variant(get_benchmark("bitcoin_mining"))
+        result = variant.analyze()
+        assert result.upper is not None
+        # prob(0.5) reward acceptance: per-iteration expected cost is
+        # 1 - 0.0005*5000*(0.99 + 0.01*0.5) = -1.4875.
+        assert result.upper.value == pytest.approx(1.4875 - 1.4875 * 100, rel=1e-6)
+
+
+class TestFigures:
+    def test_series_bracketing(self):
+        series = build_figure(get_benchmark("random_walk"), points=5, runs=120)
+        assert len(series.xs) == 5
+        assert series.figure_number == 21
+        assert not series.bracketing_violations(slack=6.0)
+
+    def test_plot_renders(self):
+        from repro.experiments.figures import render_figure
+
+        series = build_figure(get_benchmark("random_walk"), points=4, runs=40)
+        text = render_figure(series)
+        assert "Figure 21" in text
+        assert "PUCS" in text
+
+
+class TestFormatting:
+    def test_fmt(self):
+        assert fmt(None) == "-"
+        assert fmt(0) == "0"
+        assert fmt(12345.0) == "1.23e+04"
+        assert fmt(1.5) == "1.5"
+
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])

@@ -1,0 +1,57 @@
+"""InvariantMap annotation tests."""
+
+import pytest
+
+from repro.errors import InvariantError
+from repro.invariants import InvariantMap
+
+
+class TestInvariantMap:
+    def test_trivial_defaults_to_whole_space(self, figure2_cfg):
+        inv = InvariantMap.trivial()
+        assert inv.get(1).is_whole_space()
+
+    def test_from_strings(self, figure2_cfg):
+        inv = InvariantMap.from_strings(figure2_cfg, {1: "x >= 0"})
+        assert 1 in inv
+        assert 2 not in inv
+        assert inv.get(1).contains({"x": 0.0, "y": 0.0})
+
+    def test_unknown_label_rejected(self, figure2_cfg):
+        with pytest.raises(InvariantError):
+            InvariantMap.from_strings(figure2_cfg, {42: "x >= 0"})
+
+    def test_uniform(self, figure2_cfg):
+        inv = InvariantMap.uniform(figure2_cfg, "x >= 0")
+        for label in figure2_cfg.nonterminal_labels():
+            assert label.id in inv
+
+    def test_set_and_conjoin(self, figure2_cfg):
+        inv = InvariantMap.trivial()
+        inv.set(1, "x >= 0")
+        inv.conjoin(1, "x <= 5")
+        region = inv.get(1)
+        assert region.contains({"x": 3.0})
+        assert not region.contains({"x": 6.0})
+
+    def test_merge(self, figure2_cfg):
+        a = InvariantMap.from_strings(figure2_cfg, {1: "x >= 0"})
+        b = InvariantMap.from_strings(figure2_cfg, {1: "x <= 10", 2: "x >= 1"})
+        merged = a.merge(b)
+        assert not merged.get(1).contains({"x": 11.0, "y": 0.0})
+        assert 2 in merged
+
+    def test_disjunctive_annotation(self, figure2_cfg):
+        inv = InvariantMap.from_strings(figure2_cfg, {1: "x >= 1 or x <= 0"})
+        assert len(inv.get(1)) == 2
+
+    def test_validate_by_simulation_passes(self, figure2_cfg, figure2_invariants):
+        figure2_invariants.validate_by_simulation(figure2_cfg, {"x": 10, "y": 0}, runs=20)
+
+    def test_validate_by_simulation_catches_wrong_invariant(self, figure2_cfg):
+        wrong = InvariantMap.from_strings(figure2_cfg, {2: "x >= 100"})
+        with pytest.raises(InvariantError):
+            wrong.validate_by_simulation(figure2_cfg, {"x": 10, "y": 0}, runs=20)
+
+    def test_repr(self, figure2_cfg, figure2_invariants):
+        assert "1:" in repr(figure2_invariants)

@@ -1,0 +1,102 @@
+"""Interval abstract-interpretation tests."""
+
+import math
+
+import pytest
+
+from repro.invariants import Interval, generate_interval_invariants
+from repro.semantics import build_cfg
+from repro.syntax import parse_program
+
+
+class TestInterval:
+    def test_point(self):
+        i = Interval.point(3.0)
+        assert i.lo == i.hi == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_join(self):
+        assert Interval(0, 1).join(Interval(2, 3)) == Interval(0, 3)
+
+    def test_meet(self):
+        assert Interval(0, 2).meet(Interval(1, 3)) == Interval(1, 2)
+        assert Interval(0, 1).meet(Interval(2, 3)) is None
+
+    def test_widen(self):
+        w = Interval(0, 1).widen(Interval(-1, 2))
+        assert w.lo == -math.inf and w.hi == math.inf
+        stable = Interval(0, 1).widen(Interval(0, 1))
+        assert stable == Interval(0, 1)
+
+    def test_add(self):
+        assert Interval(1, 2).add(Interval(3, 4)) == Interval(4, 6)
+
+    def test_scale_negative(self):
+        assert Interval(1, 2).scale(-3) == Interval(-6, -3)
+
+    def test_mul_mixed_signs(self):
+        assert Interval(-1, 2).mul(Interval(-3, 1)) == Interval(-6, 3)
+
+    def test_power_even(self):
+        p = Interval(-2, 1).power(2)
+        assert p.lo <= 0 <= 4 <= p.hi or p == Interval(-2, 4)  # sound over-approx
+
+    def test_infinite_scale_no_nan(self):
+        i = Interval(-math.inf, math.inf).scale(0.0)
+        assert not math.isnan(i.lo) and not math.isnan(i.hi)
+
+
+class TestGeneration:
+    def test_straight_line(self):
+        cfg = build_cfg(parse_program("var x, y; x := 3; y := x + 1; tick(y)"))
+        inv = generate_interval_invariants(cfg, {"x": 0, "y": 0})
+        tick_region = inv.get(3)
+        assert tick_region.contains({"x": 3.0, "y": 4.0})
+        assert not tick_region.contains({"x": 3.0, "y": 5.0})
+
+    def test_loop_guard_recovered(self, rdwalk_cfg):
+        inv = generate_interval_invariants(rdwalk_cfg, {"x": 10})
+        # Inside the loop body, the guard x >= 1 must be known.
+        assert not inv.get(2).contains({"x": 0.0})
+        assert inv.get(2).contains({"x": 1.0})
+
+    def test_invariant_sound_along_runs(self, rdwalk_cfg):
+        inv = generate_interval_invariants(rdwalk_cfg, {"x": 10})
+        inv.validate_by_simulation(rdwalk_cfg, {"x": 10}, runs=50)
+
+    def test_exit_region_bounded(self, rdwalk_cfg):
+        inv = generate_interval_invariants(rdwalk_cfg, {"x": 10})
+        exit_region = inv.get(rdwalk_cfg.exit)
+        assert not exit_region.contains({"x": 5.0})  # loop cannot exit with x = 5
+
+    def test_branch_refinement(self):
+        cfg = build_cfg(parse_program("var x; if x >= 3 then tick(x) else tick(-x) fi"))
+        inv = generate_interval_invariants(cfg, {"x": 10})
+        assert inv.get(2).contains({"x": 10.0})
+
+    def test_unreachable_branch_has_no_entry(self):
+        cfg = build_cfg(parse_program("var x; if x >= 100 then tick(1) else tick(2) fi"))
+        inv = generate_interval_invariants(cfg, {"x": 1})
+        # The then-branch (label 2) is unreachable from x = 1.
+        assert 2 not in inv
+
+    def test_sampling_bounds_used(self):
+        cfg = build_cfg(parse_program("var x; sample r ~ unifint(1, 3); x := r; tick(x)"))
+        inv = generate_interval_invariants(cfg, {"x": 0})
+        region = inv.get(2)
+        assert region.contains({"x": 2.0})
+        assert not region.contains({"x": 4.0})
+
+    def test_nondet_branches_both_covered(self):
+        cfg = build_cfg(parse_program("var x; if * then x := 1 else x := 2 fi; tick(x)"))
+        inv = generate_interval_invariants(cfg, {"x": 0})
+        final = inv.get(4)
+        assert final.contains({"x": 1.0}) and final.contains({"x": 2.0})
+
+    def test_terminates_on_diverging_loop(self):
+        cfg = build_cfg(parse_program("var x; while x >= 0 do x := x + 1 od"))
+        inv = generate_interval_invariants(cfg, {"x": 0})
+        assert inv.get(2).contains({"x": 1e9})

@@ -1,0 +1,102 @@
+"""Polyhedron and Region tests."""
+
+import pytest
+
+from repro.errors import InvariantError, NonLinearError
+from repro.invariants import Polyhedron, Region
+from repro.polynomials import Polynomial
+from repro.syntax import parse_condition
+
+X = Polynomial.variable("x")
+Y = Polynomial.variable("y")
+
+
+class TestPolyhedron:
+    def test_whole_space(self):
+        p = Polyhedron.whole_space()
+        assert p.is_whole_space()
+        assert p.contains({"x": -100.0})
+
+    def test_contains(self):
+        p = Polyhedron([X, 1 - X])  # 0 <= x <= 1
+        assert p.contains({"x": 0.5})
+        assert not p.contains({"x": 2.0})
+
+    def test_contains_tolerance(self):
+        p = Polyhedron([X])
+        assert p.contains({"x": -1e-12})
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(NonLinearError):
+            Polyhedron([X * X])
+
+    def test_symbolic_rejected(self):
+        from repro.polynomials import LinForm
+
+        with pytest.raises(NonLinearError):
+            Polyhedron([Polynomial.constant(LinForm.unknown("a"))])
+
+    def test_trivially_true_constants_dropped(self):
+        p = Polyhedron([Polynomial.constant(1.0), X])
+        assert len(p) == 1
+
+    def test_unsatisfiable_constant_rejected(self):
+        with pytest.raises(InvariantError):
+            Polyhedron([Polynomial.constant(-1.0)])
+
+    def test_duplicates_dropped(self):
+        p = Polyhedron([X, X])
+        assert len(p) == 1
+
+    def test_conjoin(self):
+        p = Polyhedron([X]).conjoin(Polyhedron([Y]))
+        assert len(p) == 2
+        assert p.variables() == frozenset({"x", "y"})
+
+    def test_from_condition_conjunctive(self):
+        p = Polyhedron.from_condition(parse_condition("x >= 0 and y >= 1"))
+        assert len(p) == 2
+
+    def test_from_condition_strict_relaxed(self):
+        p = Polyhedron.from_condition(parse_condition("x > 0"))
+        assert p.contains({"x": 0.0})  # relaxed to closure
+
+    def test_from_condition_disjunction_rejected(self):
+        with pytest.raises(InvariantError):
+            Polyhedron.from_condition(parse_condition("x >= 0 or y >= 0"))
+
+
+class TestRegion:
+    def test_whole_space(self):
+        assert Region.whole_space().is_whole_space()
+
+    def test_from_disjunctive_condition(self):
+        r = Region.from_condition(parse_condition("x >= 1 or x <= -1"))
+        assert len(r) == 2
+        assert r.contains({"x": 2.0})
+        assert r.contains({"x": -2.0})
+        assert not r.contains({"x": 0.0})
+
+    def test_false_condition_rejected(self):
+        from repro.syntax import BoolConst
+
+        with pytest.raises(InvariantError):
+            Region.from_condition(BoolConst(False))
+
+    def test_conjoin_cross_product(self):
+        r1 = Region.from_condition(parse_condition("x >= 1 or x <= -1"))
+        r2 = Region.from_condition(parse_condition("y >= 0 or y <= -5"))
+        assert len(r1.conjoin(r2)) == 4
+
+    def test_of_single_polyhedron(self):
+        r = Region.of(Polyhedron([X]))
+        assert len(r) == 1
+        assert r.contains({"x": 1.0})
+
+    def test_variables(self):
+        r = Region.from_condition(parse_condition("x >= 0 or y >= 0"))
+        assert r.variables() == frozenset({"x", "y"})
+
+    def test_iteration(self):
+        r = Region.from_condition(parse_condition("x >= 0 or x <= -2"))
+        assert all(isinstance(p, Polyhedron) for p in r)

@@ -1,0 +1,65 @@
+"""Tests for the expectation operator over sampling variables."""
+
+import random
+
+import pytest
+
+from repro.polynomials import Polynomial, expectation
+from repro.semantics.distributions import (
+    BernoulliDistribution,
+    DiscreteDistribution,
+    UniformDistribution,
+)
+
+X = Polynomial.variable("x")
+R = Polynomial.variable("r")
+
+
+class TestExpectation:
+    def test_no_distributions_is_identity(self):
+        p = X + R
+        assert expectation(p, {}) is p
+
+    def test_linear(self):
+        dist = DiscreteDistribution([1, -1], [0.25, 0.75])
+        assert expectation(X + R, {"r": dist}) == X - 0.5
+
+    def test_square_uses_second_moment(self):
+        dist = DiscreteDistribution([1, -1], [0.25, 0.75])
+        # E[(x + r)^2] = x^2 + 2 x E[r] + E[r^2] = x^2 - x + 1
+        assert expectation((X + R) ** 2, {"r": dist}) == X * X - X + 1
+
+    def test_program_variables_untouched(self):
+        dist = BernoulliDistribution(0.5)
+        result = expectation(X * R, {"r": dist})
+        assert result == X * 0.5
+
+    def test_independent_product(self):
+        d1 = DiscreteDistribution([0, 2], [0.5, 0.5])
+        d2 = DiscreteDistribution([1, 3], [0.5, 0.5])
+        p = Polynomial.variable("r") * Polynomial.variable("s")
+        assert expectation(p, {"r": d1, "s": d2}) == Polynomial.constant(2.0)
+
+    def test_uniform_moments(self):
+        dist = UniformDistribution(0, 1)
+        assert expectation(R, {"r": dist}) == Polynomial.constant(0.5)
+        assert expectation(R * R, {"r": dist}).constant_term() == pytest.approx(1 / 3)
+
+    def test_constant_polynomial(self):
+        dist = BernoulliDistribution(0.3)
+        assert expectation(Polynomial.constant(7.0), {"r": dist}) == 7.0
+
+    def test_expectation_is_linear(self):
+        dist = DiscreteDistribution([1, 2, 3], [0.2, 0.3, 0.5])
+        p, q = R * R + X, R - 2
+        lhs = expectation(p + q, {"r": dist})
+        rhs = expectation(p, {"r": dist}) + expectation(q, {"r": dist})
+        assert lhs.almost_equal(rhs)
+
+    def test_matches_monte_carlo(self):
+        dist = DiscreteDistribution([1, -1, 0], [0.3, 0.3, 0.4])
+        p = (R + 1) ** 3
+        exact = expectation(p, {"r": dist}).evaluate_numeric({})
+        rng = random.Random(42)
+        samples = [p.evaluate_numeric({"r": dist.sample(rng)}) for _ in range(40_000)]
+        assert sum(samples) / len(samples) == pytest.approx(exact, rel=0.05)

@@ -1,0 +1,96 @@
+"""Tests for affine forms over LP unknowns."""
+
+import pytest
+
+from repro.errors import NonLinearError
+from repro.polynomials import LinForm
+from repro.polynomials.linform import cadd, cis_zero, cmul, cneg
+
+
+class TestConstruction:
+    def test_constant(self):
+        f = LinForm.constant(3.5)
+        assert f.is_constant()
+        assert f.const == 3.5
+
+    def test_unknown(self):
+        f = LinForm.unknown("a")
+        assert not f.is_constant()
+        assert f.terms == {"a": 1.0}
+
+    def test_zero_coefficients_dropped(self):
+        assert LinForm(1.0, {"a": 0.0}).is_constant()
+
+    def test_is_zero(self):
+        assert LinForm().is_zero()
+        assert not LinForm(1.0).is_zero()
+        assert not LinForm.unknown("a").is_zero()
+
+
+class TestAlgebra:
+    def test_add(self):
+        f = LinForm(1.0, {"a": 2.0}) + LinForm(2.0, {"a": 1.0, "b": 1.0})
+        assert f == LinForm(3.0, {"a": 3.0, "b": 1.0})
+
+    def test_add_scalar(self):
+        assert LinForm.unknown("a") + 2 == LinForm(2.0, {"a": 1.0})
+
+    def test_radd(self):
+        assert 2 + LinForm.unknown("a") == LinForm(2.0, {"a": 1.0})
+
+    def test_sub(self):
+        f = LinForm.unknown("a") - LinForm.unknown("a")
+        assert f.is_zero()
+
+    def test_rsub(self):
+        assert 1.0 - LinForm.unknown("a") == LinForm(1.0, {"a": -1.0})
+
+    def test_neg(self):
+        assert -LinForm(1.0, {"a": 2.0}) == LinForm(-1.0, {"a": -2.0})
+
+    def test_scalar_mul(self):
+        assert LinForm(1.0, {"a": 2.0}) * 3 == LinForm(3.0, {"a": 6.0})
+
+    def test_mul_by_constant_linform(self):
+        assert LinForm.unknown("a") * LinForm.constant(2.0) == LinForm(0.0, {"a": 2.0})
+
+    def test_symbolic_product_rejected(self):
+        with pytest.raises(NonLinearError):
+            LinForm.unknown("a") * LinForm.unknown("b")
+
+    def test_division(self):
+        assert LinForm(2.0, {"a": 4.0}) / 2 == LinForm(1.0, {"a": 2.0})
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        f = LinForm(1.0, {"a": 2.0, "b": -1.0})
+        assert f.evaluate({"a": 3.0, "b": 4.0}) == 1.0 + 6.0 - 4.0
+
+    def test_unknowns(self):
+        assert LinForm(0, {"a": 1, "b": 2}).unknowns() == frozenset({"a", "b"})
+
+
+class TestCoeffHelpers:
+    def test_cadd_numeric(self):
+        assert cadd(1.0, 2.0) == 3.0
+        assert isinstance(cadd(1.0, 2.0), float)
+
+    def test_cadd_mixed(self):
+        assert cadd(1.0, LinForm.unknown("a")) == LinForm(1.0, {"a": 1.0})
+
+    def test_cmul_mixed(self):
+        assert cmul(LinForm.unknown("a"), 2.0) == LinForm(0.0, {"a": 2.0})
+
+    def test_cneg(self):
+        assert cneg(2.0) == -2.0
+        assert cneg(LinForm.unknown("a")) == LinForm(0.0, {"a": -1.0})
+
+    def test_cis_zero(self):
+        assert cis_zero(0.0)
+        assert cis_zero(LinForm())
+        assert not cis_zero(LinForm.unknown("a"))
+
+    def test_str_rendering(self):
+        assert str(LinForm(0.0, {"a": 1.0})) == "a"
+        assert "2*a" in str(LinForm(0.0, {"a": 2.0}))

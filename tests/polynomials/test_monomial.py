@@ -1,0 +1,142 @@
+"""Unit and property tests for monomials."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.polynomials import Monomial, monomials_up_to_degree
+
+names = st.sampled_from(["x", "y", "z", "w"])
+powers = st.dictionaries(names, st.integers(min_value=1, max_value=5), max_size=4)
+
+
+class TestConstruction:
+    def test_one_is_empty(self):
+        assert Monomial.one().is_constant()
+        assert Monomial.one().degree() == 0
+
+    def test_variable(self):
+        m = Monomial.variable("x")
+        assert m.degree() == 1
+        assert m.degree_in("x") == 1
+        assert m.degree_in("y") == 0
+
+    def test_variable_with_exponent(self):
+        assert Monomial.variable("x", 3).degree() == 3
+
+    def test_zero_exponents_dropped(self):
+        assert Monomial({"x": 0}) == Monomial.one()
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            Monomial({"x": -1})
+
+    def test_from_pairs(self):
+        m = Monomial([("y", 2), ("x", 1)])
+        assert m.powers == (("x", 1), ("y", 2))
+
+    def test_variables(self):
+        assert Monomial({"x": 1, "y": 2}).variables() == frozenset({"x", "y"})
+
+
+class TestAlgebra:
+    def test_multiplication_adds_exponents(self):
+        m = Monomial({"x": 1}) * Monomial({"x": 2, "y": 1})
+        assert m == Monomial({"x": 3, "y": 1})
+
+    def test_multiplication_with_one(self):
+        m = Monomial({"x": 2})
+        assert m * Monomial.one() == m
+
+    def test_multiplication_commutes(self):
+        a, b = Monomial({"x": 1}), Monomial({"y": 2})
+        assert a * b == b * a
+
+    def test_power(self):
+        assert Monomial({"x": 2, "y": 1}) ** 3 == Monomial({"x": 6, "y": 3})
+
+    def test_power_zero(self):
+        assert Monomial({"x": 2}) ** 0 == Monomial.one()
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            Monomial({"x": 1}) ** -1
+
+    def test_without(self):
+        assert Monomial({"x": 1, "y": 2}).without("x") == Monomial({"y": 2})
+
+    def test_without_absent_variable(self):
+        m = Monomial({"x": 1})
+        assert m.without("z") == m
+
+
+class TestEvaluation:
+    def test_constant_evaluates_to_one(self):
+        assert Monomial.one().evaluate({}) == 1.0
+
+    def test_simple(self):
+        assert Monomial({"x": 2, "y": 1}).evaluate({"x": 3.0, "y": 2.0}) == 18.0
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            Monomial({"x": 1}).evaluate({})
+
+
+class TestOrdering:
+    def test_graded_order(self):
+        assert Monomial.one() < Monomial({"x": 1}) < Monomial({"x": 2})
+
+    def test_same_degree_lexicographic(self):
+        assert Monomial({"x": 1}) < Monomial({"y": 1})
+
+    def test_hashable_and_equal(self):
+        assert hash(Monomial({"x": 1, "y": 1})) == hash(Monomial({"y": 1, "x": 1}))
+
+    def test_str(self):
+        assert str(Monomial.one()) == "1"
+        assert str(Monomial({"x": 2, "y": 1})) == "x^2*y"
+
+
+class TestBasis:
+    def test_degree_zero(self):
+        assert monomials_up_to_degree(["x", "y"], 0) == [Monomial.one()]
+
+    def test_degree_one_count(self):
+        assert len(monomials_up_to_degree(["x", "y"], 1)) == 3
+
+    def test_degree_two_count(self):
+        # 1, x, y, x^2, xy, y^2
+        assert len(monomials_up_to_degree(["x", "y"], 2)) == 6
+
+    def test_basis_size_formula(self):
+        # C(n + d, d) monomials of degree <= d in n variables.
+        from math import comb
+
+        for n_vars, degree in [(1, 4), (2, 3), (3, 3), (4, 2)]:
+            names_list = [f"v{i}" for i in range(n_vars)]
+            assert len(monomials_up_to_degree(names_list, degree)) == comb(n_vars + degree, degree)
+
+    def test_basis_unique(self):
+        basis = monomials_up_to_degree(["x", "y", "z"], 3)
+        assert len(basis) == len(set(basis))
+
+
+@given(powers, powers)
+def test_mul_degree_additive(p1, p2):
+    m1, m2 = Monomial(p1), Monomial(p2)
+    assert (m1 * m2).degree() == m1.degree() + m2.degree()
+
+
+@given(powers, powers, powers)
+def test_mul_associative(p1, p2, p3):
+    m1, m2, m3 = Monomial(p1), Monomial(p2), Monomial(p3)
+    assert (m1 * m2) * m3 == m1 * (m2 * m3)
+
+
+@given(powers, st.integers(min_value=0, max_value=4))
+def test_power_matches_repeated_mul(p, k):
+    m = Monomial(p)
+    expected = Monomial.one()
+    for _ in range(k):
+        expected = expected * m
+    assert m**k == expected

@@ -1,0 +1,134 @@
+"""CFG construction tests, including the paper's label numbering."""
+
+import pytest
+
+from repro.errors import CFGError
+from repro.semantics import build_cfg
+from repro.semantics.cfg import (
+    AssignLabel,
+    BranchLabel,
+    NondetLabel,
+    ProbLabel,
+    TerminalLabel,
+    TickLabel,
+)
+from repro.syntax import parse_program
+
+
+class TestFigure2Numbering:
+    """The CFG of Figure 2 must match the paper: labels 1-5."""
+
+    @pytest.fixture
+    def cfg(self, figure2_cfg):
+        return figure2_cfg
+
+    def test_label_count(self, cfg):
+        assert len(cfg) == 5
+
+    def test_entry_and_exit(self, cfg):
+        assert cfg.entry == 1
+        assert cfg.exit == 5
+
+    def test_kinds_in_order(self, cfg):
+        kinds = [cfg.labels[i].kind for i in range(1, 6)]
+        assert kinds == ["branch", "assign", "assign", "tick", "terminal"]
+
+    def test_while_wiring(self, cfg):
+        head = cfg.labels[1]
+        assert isinstance(head, BranchLabel)
+        assert head.is_loop_head
+        assert head.succ_true == 2
+        assert head.succ_false == 5
+
+    def test_loop_back_edge(self, cfg):
+        assert cfg.labels[4].succ == 1
+
+    def test_predecessors(self, cfg):
+        assert set(cfg.predecessors(1)) == {4}
+        assert cfg.predecessors(5) == [1]
+
+
+class TestConstruction:
+    def test_skip_program(self):
+        cfg = build_cfg(parse_program("skip"))
+        assert cfg.entry == cfg.exit
+        assert len(cfg) == 1
+
+    def test_skip_elided_in_branches(self):
+        cfg = build_cfg(parse_program("var x; if x >= 0 then x := 1 fi"))
+        branch = cfg.labels[cfg.entry]
+        assert branch.succ_false == cfg.exit
+
+    def test_nondet_label(self):
+        cfg = build_cfg(parse_program("var x; if * then x := 1 else x := 2 fi"))
+        assert isinstance(cfg.labels[1], NondetLabel)
+        assert len(cfg.nondet_labels()) == 1
+
+    def test_prob_label(self):
+        cfg = build_cfg(parse_program("var x; if prob(0.3) then x := 1 fi"))
+        label = cfg.labels[1]
+        assert isinstance(label, ProbLabel)
+        assert label.succ_else == cfg.exit
+
+    def test_tick_labels(self):
+        cfg = build_cfg(parse_program("var x; tick(1); tick(x)"))
+        assert len(cfg.tick_labels()) == 2
+
+    def test_sequence_order(self):
+        cfg = build_cfg(parse_program("var x; x := 1; x := 2; x := 3"))
+        assert [cfg.labels[i].kind for i in (1, 2, 3)] == ["assign"] * 3
+        assert cfg.labels[1].succ == 2
+        assert cfg.labels[3].succ == cfg.exit
+
+    def test_nested_loop_numbering(self):
+        source = """
+        var i, x;
+        while i >= 1 do
+            x := i;
+            while x >= 1 do
+                x := x - 1
+            od;
+            i := i - 1
+        od
+        """
+        cfg = build_cfg(parse_program(source))
+        assert cfg.labels[1].kind == "branch"
+        assert cfg.labels[2].kind == "assign"  # x := i
+        assert cfg.labels[3].kind == "branch"  # inner while
+        assert cfg.labels[4].kind == "assign"  # x := x - 1
+        assert cfg.labels[5].kind == "assign"  # i := i - 1
+        assert cfg.labels[3].succ_false == 5
+
+    def test_if_else_branch_ordering(self):
+        cfg = build_cfg(parse_program("var x; if x >= 0 then x := 1 else x := 2 fi; tick(1)"))
+        branch = cfg.labels[1]
+        assert branch.succ_true == 2
+        assert branch.succ_false == 3
+        assert cfg.labels[2].succ == cfg.labels[3].succ == 4
+
+    def test_every_successor_exists(self):
+        from repro.programs import all_benchmarks
+
+        for bench in all_benchmarks():
+            cfg = bench.cfg
+            ids = set(cfg.labels)
+            for label in cfg:
+                assert all(s in ids for s in label.successors())
+
+    def test_terminal_has_no_successors(self, figure2_cfg):
+        assert figure2_cfg.labels[figure2_cfg.exit].successors() == ()
+
+    def test_unknown_label_lookup(self, figure2_cfg):
+        with pytest.raises(CFGError):
+            figure2_cfg.label(99)
+
+    def test_pretty_contains_all_labels(self, figure2_cfg):
+        text = figure2_cfg.pretty()
+        for i in range(1, 6):
+            assert f"{i}:" in text
+
+    def test_to_networkx(self, figure2_cfg):
+        graph = figure2_cfg.to_networkx()
+        assert graph.number_of_nodes() == 5
+        assert graph.has_edge(4, 1)
+        assert graph.has_edge(1, 5)

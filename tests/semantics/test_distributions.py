@@ -1,0 +1,175 @@
+"""Distribution tests: moments, support bounds, sampling statistics."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semantics.distributions import (
+    BernoulliDistribution,
+    BinomialDistribution,
+    DiscreteDistribution,
+    PointDistribution,
+    UniformDistribution,
+    UniformIntDistribution,
+)
+
+
+class TestDiscrete:
+    def test_moments(self):
+        d = DiscreteDistribution([1, -1], [0.25, 0.75])
+        assert d.moment(0) == 1.0
+        assert d.moment(1) == pytest.approx(-0.5)
+        assert d.moment(2) == pytest.approx(1.0)
+        assert d.moment(3) == pytest.approx(-0.5)
+
+    def test_mean_variance(self):
+        d = DiscreteDistribution([0, 10], [0.5, 0.5])
+        assert d.mean() == 5.0
+        assert d.variance() == 25.0
+
+    def test_support_bounds(self):
+        assert DiscreteDistribution([3, -2, 7], [0.2, 0.3, 0.5]).support_bounds() == (-2, 7)
+
+    def test_duplicate_values_merged(self):
+        d = DiscreteDistribution([1, 1], [0.5, 0.5])
+        assert d.values == (1.0,)
+        assert d.probs == (1.0,)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution([1, 2], [0.5, 0.4])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution([1, 2], [-0.5, 1.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution([], [])
+
+    def test_negative_moment_order_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution([1], [1.0]).moment(-1)
+
+    def test_sampling_frequency(self):
+        d = DiscreteDistribution([0, 1], [0.3, 0.7])
+        rng = random.Random(0)
+        mean = sum(d.sample(rng) for _ in range(20_000)) / 20_000
+        assert mean == pytest.approx(0.7, abs=0.02)
+
+    def test_is_bounded(self):
+        assert DiscreteDistribution([1, 2], [0.5, 0.5]).is_bounded()
+
+
+class TestBernoulli:
+    def test_moments_all_equal_p(self):
+        d = BernoulliDistribution(0.3)
+        for k in range(1, 5):
+            assert d.moment(k) == pytest.approx(0.3)
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            BernoulliDistribution(1.5)
+
+
+class TestBinomial:
+    def test_mean(self):
+        assert BinomialDistribution(10, 0.3).mean() == pytest.approx(3.0)
+
+    def test_variance(self):
+        assert BinomialDistribution(10, 0.3).variance() == pytest.approx(2.1)
+
+    def test_support(self):
+        assert BinomialDistribution(5, 0.5).support_bounds() == (0.0, 5.0)
+
+    def test_degenerate(self):
+        assert BinomialDistribution(0, 0.5).mean() == 0.0
+
+    def test_probabilities_sum(self):
+        d = BinomialDistribution(8, 0.37)
+        assert sum(d.probs) == pytest.approx(1.0)
+
+
+class TestUniform:
+    def test_mean(self):
+        assert UniformDistribution(1, 3).mean() == pytest.approx(2.0)
+
+    def test_second_moment(self):
+        # E[X^2] on [1, 3] is (27 - 1) / (3 * 2) = 13/3.
+        assert UniformDistribution(1, 3).moment(2) == pytest.approx(13 / 3)
+
+    def test_moment_zero(self):
+        assert UniformDistribution(0, 1).moment(0) == 1.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            UniformDistribution(3, 1)
+
+    def test_sampling_in_support(self):
+        d = UniformDistribution(-2, 5)
+        rng = random.Random(1)
+        assert all(-2 <= d.sample(rng) <= 5 for _ in range(1000))
+
+    def test_moment_matches_quadrature(self):
+        d = UniformDistribution(0.5, 2.5)
+        for k in range(1, 6):
+            n = 200_000
+            approx = sum(
+                (0.5 + (i + 0.5) * 2.0 / n) ** k for i in range(n)
+            ) / n
+            assert d.moment(k) == pytest.approx(approx, rel=1e-4)
+
+
+class TestUniformInt:
+    def test_mean(self):
+        assert UniformIntDistribution(1, 10).mean() == pytest.approx(5.5)
+
+    def test_second_moment(self):
+        # E[X^2] for uniform{1..10} = 385/10.
+        assert UniformIntDistribution(1, 10).moment(2) == pytest.approx(38.5)
+
+    def test_single_point(self):
+        d = UniformIntDistribution(4, 4)
+        assert d.mean() == 4.0
+        assert d.variance() == pytest.approx(0.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            UniformIntDistribution(5, 4)
+
+
+class TestPoint:
+    def test_moments(self):
+        d = PointDistribution(3.0)
+        assert d.moment(2) == 9.0
+        assert d.variance() == pytest.approx(0.0)
+
+    def test_sample_is_constant(self):
+        d = PointDistribution(-2.5)
+        assert d.sample(random.Random(0)) == -2.5
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(-5, 5).map(float), st.floats(0.01, 1.0)), min_size=1, max_size=6
+    )
+)
+@settings(max_examples=50)
+def test_discrete_variance_nonnegative(pairs):
+    values = [v for v, _ in pairs]
+    weights = [w for _, w in pairs]
+    total = sum(weights)
+    d = DiscreteDistribution(values, [w / total for w in weights])
+    assert d.variance() >= -1e-9
+
+
+@given(st.floats(-5, 5), st.floats(0.1, 5))
+@settings(max_examples=50)
+def test_uniform_moments_within_support_bounds(a, width):
+    d = UniformDistribution(a, a + width)
+    lo, hi = d.support_bounds()
+    assert lo <= d.mean() <= hi
+    assert math.isfinite(d.moment(4))

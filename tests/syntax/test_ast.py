@@ -1,0 +1,146 @@
+"""AST tests: boolean normal forms, statement helpers, validation."""
+
+import pytest
+
+from repro.errors import SemanticsError
+from repro.polynomials import Polynomial
+from repro.syntax import (
+    And,
+    Assign,
+    Atom,
+    BoolConst,
+    Not,
+    Or,
+    ProbIf,
+    Seq,
+    Skip,
+    Tick,
+    parse_condition,
+    parse_program,
+)
+
+X = Polynomial.variable("x")
+Y = Polynomial.variable("y")
+
+
+class TestAtoms:
+    def test_compare_ge(self):
+        atom = Atom.compare(X, ">=", Polynomial.constant(1.0))
+        assert atom.evaluate({"x": 1.0})
+        assert not atom.strict
+
+    def test_compare_lt_is_strict(self):
+        atom = Atom.compare(X, "<", Polynomial.constant(1.0))
+        assert atom.strict
+        assert atom.evaluate({"x": 0.999})
+        assert not atom.evaluate({"x": 1.0})
+
+    def test_negation_flips_strictness(self):
+        atom = Atom(X, strict=False)  # x >= 0
+        neg = atom.negate()  # -x > 0
+        assert neg.strict
+        assert neg.evaluate({"x": -1.0})
+        assert not neg.evaluate({"x": 0.0})
+
+    def test_double_negation_semantics(self):
+        atom = Atom(X, strict=False)
+        for v in (-1.0, 0.0, 1.0):
+            assert atom.negate().negate().evaluate({"x": v}) == atom.evaluate({"x": v})
+
+    def test_relaxed(self):
+        assert not Atom(X, strict=True).relaxed().strict
+
+    def test_unsupported_operator(self):
+        with pytest.raises(SemanticsError):
+            Atom.compare(X, "!=", Y)
+
+
+class TestNormalForms:
+    def test_atom_dnf(self):
+        assert Atom(X).to_dnf() == [[Atom(X)]]
+
+    def test_and_dnf(self):
+        dnf = And(Atom(X), Atom(Y)).to_dnf()
+        assert len(dnf) == 1
+        assert len(dnf[0]) == 2
+
+    def test_or_dnf(self):
+        dnf = Or(Atom(X), Atom(Y)).to_dnf()
+        assert len(dnf) == 2
+
+    def test_demorgan(self):
+        # not (x >= 0 and y >= 0) == (x < 0) or (y < 0): two disjuncts.
+        cond = And(Atom(X), Atom(Y))
+        dnf = cond.negate().to_dnf()
+        assert len(dnf) == 2
+
+    def test_distribution(self):
+        # (a or b) and (c or d) has 4 disjuncts.
+        cond = And(Or(Atom(X), Atom(Y)), Or(Atom(X + 1), Atom(Y + 1)))
+        assert len(cond.to_dnf()) == 4
+
+    def test_not_node_normalizes(self):
+        cond = Not(And(Atom(X), Atom(Y)))
+        assert len(cond.to_dnf()) == 2
+
+    def test_bool_const_dnf(self):
+        assert BoolConst(True).to_dnf() == [[]]
+        assert BoolConst(False).to_dnf() == []
+
+    def test_negation_agrees_with_evaluation(self):
+        cond = parse_condition("(x >= 1 and y >= 2) or x >= 5")
+        neg = cond.negate()
+        for x in (-1.0, 1.0, 3.0, 5.0):
+            for y in (0.0, 2.0, 4.0):
+                v = {"x": x, "y": y}
+                assert neg.evaluate(v) == (not cond.evaluate(v))
+
+    def test_dnf_agrees_with_evaluation(self):
+        cond = parse_condition("(x >= 1 or y >= 2) and x <= 4")
+        for x in (0.0, 1.0, 4.0, 5.0):
+            for y in (0.0, 3.0):
+                v = {"x": x, "y": y}
+                dnf_value = any(all(a.evaluate(v) for a in conj) for conj in cond.to_dnf())
+                assert dnf_value == cond.evaluate(v)
+
+
+class TestStatements:
+    def test_seq_smart_constructor_flattens(self):
+        s = Seq.of(Skip(), Seq.of(Assign("x", X), Tick(X)), Skip())
+        assert isinstance(s, Seq)
+        assert len(s.stmts) == 4
+
+    def test_seq_of_one_statement(self):
+        assert isinstance(Seq.of(Tick(X)), Tick)
+
+    def test_seq_of_nothing_is_skip(self):
+        assert isinstance(Seq.of(), Skip)
+
+    def test_prob_if_range_check(self):
+        with pytest.raises(SemanticsError):
+            ProbIf(1.2, Skip(), Skip())
+
+    def test_statements_traversal(self):
+        prog = parse_program("var x; while x >= 1 do x := x - 1; tick(1) od")
+        kinds = [type(s).__name__ for s in prog.statements()]
+        assert kinds == ["While", "Seq", "Assign", "Tick"]
+
+    def test_has_nondeterminism(self):
+        prog = parse_program("var x; if * then x := 1 fi")
+        assert prog.has_nondeterminism()
+        prog2 = parse_program("var x; if prob(0.5) then x := 1 fi")
+        assert not prog2.has_nondeterminism()
+
+    def test_tick_costs(self):
+        prog = parse_program("var x; tick(1); tick(x)")
+        assert len(prog.tick_costs()) == 2
+
+
+class TestProgramValidation:
+    def test_overlapping_declarations_rejected(self):
+        from repro.semantics.distributions import BernoulliDistribution
+
+        with pytest.raises(SemanticsError):
+            from repro.syntax.ast import Program
+
+            Program(pvars=["x"], rvars={"x": BernoulliDistribution(0.5)}, body=Skip())

@@ -1,0 +1,70 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.syntax.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_empty_input(self):
+        (tok,) = tokenize("")
+        assert tok.kind == "eof"
+
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("while xwhile")
+        assert toks[0].kind == "keyword"
+        assert toks[1].kind == "ident"
+
+    def test_numbers(self):
+        toks = tokenize("42 3.14 0.5")
+        assert [t.text for t in toks[:-1]] == ["42", "3.14", "0.5"]
+        assert all(t.kind == "number" for t in toks[:-1])
+
+    def test_leading_dot_number(self):
+        assert tokenize(".5")[0].text == ".5"
+
+    def test_trailing_dot_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("3.")
+
+    def test_assign_vs_colon(self):
+        assert texts("x := 1 : 2") == ["x", ":=", "1", ":", "2"]
+
+    def test_comparison_operators(self):
+        assert texts("<= >= < > ==") == ["<=", ">=", "<", ">", "=="]
+
+    def test_comments_skipped(self):
+        assert texts("x # a comment\ny") == ["x", "y"]
+
+    def test_underscore_identifier(self):
+        toks = tokenize("__d0")
+        assert toks[0].kind == "ident"
+        assert toks[0].text == "__d0"
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("x\n  y")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_illegal_character(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("x @ y")
+        assert excinfo.value.line == 1
+
+    def test_star_token(self):
+        assert texts("if * then") == ["if", "*", "then"]
+
+    def test_tilde(self):
+        assert "~" in texts("r ~ uniform(0, 1)")
+
+    def test_token_str(self):
+        assert str(Token("ident", "foo", 1, 1)) == "foo"

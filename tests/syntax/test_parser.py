@@ -1,0 +1,221 @@
+"""Parser tests over the Figure 1 grammar."""
+
+import pytest
+
+from repro.errors import ParseError, SemanticsError
+from repro.polynomials import Polynomial
+from repro.semantics.distributions import (
+    BernoulliDistribution,
+    BinomialDistribution,
+    DiscreteDistribution,
+    PointDistribution,
+    UniformDistribution,
+    UniformIntDistribution,
+)
+from repro.syntax import (
+    Assign,
+    If,
+    NondetIf,
+    ProbIf,
+    Seq,
+    Skip,
+    Tick,
+    While,
+    parse_condition,
+    parse_expression,
+    parse_program,
+)
+
+
+class TestExpressions:
+    def test_constant(self):
+        assert parse_expression("42") == Polynomial.constant(42.0)
+
+    def test_precedence(self):
+        assert parse_expression("1 + 2 * 3") == Polynomial.constant(7.0)
+
+    def test_parentheses(self):
+        assert parse_expression("(1 + 2) * 3") == Polynomial.constant(9.0)
+
+    def test_unary_minus(self):
+        assert parse_expression("-x") == -Polynomial.variable("x")
+
+    def test_double_negation(self):
+        assert parse_expression("--x") == Polynomial.variable("x")
+
+    def test_subtraction_left_associative(self):
+        assert parse_expression("10 - 2 - 3") == Polynomial.constant(5.0)
+
+    def test_polynomial_expression(self):
+        x = Polynomial.variable("x")
+        assert parse_expression("x * x + 2 * x + 1") == x * x + 2 * x + 1
+
+    def test_junk_after_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("x + ")
+
+
+class TestConditions:
+    def test_comparison_normalization(self):
+        cond = parse_condition("x >= 1")
+        assert cond.evaluate({"x": 1.0})
+        assert not cond.evaluate({"x": 0.0})
+
+    def test_strict_comparison(self):
+        cond = parse_condition("x > 1")
+        assert not cond.evaluate({"x": 1.0})
+
+    def test_and_or_precedence(self):
+        cond = parse_condition("x >= 1 and y >= 1 or z >= 1")
+        assert cond.evaluate({"x": 0.0, "y": 0.0, "z": 2.0})
+        assert cond.evaluate({"x": 1.0, "y": 1.0, "z": 0.0})
+
+    def test_not(self):
+        cond = parse_condition("not x >= 1")
+        assert cond.evaluate({"x": 0.0})
+
+    def test_equality_becomes_conjunction(self):
+        cond = parse_condition("x == 2")
+        assert cond.evaluate({"x": 2.0})
+        assert not cond.evaluate({"x": 1.0})
+
+    def test_parenthesized_condition(self):
+        cond = parse_condition("(x >= 1 or y >= 1) and z >= 0")
+        assert cond.evaluate({"x": 2.0, "y": 0.0, "z": 0.0})
+
+    def test_true_false_literals(self):
+        assert parse_condition("true").evaluate({})
+        assert not parse_condition("false").evaluate({})
+
+
+class TestDeclarations:
+    def test_var_list(self):
+        prog = parse_program("var x, y, z; skip")
+        assert prog.pvars == ["x", "y", "z"]
+
+    def test_discrete(self):
+        prog = parse_program("var x; sample r ~ discrete(1: 0.25, -1: 0.75); x := r")
+        assert isinstance(prog.rvars["r"], DiscreteDistribution)
+        assert prog.rvars["r"].mean() == pytest.approx(-0.5)
+
+    def test_uniform(self):
+        prog = parse_program("var x; sample r ~ uniform(1, 3); x := r")
+        assert isinstance(prog.rvars["r"], UniformDistribution)
+
+    def test_unifint(self):
+        prog = parse_program("var x; sample r ~ unifint(1, 10); x := r")
+        assert isinstance(prog.rvars["r"], UniformIntDistribution)
+
+    def test_bernoulli_binomial_point(self):
+        prog = parse_program(
+            "var x; sample a ~ bernoulli(0.5); sample b ~ binomial(4, 0.5); "
+            "sample c ~ point(2); x := a + b + c"
+        )
+        assert isinstance(prog.rvars["a"], BernoulliDistribution)
+        assert isinstance(prog.rvars["b"], BinomialDistribution)
+        assert isinstance(prog.rvars["c"], PointDistribution)
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("var x, x; skip")
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("var x; sample r ~ discrete(1: 0.5, 2: 0.4); x := r")
+
+
+class TestStatements:
+    def test_skip(self):
+        assert isinstance(parse_program("skip").body, Skip)
+
+    def test_assignment(self):
+        body = parse_program("var x; x := x + 1").body
+        assert isinstance(body, Assign)
+        assert body.var == "x"
+
+    def test_tick(self):
+        body = parse_program("var x; tick(2 * x)").body
+        assert isinstance(body, Tick)
+
+    def test_sequence_flattening(self):
+        body = parse_program("var x; x := 1; x := 2; x := 3").body
+        assert isinstance(body, Seq)
+        assert len(body.stmts) == 3
+
+    def test_trailing_semicolon_before_od(self):
+        prog = parse_program("var x; while x >= 1 do x := x - 1; od")
+        assert isinstance(prog.body, While)
+
+    def test_if_without_else(self):
+        body = parse_program("var x; if x >= 0 then x := 1 fi").body
+        assert isinstance(body, If)
+        assert isinstance(body.else_branch, Skip)
+
+    def test_if_with_else(self):
+        body = parse_program("var x; if x >= 0 then x := 1 else x := 2 fi").body
+        assert isinstance(body.else_branch, Assign)
+
+    def test_prob_if(self):
+        body = parse_program("var x; if prob(0.3) then x := 1 fi").body
+        assert isinstance(body, ProbIf)
+        assert body.prob == pytest.approx(0.3)
+
+    def test_prob_out_of_range_rejected(self):
+        with pytest.raises((ParseError, SemanticsError)):
+            parse_program("var x; if prob(1.5) then x := 1 fi")
+
+    def test_nondet_if(self):
+        body = parse_program("var x; if * then x := 1 else x := 2 fi").body
+        assert isinstance(body, NondetIf)
+
+    def test_nested_while(self):
+        prog = parse_program(
+            "var i, j; while i >= 1 do j := i; while j >= 1 do j := j - 1 od; i := i - 1 od"
+        )
+        assert isinstance(prog.body, While)
+        assert isinstance(prog.body.body, Seq)
+
+
+class TestInlineDistributions:
+    def test_basic(self):
+        prog = parse_program("var y; y := y + (-1, 0, 1) : (0.5, 0.1, 0.4)")
+        assert len(prog.rvars) == 1
+        (dist,) = prog.rvars.values()
+        assert dist.mean() == pytest.approx(-0.1)
+
+    def test_parenthesized_expression_not_confused(self):
+        prog = parse_program("var x, y; x := (x + y) * 2")
+        assert not prog.rvars
+
+    def test_two_inline_distributions_get_fresh_names(self):
+        prog = parse_program("var x; x := (0, 1) : (0.5, 0.5) + (1, 2) : (0.5, 0.5)")
+        assert len(prog.rvars) == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("var x; x := x + (0, 1) : (0.5, 0.25, 0.25)")
+
+
+class TestValidation:
+    def test_undeclared_variable_rejected(self):
+        with pytest.raises(SemanticsError):
+            parse_program("var x; x := q + 1")
+
+    def test_assignment_to_sampling_variable_rejected(self):
+        with pytest.raises(SemanticsError):
+            parse_program("var x; sample r ~ bernoulli(0.5); r := 1")
+
+    def test_sampling_variable_in_guard_rejected(self):
+        with pytest.raises(SemanticsError):
+            parse_program("var x; sample r ~ bernoulli(0.5); while r >= 0 do skip od")
+
+    def test_sampling_variable_in_tick_rejected(self):
+        with pytest.raises(SemanticsError):
+            parse_program("var x; sample r ~ bernoulli(0.5); tick(r)")
+
+    def test_figure2_parses(self):
+        from tests.conftest import FIGURE2_SOURCE
+
+        prog = parse_program(FIGURE2_SOURCE)
+        assert prog.pvars == ["x", "y"]
+        assert set(prog.rvars) == {"r", "r2"}

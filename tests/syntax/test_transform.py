@@ -1,0 +1,74 @@
+"""Tests for program transformations (Table 5's nondet replacement)."""
+
+from repro.semantics import build_cfg
+from repro.syntax import NondetIf, ProbIf, map_statements, parse_program, replace_nondet
+
+
+def test_replace_nondet_basic():
+    prog = parse_program("var x; if * then x := 1 else x := 2 fi", name="p")
+    out = replace_nondet(prog, prob=0.5)
+    assert isinstance(out.body, ProbIf)
+    assert out.body.prob == 0.5
+    assert not out.has_nondeterminism()
+
+
+def test_replace_nondet_leaves_original_untouched():
+    prog = parse_program("var x; if * then x := 1 fi")
+    replace_nondet(prog)
+    assert prog.has_nondeterminism()
+
+
+def test_replace_nondet_nested():
+    prog = parse_program(
+        "var x; while x >= 1 do if prob(0.1) then if * then tick(-1) fi fi; x := x - 1 od"
+    )
+    out = replace_nondet(prog, prob=0.25)
+    assert not out.has_nondeterminism()
+    probs = [s.prob for s in out.statements() if isinstance(s, ProbIf)]
+    assert 0.25 in probs and 0.1 in probs
+
+
+def test_replace_nondet_preserves_label_numbering():
+    prog = parse_program(
+        "var x; while x >= 1 do x := x - 1; if * then tick(-5) fi od", name="p"
+    )
+    cfg1 = build_cfg(prog)
+    cfg2 = build_cfg(replace_nondet(prog))
+    assert sorted(cfg1.labels) == sorted(cfg2.labels)
+    kinds1 = {lid: label.kind for lid, label in cfg1.labels.items()}
+    kinds2 = {lid: label.kind for lid, label in cfg2.labels.items()}
+    changed = {lid for lid in kinds1 if kinds1[lid] != kinds2[lid]}
+    assert all(kinds1[lid] == "nondet" and kinds2[lid] == "prob" for lid in changed)
+
+
+def test_replace_nondet_name_suffix():
+    prog = parse_program("var x; if * then x := 1 fi", name="bench")
+    assert replace_nondet(prog).name == "bench-probabilistic"
+
+
+def test_map_statements_identity():
+    prog = parse_program("var x; while x >= 1 do x := x - 1 od")
+    out = map_statements(prog.body, lambda s: s)
+    assert str(out) == str(prog.body)
+
+
+def test_map_statements_rewrites_leaves():
+    from repro.polynomials import Polynomial
+    from repro.syntax import Tick
+
+    prog = parse_program("var x; while x >= 1 do tick(1); x := x - 1 od")
+
+    def double(stmt):
+        if isinstance(stmt, Tick):
+            return Tick(stmt.cost * 2)
+        return stmt
+
+    out = map_statements(prog.body, double)
+    costs = [s.cost for s in _walk(out) if isinstance(s, Tick)]
+    assert costs == [Polynomial.constant(2.0)]
+
+
+def _walk(stmt):
+    yield stmt
+    for child in stmt.children():
+        yield from _walk(child)
