@@ -123,7 +123,9 @@ def analyze(
         raise SemanticsError(f"initial valuation mentions unknown variables: {sorted(unknown_vars)}")
 
     if isinstance(invariants, InvariantMap):
-        inv = invariants
+        # Copy before strengthening below: the caller's map may be
+        # cached/shared and must not observe our additions.
+        inv = invariants.copy()
     elif invariants is not None:
         inv = InvariantMap.from_strings(cfg, dict(invariants))
     else:

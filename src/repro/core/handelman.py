@@ -15,20 +15,48 @@ finite; matching monomial coefficients of
 
 yields linear equalities over the template unknowns ``a_ij`` and the
 fresh multipliers ``c_k``, which is exactly what the LP solves.
+
+Performance notes
+-----------------
+``monoid_products`` is built *incrementally*: the degree-``k`` frontier
+extends the cached degree-``k-1`` products by one factor instead of
+re-multiplying every combination from the constant polynomial, and the
+result is memoised per ``(Gamma, cap)`` — constraint sites repeat the
+same invariant polyhedra many times within one synthesis run (and again
+across the PUCS/PLCS runs of a single analysis).
+
+``certificate_equalities`` never touches polynomial arithmetic: the
+equality rows are accumulated directly into per-monomial coefficient
+tables (one dict per row), instead of repeatedly rebuilding the
+``O(terms)`` residual polynomial per multiplier.
 """
 
 from __future__ import annotations
 
-from itertools import combinations_with_replacement
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..errors import NonLinearError
 from ..polynomials import LinForm, Monomial, Polynomial
 
-__all__ = ["monoid_products", "certificate_equalities", "LinearEquality"]
+__all__ = ["monoid_products", "certificate_equalities", "clear_monoid_cache", "LinearEquality"]
 
 #: One linear equality ``sum(coeffs[u] * u) = rhs`` over LP unknowns.
 LinearEquality = Tuple[Dict[str, float], float]
+
+#: ``(per-gamma canonical keys, cap) -> tuple of products``; bounded so a
+#: long-lived process sweeping many programs cannot grow it unboundedly.
+_MONOID_CACHE: Dict[tuple, Tuple[Polynomial, ...]] = {}
+_MONOID_CACHE_MAX = 4096
+
+
+def clear_monoid_cache() -> None:
+    """Drop the memoised monoid products (tests and benchmarks)."""
+    _MONOID_CACHE.clear()
+
+
+def _gamma_key(g: Polynomial) -> tuple:
+    """Canonical hashable key of a numeric linear constraint."""
+    return tuple(sorted((m.powers, float(c)) for m, c in g.terms()))
 
 
 def monoid_products(gammas: Sequence[Polynomial], max_multiplicands: int) -> List[Polynomial]:
@@ -47,30 +75,33 @@ def monoid_products(gammas: Sequence[Polynomial], max_multiplicands: int) -> Lis
         if not g.is_linear():
             raise NonLinearError(f"Handelman constraints must be linear, got {g}")
 
-    products: List[Polynomial] = [Polynomial.constant(1.0)]
-    seen = {products[0]}
-    for count in range(1, max_multiplicands + 1):
-        for combo in combinations_with_replacement(range(len(gammas)), count):
-            prod = Polynomial.constant(1.0)
-            for idx in combo:
-                prod = prod * gammas[idx]
-            if prod not in seen:
-                seen.add(prod)
-                products.append(prod)
-    return products
+    cache_key = (tuple(_gamma_key(g) for g in gammas), int(max_multiplicands))
+    cached = _MONOID_CACHE.get(cache_key)
+    if cached is not None:
+        return list(cached)
 
+    one = Polynomial.constant(1.0)
+    products: List[Polynomial] = [one]
+    seen = {one}
+    # Frontier of degree-(k-1) combinations as (product, next admissible
+    # gamma index): extending with indices >= the last one used walks
+    # exactly the combinations-with-replacement of the naive version.
+    frontier: List[Tuple[Polynomial, int]] = [(one, 0)]
+    for _count in range(1, max_multiplicands + 1):
+        next_frontier: List[Tuple[Polynomial, int]] = []
+        for prod, start in frontier:
+            for idx in range(start, len(gammas)):
+                extended = prod * gammas[idx]
+                next_frontier.append((extended, idx))
+                if extended not in seen:
+                    seen.add(extended)
+                    products.append(extended)
+        frontier = next_frontier
 
-class _MultiplierNames:
-    """Fresh, readable names for certificate multipliers."""
-
-    def __init__(self, prefix: str):
-        self.prefix = prefix
-        self.count = 0
-
-    def fresh(self) -> str:
-        name = f"{self.prefix}_{self.count}"
-        self.count += 1
-        return name
+    if len(_MONOID_CACHE) >= _MONOID_CACHE_MAX:
+        _MONOID_CACHE.clear()
+    _MONOID_CACHE[cache_key] = tuple(products)
+    return list(products)
 
 
 def certificate_equalities(
@@ -90,16 +121,30 @@ def certificate_equalities(
     stay distinguishable in LP dumps (useful when debugging
     infeasibility).
     """
-    names = _MultiplierNames(f"c_{site_name}")
-    multipliers: List[str] = []
-    residual = target
-    for product in monoid_products(gammas, max_multiplicands):
-        c_name = names.fresh()
-        multipliers.append(c_name)
-        residual = residual - product * LinForm.unknown(c_name)
+    products = monoid_products(gammas, max_multiplicands)
+    prefix = f"c_{site_name}"
+    multipliers = [f"{prefix}_{k}" for k in range(len(products))]
 
-    equalities: List[LinearEquality] = []
-    for _mono, coeff in residual.terms():
-        form = coeff if isinstance(coeff, LinForm) else LinForm(float(coeff))
-        equalities.append((dict(form.terms), -form.const))
+    # One row per monomial of target - sum_k c_k f_k; accumulate the
+    # unknowns' coefficients directly instead of building the residual
+    # polynomial multiplier by multiplier.
+    rows: Dict[Monomial, Dict[str, float]] = {}
+    rhs: Dict[Monomial, float] = {}
+    for mono, coeff in target.terms():
+        if isinstance(coeff, LinForm):
+            rows[mono] = dict(coeff.terms)
+            rhs[mono] = -coeff.const
+        else:
+            rows[mono] = {}
+            rhs[mono] = -float(coeff)
+    for c_name, product in zip(multipliers, products):
+        for mono, pcoeff in product.terms():
+            row = rows.get(mono)
+            if row is None:
+                rows[mono] = {c_name: -float(pcoeff)}
+                rhs[mono] = 0.0
+            else:
+                row[c_name] = row.get(c_name, 0.0) - float(pcoeff)
+
+    equalities: List[LinearEquality] = [(row, rhs[mono]) for mono, row in rows.items()]
     return equalities, multipliers

@@ -1,7 +1,6 @@
 """Linear-programming backend (Section 7, step (4)).
 
-A thin, explicit wrapper over :func:`scipy.optimize.linprog` (HiGHS).
-The synthesis pipeline only needs:
+A thin, explicit wrapper over HiGHS.  The synthesis pipeline only needs:
 
 * unknowns that are either free (template coefficients ``a_ij``) or
   nonnegative (Handelman multipliers ``c_k``);
@@ -10,20 +9,67 @@ The synthesis pipeline only needs:
 
 Infeasibility and unboundedness are turned into the library's typed
 exceptions so callers can retry with different parameters.
+
+Performance notes
+-----------------
+Equality rows are held sparsely (name -> coefficient dicts), duplicate
+rows are dropped at insertion, and the constraint matrix is assembled
+directly in CSR form — the dense ``np.zeros((rows, n))`` staging array
+of the naive implementation dominated LP setup for larger templates.
+
+Solving prefers a *direct* call into SciPy's bundled HiGHS bindings
+(``scipy.optimize._highspy``), handing HiGHS the rowwise CSR arrays
+as-is.  The public :func:`scipy.optimize.linprog` wrapper re-validates
+and re-copies every input on each call, which costs more than the
+actual simplex run on this pipeline's many small LPs.  When the private
+bindings are unavailable (older/newer SciPy layouts), we fall back to
+``linprog(method="highs")`` with a sparse matrix — results are
+identical, just slower to set up.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
+from scipy.sparse import csr_matrix
 
-from ..errors import InfeasibleError, SynthesisError, UnboundedError
+from ..errors import CONSISTENCY_TOL, ZERO_TOL, InfeasibleError, SynthesisError, UnboundedError
 from ..polynomials import LinForm
 
+try:  # pragma: no cover - exercised indirectly via solve()
+    import scipy.optimize._highspy._core as _highs_core
+except ImportError:  # pragma: no cover
+    _highs_core = None
+
 __all__ = ["LinearProgram", "LPSolution"]
+
+#: Per-thread cache of configured HiGHS solver instances, keyed by
+#: presolve setting.  Constructing ``_Highs()`` and pushing options
+#: costs about as much as solving one of this pipeline's small LPs, so
+#: solvers are reused (``clearModel`` between solves is ~100x cheaper).
+_SOLVER_CACHE = threading.local()
+
+
+def _cached_solver(presolve: Optional[str]):
+    solvers = getattr(_SOLVER_CACHE, "solvers", None)
+    if solvers is None:
+        solvers = _SOLVER_CACHE.solvers = {}
+    solver = solvers.get(presolve)
+    if solver is None:
+        solver = _highs_core._Highs()
+        options = _highs_core.HighsOptions()
+        options.output_flag = False
+        if presolve is not None:
+            options.presolve = presolve
+        solver.passOptions(options)
+        solvers[presolve] = solver
+    else:
+        solver.clearModel()
+    return solver
 
 
 @dataclass
@@ -47,6 +93,7 @@ class LinearProgram:
         self._nonneg: List[bool] = []
         self._rows: List[Dict[str, float]] = []
         self._rhs: List[float] = []
+        self._row_keys: set = set()
         self._objective: Optional[LinForm] = None
         self._maximize = False
 
@@ -65,18 +112,38 @@ class LinearProgram:
         """Add the row ``sum(coeffs[u] * u) = rhs``.
 
         Unknowns must have been registered.  All-zero rows are checked
-        for consistency immediately.
+        for consistency immediately, and rows identical to an existing
+        one (same coefficients and right-hand side) are dropped.
         """
+        # Coefficients at or below ZERO_TOL (1e-12) are dropped from
+        # mixed rows: HiGHS itself zeroes matrix entries below its
+        # ``small_matrix_value`` tolerance (1e-9), so keeping them would
+        # not change the solve — dropping them here just makes the rows
+        # canonical enough for the duplicate check below to fire.
         cleaned = {}
+        dropped = {}
         for name, coeff in coeffs.items():
             if name not in self._index:
                 raise SynthesisError(f"equality references unregistered unknown {name!r}")
-            if coeff != 0.0:
+            if abs(coeff) > ZERO_TOL:
                 cleaned[name] = float(coeff)
+            elif coeff != 0.0:
+                dropped[name] = float(coeff)
         if not cleaned:
-            if abs(rhs) > 1e-9:
+            if dropped:
+                # Every coefficient is sub-tolerance but not exactly
+                # zero: badly scaled, yet a real constraint.  Keep the
+                # tiny coefficients (seed behavior) rather than either
+                # fabricating 0 = rhs or silently deleting the row.
+                cleaned = dropped
+            elif abs(rhs) > CONSISTENCY_TOL:
                 raise InfeasibleError(f"contradictory constant equality 0 = {rhs}")
+            else:
+                return
+        key = (tuple(sorted(cleaned.items())), float(rhs))
+        if key in self._row_keys:
             return
+        self._row_keys.add(key)
         self._rows.append(cleaned)
         self._rhs.append(float(rhs))
 
@@ -99,12 +166,9 @@ class LinearProgram:
 
     # -- solving ----------------------------------------------------------------
 
-    def solve(self) -> LPSolution:
-        """Solve with HiGHS; raises on infeasible/unbounded outcomes."""
+    def _assemble(self):
+        """Objective vector, CSR triplets and bounds for the solver."""
         n = len(self._index)
-        if n == 0:
-            raise SynthesisError("linear program has no unknowns")
-
         c = np.zeros(n)
         offset = 0.0
         if self._objective is not None:
@@ -114,19 +178,76 @@ class LinearProgram:
         if self._maximize:
             c = -c
 
+        index = self._index
+        data: List[float] = []
+        indices: List[int] = []
+        indptr: List[int] = [0]
+        for row in self._rows:
+            for name, coeff in row.items():
+                indices.append(index[name])
+                data.append(coeff)
+            indptr.append(len(indices))
+        b_eq = np.asarray(self._rhs, dtype=np.float64)
+        return c, offset, data, indices, indptr, b_eq
+
+    def _solve_highs_direct(self, c, data, indices, indptr, b_eq):
+        """Solve through SciPy's bundled HiGHS bindings, skipping the
+        ``linprog`` validation layers.  Returns ``(status, x, fun)`` with
+        linprog-compatible status codes, or ``None`` if HiGHS reports
+        something we don't recognise (the caller then falls back)."""
+        h = _highs_core
+        n = len(self._nonneg)
+        lp = h.HighsLp()
+        lp.num_col_ = n
+        lp.num_row_ = len(self._rows)
+        lp.a_matrix_.format_ = h.MatrixFormat.kRowwise
+        lp.a_matrix_.num_col_ = n
+        lp.a_matrix_.num_row_ = len(self._rows)
+        lp.a_matrix_.start_ = np.asarray(indptr, dtype=np.int32)
+        lp.a_matrix_.index_ = np.asarray(indices, dtype=np.int32)
+        lp.a_matrix_.value_ = np.asarray(data, dtype=np.float64)
+        lp.col_cost_ = c
+        inf = h.kHighsInf
+        lower = np.full(n, -inf)
+        lower[np.fromiter(self._nonneg, dtype=bool, count=n)] = 0.0
+        lp.col_lower_ = lower
+        lp.col_upper_ = np.full(n, inf)
+        lp.row_lower_ = b_eq
+        lp.row_upper_ = b_eq
+
+        for presolve in (None, "off"):
+            solver = _cached_solver(presolve)
+            if solver.passModel(lp) == h.HighsStatus.kError:
+                return None
+            if solver.run() == h.HighsStatus.kError:
+                return None
+            status = solver.getModelStatus()
+            if status == h.HighsModelStatus.kOptimal:
+                x = np.asarray(solver.getSolution().col_value)
+                return 0, x, solver.getInfo().objective_function_value
+            if status == h.HighsModelStatus.kInfeasible:
+                return 2, None, None
+            if status == h.HighsModelStatus.kUnbounded:
+                return 3, None, None
+            if status == h.HighsModelStatus.kUnboundedOrInfeasible:
+                # Ambiguous with presolve on; re-run without it (same
+                # disambiguation scipy's wrapper performs).
+                continue
+            return None
+        return None
+
+    def _solve_linprog(self, c, data, indices, indptr, b_eq):
+        """Portable path through the public scipy interface."""
+        n = len(self._nonneg)
         if self._rows:
-            a_eq = np.zeros((len(self._rows), n))
-            for i, row in enumerate(self._rows):
-                for name, coeff in row.items():
-                    a_eq[i, self._index[name]] = coeff
-            b_eq = np.asarray(self._rhs)
+            a_eq = csr_matrix(
+                (data, indices, indptr), shape=(len(self._rows), n), dtype=np.float64
+            )
         else:
             a_eq, b_eq = None, None
-
         bounds: List[Tuple[Optional[float], Optional[float]]] = [
             (0.0, None) if nonneg else (None, None) for nonneg in self._nonneg
         ]
-
         result = linprog(c, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs")
         if result.status not in (0, 2, 3):
             # Solver hiccup (e.g. HiGHS status 4 on badly scaled inputs):
@@ -139,19 +260,41 @@ class LinearProgram:
                 method="highs",
                 options={"presolve": False},
             )
-        if result.status == 2:
+        return result.status, result.x, result.fun, result.message
+
+    def solve(self) -> LPSolution:
+        """Solve with HiGHS; raises on infeasible/unbounded outcomes."""
+        n = len(self._index)
+        if n == 0:
+            raise SynthesisError("linear program has no unknowns")
+
+        c, offset, data, indices, indptr, b_eq = self._assemble()
+
+        status = None
+        if _highs_core is not None and self._rows:
+            try:
+                direct = self._solve_highs_direct(c, data, indices, indptr, b_eq)
+            except Exception:  # private-API drift: fall back to linprog
+                direct = None
+            if direct is not None:
+                status, x, fun = direct
+                message = f"HiGHS status {status}"
+        if status is None:
+            status, x, fun, message = self._solve_linprog(c, data, indices, indptr, b_eq)
+
+        if status == 2:
             raise InfeasibleError(
                 "no Handelman certificate of the requested degree exists; "
                 "try a higher template degree, a larger multiplicand cap, "
                 "or stronger invariants"
             )
-        if result.status == 3:
+        if status == 3:
             raise UnboundedError("LP objective is unbounded; the invariant is too weak to pin a bound")
-        if result.status != 0:
-            raise SynthesisError(f"LP solver failed: {result.message}")
+        if status != 0:
+            raise SynthesisError(f"LP solver failed: {message}")
 
-        values = {name: float(result.x[idx]) for name, idx in self._index.items()}
-        objective = float(result.fun) * (-1.0 if self._maximize else 1.0) + offset
+        values = {name: float(x[idx]) for name, idx in self._index.items()}
+        objective = float(fun) * (-1.0 if self._maximize else 1.0) + offset
         return LPSolution(
             values=values,
             objective=objective,

@@ -78,6 +78,8 @@ def pre_expectation_cases(cfg: CFG, h: Mapping[int, Polynomial], label: Label) -
     if isinstance(label, TickLabel):
         return [PreCase(poly=label.cost + h[label.succ])]
     if isinstance(label, ProbLabel):
+        if label.succ_then == label.succ_else:
+            return [PreCase(poly=h[label.succ_then])]
         blended = h[label.succ_then] * label.prob + h[label.succ_else] * (1.0 - label.prob)
         return [PreCase(poly=blended)]
     if isinstance(label, BranchLabel):

@@ -20,22 +20,34 @@ nondeterministic label (``pre_h`` is a max), so one constraint per
 successor is emitted.  A PLCS only needs to be dominated by *some*
 successor; :func:`synthesize_plcs` enumerates the (few) branch-choice
 combinations and keeps the best feasible bound.
+
+Performance notes
+-----------------
+The expensive work — template construction, pre-expectation cases and
+Handelman certificate extraction — is *policy independent* except at
+the nondeterministic labels themselves.  :class:`_PreparedSynthesis`
+computes everything once, keeps the per-``(label, choice)`` certificate
+rows separately, and each of the up-to-``2^k`` policy LPs only stitches
+precomputed rows together before solving.  The template and its
+pre-expectation cases are additionally memoised per CFG and degree, so
+the PUCS and PLCS runs of one analysis share them.
 """
 
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass, field
 from itertools import product as iter_product
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..errors import InfeasibleError, SynthesisError, UnboundedError
-from ..invariants import InvariantMap, Polyhedron
+from ..invariants import InvariantMap
 from ..polynomials import LinForm, Polynomial
 from ..semantics.cfg import CFG, NondetLabel, TerminalLabel
-from .handelman import certificate_equalities
+from .handelman import LinearEquality, certificate_equalities
 from .lp import LinearProgram
-from .preexpectation import pre_expectation_cases
+from .preexpectation import PreCase, pre_expectation_cases
 from .templates import Template, make_template
 
 __all__ = ["BoundResult", "SynthesisOptions", "synthesize", "synthesize_pucs", "synthesize_plcs"]
@@ -99,19 +111,54 @@ class BoundResult:
 
 
 # ---------------------------------------------------------------------------
+# Template / pre-expectation memoisation (shared by PUCS and PLCS runs)
+# ---------------------------------------------------------------------------
+
+#: cfg -> {degree: (template, {label_id: cases})}.  Templates are
+#: deterministic in (cfg, degree) — same unknown names, same polynomials
+#: — so sharing them across synthesis kinds is observationally free.
+_TEMPLATE_CACHE: "weakref.WeakKeyDictionary[CFG, Dict[int, tuple]]" = weakref.WeakKeyDictionary()
+
+
+def clear_template_cache() -> None:
+    """Drop memoised templates and pre-expectation cases (benchmarks)."""
+    _TEMPLATE_CACHE.clear()
+
+
+def _template_and_cases(cfg: CFG, degree: int) -> Tuple[Template, Dict[int, List[PreCase]]]:
+    try:
+        per_cfg = _TEMPLATE_CACHE.setdefault(cfg, {})
+    except TypeError:  # unhashable/unweakrefable CFG: skip caching
+        per_cfg = {}
+    cached = per_cfg.get(degree)
+    if cached is None:
+        template = make_template(cfg, degree)
+        cases = {
+            label.id: pre_expectation_cases(cfg, template.polys, label)
+            for label in cfg
+            if not isinstance(label, TerminalLabel)
+        }
+        cached = (template, cases)
+        per_cfg[degree] = cached
+    return cached
+
+
+# ---------------------------------------------------------------------------
 # Constraint-site generation
 # ---------------------------------------------------------------------------
 
-#: One Handelman site: (name, target polynomial g, constraint set Gamma).
-_Site = Tuple[str, Polynomial, List[Polynomial]]
+#: One Handelman site: (policy tag, name, target polynomial g, Gamma).
+#: ``tag`` is ``None`` for policy-independent sites and
+#: ``(label_id, choice)`` for the per-successor PLCS sites.
+_Site = Tuple[Optional[Tuple[int, int]], str, Polynomial, List[Polynomial]]
 
 
 def _constraint_sites(
     cfg: CFG,
     template: Template,
+    cases_by_label: Mapping[int, List[PreCase]],
     invariants: InvariantMap,
     kind: str,
-    nondet_choices: Mapping[int, int],
     nonnegative: bool,
 ) -> Iterator[_Site]:
     h = template.polys
@@ -119,13 +166,12 @@ def _constraint_sites(
         if isinstance(label, TerminalLabel):
             continue
         region = invariants.get(label.id)
-        cases = pre_expectation_cases(cfg, h, label)
-        for case_index, case in enumerate(cases):
+        for case_index, case in enumerate(cases_by_label[label.id]):
+            tag = None
             if isinstance(label, NondetLabel) and kind == "lower":
                 # (C3') at a nondet label: max over successors >= h is
                 # witnessed by the policy's chosen successor only.
-                if case.choice != nondet_choices.get(label.id, 0):
-                    continue
+                tag = (label.id, case.choice)
             if kind == "upper":
                 target = h[label.id] - case.poly
             else:
@@ -134,15 +180,107 @@ def _constraint_sites(
             # one Handelman site per polyhedron of the union.
             for d_index, polyhedron in enumerate(region):
                 gammas = polyhedron.constraints + [atom.poly for atom in case.guard]
-                yield (f"l{label.id}_{case_index}_{d_index}", target, gammas)
+                yield (tag, f"l{label.id}_{case_index}_{d_index}", target, gammas)
         if nonnegative:
             for d_index, polyhedron in enumerate(region):
-                yield (f"l{label.id}_nn_{d_index}", h[label.id], polyhedron.constraints)
+                yield (None, f"l{label.id}_nn_{d_index}", h[label.id], polyhedron.constraints)
 
 
 # ---------------------------------------------------------------------------
-# Single-policy synthesis
+# Prepared synthesis: certificates once, one LP per policy
 # ---------------------------------------------------------------------------
+
+#: Precomputed certificate of one site: (equalities, multiplier names).
+_Certificate = Tuple[List[LinearEquality], List[str]]
+
+
+class _PreparedSynthesis:
+    """All policy-independent synthesis work for one (cfg, kind) pair.
+
+    Template construction, pre-expectation cases and Handelman
+    certificate extraction happen once here; :meth:`solve` then builds
+    and solves the (small) LP of a concrete nondeterministic policy from
+    the precomputed rows.
+    """
+
+    def __init__(
+        self,
+        cfg: CFG,
+        invariants: InvariantMap,
+        kind: str,
+        options: SynthesisOptions,
+        restrict_to: Optional[Mapping[int, int]] = None,
+    ):
+        """``restrict_to`` fixes the nondeterministic policy up front:
+        certificates for non-chosen successors are skipped entirely.
+        Omit it when :meth:`solve` will be called for several policies."""
+        start = time.perf_counter()
+        self.cfg = cfg
+        self.kind = kind
+        self.options = options
+        self.template, cases_by_label = _template_and_cases(cfg, options.degree)
+        self.shared: List[_Certificate] = []
+        self.by_choice: Dict[int, Dict[int, List[_Certificate]]] = {}
+        for tag, site_name, target, gammas in _constraint_sites(
+            cfg, self.template, cases_by_label, invariants, kind, options.nonnegative
+        ):
+            if tag is not None and restrict_to is not None:
+                label_id, choice = tag
+                if choice != restrict_to.get(label_id, 0):
+                    continue
+            cap = options.max_multiplicands
+            if cap is None:
+                cap = max(target.degree(), 1)
+            certificate = certificate_equalities(target, gammas, cap, site_name)
+            if tag is None:
+                self.shared.append(certificate)
+            else:
+                label_id, choice = tag
+                self.by_choice.setdefault(label_id, {}).setdefault(choice, []).append(certificate)
+        #: Certificate-extraction time, charged to every solved policy so
+        #: ``BoundResult.runtime`` keeps meaning "time to produce this
+        #: bound from scratch" (what the Table 3/4 columns report).
+        self.prepare_seconds = time.perf_counter() - start
+
+    def solve(self, init: Mapping[str, float], nondet_choices: Mapping[int, int]) -> BoundResult:
+        start = time.perf_counter()
+        cfg, options = self.cfg, self.options
+
+        selected = list(self.shared)
+        for label_id, per_choice in self.by_choice.items():
+            selected.extend(per_choice.get(nondet_choices.get(label_id, 0), []))
+
+        lp = LinearProgram()
+        for name in self.template.unknowns:
+            lp.add_unknown(name, nonnegative=False)
+        for equalities, multipliers in selected:
+            for c_name in multipliers:
+                lp.add_unknown(c_name, nonnegative=True)
+            for coeffs, rhs in equalities:
+                lp.add_equality(coeffs, rhs)
+
+        anchor = {var: float(init.get(var, 0.0)) for var in cfg.pvars}
+        objective = self.template.at(cfg.entry).evaluate(anchor)
+        if not isinstance(objective, LinForm):
+            objective = LinForm(float(objective))
+        lp.set_objective(objective, maximize=(self.kind == "lower"))
+
+        solution = lp.solve()
+        h_numeric = self.template.instantiate(solution.values)
+        bound = h_numeric[cfg.entry]
+        return BoundResult(
+            kind=self.kind,
+            degree=options.degree,
+            h=h_numeric,
+            bound=bound,
+            value=solution.objective,
+            anchor=anchor,
+            lp_variables=solution.num_variables,
+            lp_equalities=solution.num_equalities,
+            runtime=self.prepare_seconds + (time.perf_counter() - start),
+            nondet_choices=dict(nondet_choices) or None,
+            options=options,
+        )
 
 
 def _synthesize_once(
@@ -153,47 +291,8 @@ def _synthesize_once(
     options: SynthesisOptions,
     nondet_choices: Mapping[int, int],
 ) -> BoundResult:
-    start = time.perf_counter()
-    template = make_template(cfg, options.degree)
-
-    lp = LinearProgram()
-    for name in template.unknowns:
-        lp.add_unknown(name, nonnegative=False)
-
-    for site_name, target, gammas in _constraint_sites(
-        cfg, template, invariants, kind, nondet_choices, options.nonnegative
-    ):
-        cap = options.max_multiplicands
-        if cap is None:
-            cap = max(target.degree(), 1)
-        equalities, multipliers = certificate_equalities(target, gammas, cap, site_name)
-        for c_name in multipliers:
-            lp.add_unknown(c_name, nonnegative=True)
-        for coeffs, rhs in equalities:
-            lp.add_equality(coeffs, rhs)
-
-    anchor = {var: float(init.get(var, 0.0)) for var in cfg.pvars}
-    objective = template.at(cfg.entry).evaluate(anchor)
-    if not isinstance(objective, LinForm):
-        objective = LinForm(float(objective))
-    lp.set_objective(objective, maximize=(kind == "lower"))
-
-    solution = lp.solve()
-    h_numeric = template.instantiate(solution.values)
-    bound = h_numeric[cfg.entry]
-    return BoundResult(
-        kind=kind,
-        degree=options.degree,
-        h=h_numeric,
-        bound=bound,
-        value=solution.objective,
-        anchor=anchor,
-        lp_variables=solution.num_variables,
-        lp_equalities=solution.num_equalities,
-        runtime=time.perf_counter() - start,
-        nondet_choices=dict(nondet_choices) or None,
-        options=options,
-    )
+    prepared = _PreparedSynthesis(cfg, invariants, kind, options, restrict_to=nondet_choices)
+    return prepared.solve(init, nondet_choices)
 
 
 # ---------------------------------------------------------------------------
@@ -231,16 +330,19 @@ def synthesize(
         return _synthesize_once(cfg, invariants, init, kind, options, nondet_choices)
 
     # PLCS with nondeterminism: enumerate branch policies, keep the best.
+    # Certificates are policy-independent except at the nondet labels,
+    # so prepare once and only re-solve the LP per policy.
     if len(nondet_labels) > _MAX_NONDET_ENUMERATION:
         policy = {label.id: 0 for label in nondet_labels}
         return _synthesize_once(cfg, invariants, init, kind, options, policy)
 
+    prepared = _PreparedSynthesis(cfg, invariants, kind, options)
     best: Optional[BoundResult] = None
     failures: List[str] = []
     for combo in iter_product((0, 1), repeat=len(nondet_labels)):
         policy = {label.id: choice for label, choice in zip(nondet_labels, combo)}
         try:
-            candidate = _synthesize_once(cfg, invariants, init, kind, options, policy)
+            candidate = prepared.solve(init, policy)
         except SynthesisError as exc:
             failures.append(f"policy {policy}: {exc}")
             continue

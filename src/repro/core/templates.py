@@ -62,5 +62,7 @@ def make_template(cfg: CFG, degree: int, variables: Optional[Sequence[str]] = No
             name = f"a_{label.id}_{j}"
             unknowns.append(name)
             terms[mono] = LinForm.unknown(name)
-        polys[label.id] = Polynomial(terms)
+        # Keys come straight from the monomial basis and every
+        # coefficient is a fresh unknown — safe to skip validation.
+        polys[label.id] = Polynomial._raw(terms)
     return Template(degree=degree, polys=polys, unknowns=unknowns, basis=basis)

@@ -1,12 +1,26 @@
-"""Exception hierarchy for the repro library.
+"""Exception hierarchy and shared numeric tolerances.
 
 Every error raised by the library derives from :class:`ReproError`, so
 callers can catch a single base class.  Sub-hierarchies mirror the
 pipeline stages: parsing, CFG construction, invariant handling and
 bound synthesis.
+
+The tolerance constants live here (rather than next to the polynomial
+or LP code) because both ends of the pipeline need the *same* notion of
+"zero": a coefficient pruned by polynomial arithmetic must also be
+pruned by LP row assembly, or identical constraints stop deduplicating.
 """
 
 from __future__ import annotations
+
+#: Coefficient magnitudes at or below this are treated as exact zeros —
+#: used by polynomial term pruning and LP row cleaning alike.
+ZERO_TOL = 1e-12
+
+#: Slack for consistency checks on constant equalities (``0 = rhs``):
+#: looser than :data:`ZERO_TOL` because the rhs accumulates float error
+#: from pre-expectation arithmetic before it reaches the LP.
+CONSISTENCY_TOL = 1e-9
 
 
 class ReproError(Exception):

@@ -76,6 +76,11 @@ class InvariantMap:
         """Strengthen the invariant at one label."""
         self._entries[label_id] = self.get(label_id).conjoin(_coerce(value))
 
+    def copy(self) -> "InvariantMap":
+        """Shallow copy: independent entry table, shared (immutable)
+        regions.  Lets callers strengthen a cached map without aliasing."""
+        return InvariantMap(dict(self._entries))
+
     def merge(self, other: "InvariantMap") -> "InvariantMap":
         """Pointwise conjunction of two invariant maps."""
         out = InvariantMap(dict(self._entries))

@@ -20,7 +20,6 @@ hand-written relational annotations when the benchmarks need them.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..polynomials import Monomial, Polynomial
@@ -41,24 +40,38 @@ __all__ = ["Interval", "generate_interval_invariants"]
 _INF = math.inf
 
 
-@dataclass(frozen=True)
 class Interval:
-    """A closed interval ``[lo, hi]`` (possibly unbounded)."""
+    """A closed interval ``[lo, hi]`` (possibly unbounded).
 
-    lo: float = -_INF
-    hi: float = _INF
+    A plain ``__slots__`` class rather than a dataclass: the worklist
+    iteration allocates intervals in its innermost loops and the frozen
+    dataclass ``object.__setattr__`` construction showed up in profiles.
+    Instances are treated as immutable by convention.
+    """
 
-    def __post_init__(self):
-        if self.lo > self.hi:
-            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: float = -_INF, hi: float = _INF):
+        if lo > hi:
+            raise ValueError(f"empty interval [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
 
     @classmethod
     def top(cls) -> "Interval":
-        return cls()
+        return _TOP
 
     @classmethod
     def point(cls, value: float) -> "Interval":
         return cls(value, value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        return self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
 
     def is_top(self) -> bool:
         return self.lo == -_INF and self.hi == _INF
@@ -111,23 +124,50 @@ class Interval:
         return f"[{self.lo:g}, {self.hi:g}]"
 
 
+_TOP = Interval()
+
 State = Dict[str, Interval]
 
 
+def _mul_bounds(alo: float, ahi: float, blo: float, bhi: float) -> Tuple[float, float]:
+    """Interval product on raw floats (NaN from ``0 * inf`` maps to 0)."""
+    lo = hi = None
+    for a in (alo, ahi):
+        for b in (blo, bhi):
+            p = a * b
+            if p != p:  # NaN
+                p = 0.0
+            if lo is None or p < lo:
+                lo = p
+            if hi is None or p > hi:
+                hi = p
+    return lo, hi
+
+
 def _eval_poly(poly: Polynomial, state: State, rvar_bounds: Mapping[str, Tuple[float, float]]) -> Interval:
-    """Interval evaluation of a (numeric) polynomial."""
-    total = Interval.point(0.0)
+    """Interval evaluation of a (numeric) polynomial.
+
+    Works on raw float bounds instead of allocating an ``Interval`` per
+    intermediate — this is the hottest spot of the worklist iteration.
+    """
+    total_lo = total_hi = 0.0
     for mono, coeff in poly.terms():
-        term = Interval.point(1.0)
+        term_lo = term_hi = 1.0
         for var, exp in mono:
             if var in rvar_bounds:
-                lo, hi = rvar_bounds[var]
-                base = Interval(lo, hi)
+                base_lo, base_hi = rvar_bounds[var]
             else:
-                base = state.get(var, Interval.top())
-            term = term.mul(base.power(exp))
-        total = total.add(term.scale(float(coeff)))
-    return total
+                interval = state.get(var)
+                base_lo, base_hi = (interval.lo, interval.hi) if interval is not None else (-_INF, _INF)
+            pow_lo, pow_hi = 1.0, 1.0
+            for _ in range(exp):
+                pow_lo, pow_hi = _mul_bounds(pow_lo, pow_hi, base_lo, base_hi)
+            term_lo, term_hi = _mul_bounds(term_lo, term_hi, pow_lo, pow_hi)
+        c = float(coeff)
+        scaled_lo, scaled_hi = _mul_bounds(term_lo, term_hi, c, c)
+        total_lo += scaled_lo
+        total_hi += scaled_hi
+    return Interval(total_lo, total_hi)
 
 
 def _linear_bound(atom: Atom) -> Optional[Tuple[str, float, float]]:
@@ -146,21 +186,51 @@ def _linear_bound(atom: Atom) -> Optional[Tuple[str, float, float]]:
     return var, a, b
 
 
-def _refine(state: State, cond: BoolExpr, assume_true: bool) -> Optional[State]:
+class _RefineMemo:
+    """Per-analysis cache of guard decompositions.
+
+    The worklist revisits the same branch conditions dozens of times;
+    DNF conversion and the per-atom linear-bound decomposition are pure
+    functions of AST nodes that stay alive (referenced by the CFG) for
+    the whole analysis, so they are memoised by node identity here.
+    """
+
+    __slots__ = ("dnf", "bounds")
+
+    def __init__(self):
+        self.dnf: Dict[Tuple[int, bool], list] = {}
+        self.bounds: Dict[int, Optional[Tuple[str, float, float]]] = {}
+
+    def disjuncts(self, cond: BoolExpr, assume_true: bool) -> list:
+        key = (id(cond), assume_true)
+        cached = self.dnf.get(key)
+        if cached is None:
+            cached = cond.to_dnf() if assume_true else cond.negate().to_dnf()
+            self.dnf[key] = cached
+        return cached
+
+    def linear_bound(self, atom: Atom) -> Optional[Tuple[str, float, float]]:
+        key = id(atom)
+        if key not in self.bounds:
+            self.bounds[key] = _linear_bound(atom)
+        return self.bounds[key]
+
+
+def _refine(state: State, cond: BoolExpr, assume_true: bool, memo: _RefineMemo) -> Optional[State]:
     """Refine intervals assuming ``cond`` is true (or false).
 
     Only single-variable linear atoms refine; anything else is ignored
     (a sound over-approximation).  Returns ``None`` when the branch is
     provably unreachable.
     """
-    disjuncts = cond.to_dnf() if assume_true else cond.negate().to_dnf()
+    disjuncts = memo.disjuncts(cond, assume_true)
     if not disjuncts:
         return None  # condition is constant-false: branch unreachable
     refined_states: List[State] = []
     for conj in disjuncts:
         current: Optional[State] = dict(state)
         for atom in conj:
-            decomp = _linear_bound(atom)
+            decomp = memo.linear_bound(atom)
             if decomp is None or current is None:
                 continue
             var, a, b = decomp
@@ -194,7 +264,10 @@ def _states_equal(a: Optional[State], b: Optional[State]) -> bool:
 
 
 def _edge_states(
-    label, state: State, rvar_bounds: Mapping[str, Tuple[float, float]]
+    label,
+    state: State,
+    rvar_bounds: Mapping[str, Tuple[float, float]],
+    memo: _RefineMemo,
 ) -> List[Tuple[int, Optional[State]]]:
     """The abstract states flowing out of ``label`` along each edge."""
     if isinstance(label, AssignLabel):
@@ -203,8 +276,8 @@ def _edge_states(
         return [(label.succ, new_state)]
     if isinstance(label, BranchLabel):
         return [
-            (label.succ_true, _refine(state, label.cond, assume_true=True)),
-            (label.succ_false, _refine(state, label.cond, assume_true=False)),
+            (label.succ_true, _refine(state, label.cond, True, memo)),
+            (label.succ_false, _refine(state, label.cond, False, memo)),
         ]
     if isinstance(label, (ProbLabel, NondetLabel)):
         return [(label.succ_then, dict(state)), (label.succ_else, dict(state))]
@@ -230,6 +303,7 @@ def generate_interval_invariants(
     invariant.
     """
     rvar_bounds = {name: dist.support_bounds() for name, dist in cfg.rvars.items()}
+    memo = _RefineMemo()
     entry_state: State = {var: Interval.point(float(init.get(var, 0.0))) for var in cfg.pvars}
 
     states: Dict[int, Optional[State]] = {label.id: None for label in cfg}
@@ -246,7 +320,7 @@ def generate_interval_invariants(
             continue
         label = cfg.labels[label_id]
 
-        for succ, new_state in _edge_states(label, state, rvar_bounds):
+        for succ, new_state in _edge_states(label, state, rvar_bounds, memo):
             if new_state is None:
                 continue
             old = states[succ]
@@ -268,7 +342,7 @@ def generate_interval_invariants(
         for label_id, state in states.items():
             if state is None:
                 continue
-            for succ, new_state in _edge_states(cfg.labels[label_id], state, rvar_bounds):
+            for succ, new_state in _edge_states(cfg.labels[label_id], state, rvar_bounds, memo):
                 if new_state is None:
                     continue
                 old = inflow[succ]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from .linform import cmul
+from .linform import cadd, cis_zero, cmul
 from .monomial import Monomial
 from .polynomial import Polynomial
 
@@ -33,14 +33,22 @@ def expectation(poly: Polynomial, distributions: Mapping[str, object]) -> Polyno
     if not distributions:
         return poly
     sampled = set(distributions)
-    result = Polynomial.zero()
+    if not any(var in sampled for mono in poly.monomials() for var, _ in mono):
+        return poly
+    out: dict = {}
     for mono, coeff in poly.terms():
         factor = 1.0
-        residual: dict = {}
+        residual = []
         for var, exp in mono:
             if var in sampled:
                 factor *= float(distributions[var].moment(exp))
             else:
-                residual[var] = exp
-        result = result + Polynomial.monomial(Monomial(residual), cmul(coeff, factor))
-    return result
+                residual.append((var, exp))
+        reduced = Monomial._of(tuple(residual))
+        scaled = cmul(coeff, factor)
+        existing = out.get(reduced)
+        out[reduced] = scaled if existing is None else cadd(existing, scaled)
+    dead = [m for m, c in out.items() if cis_zero(c)]
+    for m in dead:
+        del out[m]
+    return Polynomial._raw(out)

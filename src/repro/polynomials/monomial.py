@@ -4,35 +4,82 @@ A :class:`Monomial` is an immutable, hashable mapping from variable
 names to positive integer exponents, e.g. ``x**2 * y``.  Monomials are
 the dictionary keys of sparse :class:`~repro.polynomials.Polynomial`
 objects, so hashing and comparison need to be cheap and total.
+
+Monomials are *interned*: constructing the same power product twice
+returns the same object.  The synthesis pipeline builds millions of
+monomials from a universe of at most a few hundred distinct power
+products (the degree-``d`` basis over the program variables), so
+interning turns most constructions into a single dict lookup and makes
+equality an identity check.  The total degree is computed once at
+interning time and cached.
 """
 
 from __future__ import annotations
 
 from itertools import combinations_with_replacement
-from typing import Iterable, Iterator, Mapping, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
 
-__all__ = ["Monomial", "monomials_up_to_degree"]
+__all__ = ["Monomial", "monomials_up_to_degree", "clear_intern_cache"]
+
+#: Normalised powers tuple -> the unique Monomial carrying it.  Bounded
+#: in practice by the power products actually constructed (the degree-d
+#: basis over the variable names in play); long-lived sweeps over many
+#: programs with disjoint variable universes can reset it via
+#: :func:`clear_intern_cache`.
+_INTERN: Dict[Tuple[Tuple[str, int], ...], "Monomial"] = {}
+
+
+def clear_intern_cache() -> None:
+    """Reset the intern table (long-running sweeps, benchmarks).
+
+    Safe at any time: monomials created before the reset stay valid and
+    still compare equal to later ones by value — only the
+    same-object-identity guarantee is scoped to one intern epoch.
+    """
+    _INTERN.clear()
+    _INTERN[_ONE._powers] = _ONE
 
 
 class Monomial:
-    """An immutable power product ``prod(var**exp)``.
+    """An immutable, interned power product ``prod(var**exp)``.
 
     The empty product (degree 0) represents the constant monomial ``1``.
+    Equal power products are guaranteed to be the *same* object, so
+    ``==`` degrades to ``is`` for monomials built through any public
+    constructor.
     """
 
-    __slots__ = ("_powers", "_hash")
+    __slots__ = ("_powers", "_hash", "_degree")
 
-    def __init__(self, powers: Mapping[str, int] | Iterable[Tuple[str, int]] = ()):
+    def __new__(cls, powers: Mapping[str, int] | Iterable[Tuple[str, int]] = ()):
         items = powers.items() if isinstance(powers, Mapping) else powers
-        cleaned = []
+        merged: dict = {}
         for var, exp in items:
             if exp < 0:
                 raise ValueError(f"negative exponent {exp} for variable {var!r}")
             if exp > 0:
-                cleaned.append((str(var), int(exp)))
-        cleaned.sort()
-        self._powers: Tuple[Tuple[str, int], ...] = tuple(cleaned)
-        self._hash = hash(self._powers)
+                # Merge duplicates from iterable input — the intern key
+                # must have exactly one entry per variable.
+                name = str(var)
+                merged[name] = merged.get(name, 0) + int(exp)
+        return cls._of(tuple(sorted(merged.items())))
+
+    @classmethod
+    def _of(cls, key: Tuple[Tuple[str, int], ...]) -> "Monomial":
+        """Interned monomial for an already-normalised powers tuple.
+
+        ``key`` must be sorted by variable name with strictly positive
+        integer exponents; this is the trusted fast path the arithmetic
+        methods use to skip re-validation.
+        """
+        cached = _INTERN.get(key)
+        if cached is None:
+            cached = object.__new__(cls)
+            cached._powers = key
+            cached._hash = hash(key)
+            cached._degree = sum(exp for _, exp in key)
+            _INTERN[key] = cached
+        return cached
 
     # -- constructors ---------------------------------------------------
 
@@ -54,8 +101,8 @@ class Monomial:
         return self._powers
 
     def degree(self) -> int:
-        """Total degree (sum of exponents)."""
-        return sum(exp for _, exp in self._powers)
+        """Total degree (sum of exponents); cached at interning time."""
+        return self._degree
 
     def degree_in(self, var: str) -> int:
         """Exponent of ``var`` (0 if absent)."""
@@ -83,19 +130,30 @@ class Monomial:
     def __mul__(self, other: "Monomial") -> "Monomial":
         if not isinstance(other, Monomial):
             return NotImplemented
+        if not self._powers:
+            return other
+        if not other._powers:
+            return self
         merged = dict(self._powers)
         for var, exp in other._powers:
-            merged[var] = merged.get(var, 0) + exp
-        return Monomial(merged)
+            existing = merged.get(var)
+            merged[var] = exp if existing is None else existing + exp
+        return Monomial._of(tuple(sorted(merged.items())))
 
     def __pow__(self, k: int) -> "Monomial":
         if k < 0:
             raise ValueError("monomials cannot be raised to negative powers")
-        return Monomial({var: exp * k for var, exp in self._powers})
+        if k == 0:
+            return _ONE
+        if k == 1:
+            return self
+        return Monomial._of(tuple((var, exp * k) for var, exp in self._powers))
 
     def without(self, var: str) -> "Monomial":
         """This monomial with ``var`` removed entirely."""
-        return Monomial([(v, e) for v, e in self._powers if v != var])
+        if self.degree_in(var) == 0:
+            return self
+        return Monomial._of(tuple(p for p in self._powers if p[0] != var))
 
     def evaluate(self, valuation: Mapping[str, float]) -> float:
         """Numeric value under a (total, for its variables) valuation."""
@@ -107,6 +165,8 @@ class Monomial:
     # -- dunder plumbing --------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Monomial) and self._powers == other._powers
 
     def __hash__(self) -> int:
@@ -116,7 +176,11 @@ class Monomial:
         """Graded lexicographic order (useful for stable printing)."""
         if not isinstance(other, Monomial):
             return NotImplemented
-        return (self.degree(), self._powers) < (other.degree(), other._powers)
+        return (self._degree, self._powers) < (other._degree, other._powers)
+
+    def __reduce__(self):
+        # Interning happens through __new__, so unpickling re-interns.
+        return (Monomial, (self._powers,))
 
     def __repr__(self) -> str:
         return f"Monomial({dict(self._powers)!r})"
@@ -147,5 +211,5 @@ def monomials_up_to_degree(variables: Iterable[str], degree: int) -> list:
             powers: dict = {}
             for name in combo:
                 powers[name] = powers.get(name, 0) + 1
-            result.append(Monomial(powers))
+            result.append(Monomial._of(tuple(sorted(powers.items()))))
     return result

@@ -14,20 +14,39 @@ Coefficients may be ``float`` or ``LinForm``; the arithmetic helpers in
 :mod:`repro.polynomials.linform` keep mixed arithmetic correct and raise
 on operations (symbolic x symbolic products) that would leave the affine
 fragment the LP reduction needs.
+
+Internally the arithmetic methods accumulate into plain dicts and seal
+the result through the trusted :meth:`Polynomial._raw` constructor; only
+the public ``__init__`` re-validates keys, so building a polynomial from
+``k`` operations costs ``O(terms)`` instead of ``O(terms * k)``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Mapping, Tuple, Union
 
-from ..errors import NonLinearError
+from ..errors import ZERO_TOL, NonLinearError
 from .linform import Coeff, LinForm, as_linform, cadd, cis_zero, cmul, cneg
 from .monomial import Monomial
 
 __all__ = ["Polynomial"]
 
 Scalar = Union[int, float]
-_ZERO_TOL = 1e-12
+_ZERO_TOL = ZERO_TOL
+
+
+def _acc(table: Dict[Monomial, Coeff], mono: Monomial, coeff: Coeff) -> None:
+    """Accumulate ``coeff * mono`` into a mutable term table."""
+    existing = table.get(mono)
+    table[mono] = coeff if existing is None else cadd(existing, coeff)
+
+
+def _prune_table(table: Dict[Monomial, Coeff]) -> Dict[Monomial, Coeff]:
+    """Delete exactly-zero coefficients (cancellations) in place."""
+    dead = [m for m, c in table.items() if cis_zero(c)]
+    for m in dead:
+        del table[m]
+    return table
 
 
 class Polynomial:
@@ -54,8 +73,21 @@ class Polynomial:
     # -- constructors ---------------------------------------------------
 
     @classmethod
+    def _raw(cls, terms: Dict[Monomial, Coeff]) -> "Polynomial":
+        """Trusted constructor: takes ownership of ``terms``.
+
+        Keys must already be :class:`Monomial` instances and values
+        nonzero coefficients — callers accumulate via :func:`_acc` and
+        prune cancellations themselves.  This is the internal fast path;
+        external code should use the validating ``__init__``.
+        """
+        self = object.__new__(cls)
+        self._terms = terms
+        return self
+
+    @classmethod
     def zero(cls) -> "Polynomial":
-        return cls()
+        return cls._raw({})
 
     @classmethod
     def constant(cls, value: Coeff) -> "Polynomial":
@@ -63,7 +95,7 @@ class Polynomial:
 
     @classmethod
     def variable(cls, name: str) -> "Polynomial":
-        return cls({Monomial.variable(name): 1.0})
+        return cls._raw({Monomial.variable(name): 1.0})
 
     @classmethod
     def monomial(cls, mono: Monomial, coeff: Coeff = 1.0) -> "Polynomial":
@@ -141,43 +173,64 @@ class Polynomial:
 
     def __add__(self, other: Union["Polynomial", Scalar, LinForm]) -> "Polynomial":
         if isinstance(other, (int, float, LinForm)):
+            if cis_zero(other):
+                return self
             other = Polynomial.constant(other)
         if not isinstance(other, Polynomial):
             return NotImplemented
         terms = dict(self._terms)
         for mono, coeff in other._terms.items():
             existing = terms.get(mono)
-            terms[mono] = coeff if existing is None else cadd(existing, coeff)
-        return Polynomial(terms)
+            if existing is None:
+                terms[mono] = coeff
+            else:
+                merged = cadd(existing, coeff)
+                if cis_zero(merged):
+                    del terms[mono]
+                else:
+                    terms[mono] = merged
+        return Polynomial._raw(terms)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Polynomial":
-        return Polynomial({m: cneg(c) for m, c in self._terms.items()})
+        return Polynomial._raw({m: cneg(c) for m, c in self._terms.items()})
 
     def __sub__(self, other: Union["Polynomial", Scalar, LinForm]) -> "Polynomial":
         if isinstance(other, (int, float, LinForm)):
+            if cis_zero(other):
+                return self
             other = Polynomial.constant(other)
         if not isinstance(other, Polynomial):
             return NotImplemented
-        return self + (-other)
+        terms = dict(self._terms)
+        for mono, coeff in other._terms.items():
+            existing = terms.get(mono)
+            if existing is None:
+                terms[mono] = cneg(coeff)
+            else:
+                merged = cadd(existing, cneg(coeff))
+                if cis_zero(merged):
+                    del terms[mono]
+                else:
+                    terms[mono] = merged
+        return Polynomial._raw(terms)
 
     def __rsub__(self, other: Union[Scalar, LinForm]) -> "Polynomial":
         return (-self) + other
 
     def __mul__(self, other: Union["Polynomial", Scalar, LinForm]) -> "Polynomial":
         if isinstance(other, (int, float, LinForm)):
-            return Polynomial({m: cmul(c, other) for m, c in self._terms.items()})
+            if cis_zero(other):
+                return Polynomial._raw({})
+            return Polynomial._raw({m: cmul(c, other) for m, c in self._terms.items()})
         if not isinstance(other, Polynomial):
             return NotImplemented
         terms: Dict[Monomial, Coeff] = {}
         for m1, c1 in self._terms.items():
             for m2, c2 in other._terms.items():
-                mono = m1 * m2
-                prod = cmul(c1, c2)
-                existing = terms.get(mono)
-                terms[mono] = prod if existing is None else cadd(existing, prod)
-        return Polynomial(terms)
+                _acc(terms, m1 * m2, cmul(c1, c2))
+        return Polynomial._raw(_prune_table(terms))
 
     __rmul__ = __mul__
 
@@ -198,43 +251,75 @@ class Polynomial:
 
     # -- substitution and evaluation ----------------------------------------
 
+    def contains_variable(self, var: str) -> bool:
+        """True iff ``var`` occurs with positive exponent in some term.
+
+        Short-circuits over the monomials instead of materialising the
+        full :meth:`variables` set.
+        """
+        return any(m.degree_in(var) for m in self._terms)
+
     def substitute(self, var: str, replacement: "Polynomial") -> "Polynomial":
         """Replace every occurrence of ``var`` by ``replacement``.
 
-        Powers of ``replacement`` are cached so that the common case
-        (a degree-``d`` template composed with an update expression)
-        stays cheap.
+        Single pass: every term's expansion is accumulated into one
+        shared coefficient table.  Powers of ``replacement`` are cached
+        so that the common case (a degree-``d`` template composed with
+        an update expression) stays cheap.
         """
-        if var not in self.variables():
+        if not self.contains_variable(var):
             return self
-        powers: Dict[int, Polynomial] = {0: Polynomial.constant(1.0), 1: replacement}
+        powers: Dict[int, Polynomial] = {1: replacement}
 
         def power(k: int) -> Polynomial:
             if k not in powers:
                 powers[k] = power(k - 1) * replacement
             return powers[k]
 
-        result = Polynomial.zero()
+        out: Dict[Monomial, Coeff] = {}
         for mono, coeff in self._terms.items():
             exp = mono.degree_in(var)
-            rest = Polynomial.monomial(mono.without(var), coeff)
-            result = result + (rest * power(exp) if exp else rest)
-        return result
+            if exp == 0:
+                _acc(out, mono, coeff)
+                continue
+            rest = mono.without(var)
+            for m2, c2 in power(exp)._terms.items():
+                _acc(out, rest * m2, cmul(coeff, c2))
+        return Polynomial._raw(_prune_table(out))
 
     def substitute_all(self, mapping: Mapping[str, "Polynomial"]) -> "Polynomial":
         """Simultaneous substitution of several variables.
 
         Simultaneity matters when replacements mention substituted
-        variables (e.g. swapping ``x`` and ``y``); we therefore rename
-        through fresh intermediates rather than folding sequentially.
+        variables (e.g. swapping ``x`` and ``y``); each original term is
+        expanded against the *original* monomial in one pass, so later
+        substitutions never see earlier replacements.
         """
-        fresh = {var: f"__subst_{i}__" for i, var in enumerate(mapping)}
-        result = self
-        for var, tmp in fresh.items():
-            result = result.substitute(var, Polynomial.variable(tmp))
-        for var, tmp in fresh.items():
-            result = result.substitute(tmp, mapping[var])
-        return result
+        relevant = {v for v in mapping if self.contains_variable(v)}
+        if not relevant:
+            return self
+        powers: Dict[Tuple[str, int], Polynomial] = {}
+
+        def power(var: str, k: int) -> Polynomial:
+            cached = powers.get((var, k))
+            if cached is None:
+                cached = mapping[var] if k == 1 else power(var, k - 1) * mapping[var]
+                powers[(var, k)] = cached
+            return cached
+
+        out: Dict[Monomial, Coeff] = {}
+        for mono, coeff in self._terms.items():
+            substituted = [(v, e) for v, e in mono.powers if v in relevant]
+            if not substituted:
+                _acc(out, mono, coeff)
+                continue
+            rest = Monomial._of(tuple(p for p in mono.powers if p[0] not in relevant))
+            piece = Polynomial._raw({rest: coeff})
+            for v, e in substituted:
+                piece = piece * power(v, e)
+            for m2, c2 in piece._terms.items():
+                _acc(out, m2, c2)
+        return Polynomial._raw(_prune_table(out))
 
     def evaluate(self, valuation: Mapping[str, float]) -> Coeff:
         """Value under a total valuation of all variables.
@@ -257,14 +342,18 @@ class Polynomial:
 
     def partial_evaluate(self, valuation: Mapping[str, float]) -> "Polynomial":
         """Fix some variables to numbers, leaving the rest symbolic."""
-        result = self
-        for var, value in valuation.items():
-            result = result.substitute(var, Polynomial.constant(float(value)))
-        return result
+        return self.substitute_all(
+            {var: Polynomial.constant(float(value)) for var, value in valuation.items()}
+        )
 
     def map_coeffs(self, fn) -> "Polynomial":
         """Apply ``fn`` to every coefficient (used to instantiate templates)."""
-        return Polynomial({m: fn(c) for m, c in self._terms.items()})
+        out: Dict[Monomial, Coeff] = {}
+        for m, c in self._terms.items():
+            mapped = fn(c)
+            if not cis_zero(mapped):
+                out[m] = mapped
+        return Polynomial._raw(out)
 
     def instantiate(self, assignment: Mapping[str, float]) -> "Polynomial":
         """Replace symbolic coefficients by their solved numeric values."""

@@ -63,12 +63,17 @@ class Benchmark:
     def cfg(self) -> CFG:
         return build_cfg(self.program)
 
+    @cached_property
+    def _parsed_invariants(self) -> InvariantMap:
+        """The init-independent annotations, parsed once per benchmark."""
+        return InvariantMap.from_strings(self.cfg, self.invariants)
+
     def invariant_map(self, init: Optional[Mapping[str, float]] = None) -> InvariantMap:
-        inv = InvariantMap.from_strings(self.cfg, self.invariants)
+        inv = self._parsed_invariants
         if self.init_invariants is not None:
             anchored = self.init_invariants(dict(init if init is not None else self.init))
-            inv = inv.merge(InvariantMap.from_strings(self.cfg, anchored))
-        return inv
+            return inv.merge(InvariantMap.from_strings(self.cfg, anchored))
+        return inv.copy()
 
     @property
     def has_nondeterminism(self) -> bool:

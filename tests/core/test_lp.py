@@ -108,3 +108,46 @@ def test_solution_indexing():
     lp.set_objective(LinForm(0.0, {"x": 1.0}))
     sol = lp.solve()
     assert sol["x"] == pytest.approx(2.0)
+
+
+class TestToleranceHandling:
+    """Regression tests for the shared ZERO_TOL/CONSISTENCY_TOL cleanup."""
+
+    def test_subtolerance_coefficients_dropped_from_mixed_rows(self):
+        from repro.core import LinearProgram
+
+        lp = LinearProgram()
+        lp.add_unknown("a")
+        lp.add_unknown("b")
+        lp.add_equality({"a": 1.0, "b": 1e-15}, 2.0)
+        assert lp.num_equalities == 1
+
+    def test_all_subtolerance_row_is_kept_not_deleted(self):
+        """A row whose coefficients are all tiny-but-nonzero is a real
+        (badly scaled) constraint: it must neither raise nor vanish."""
+        from repro.core import LinearProgram
+
+        lp = LinearProgram()
+        lp.add_unknown("c", nonnegative=True)
+        lp.add_equality({"c": 5e-13}, 5e-10)  # forces c = 1000
+        lp.add_equality({"c": 5e-13}, 1.0)  # badly scaled, not contradictory
+        assert lp.num_equalities == 2
+
+    def test_exact_zero_row_with_large_rhs_is_contradictory(self):
+        from repro.core import LinearProgram
+        from repro.errors import InfeasibleError
+
+        lp = LinearProgram()
+        lp.add_unknown("a")
+        with pytest.raises(InfeasibleError):
+            lp.add_equality({"a": 0.0}, 1.0)
+
+    def test_duplicate_rows_deduplicated(self):
+        from repro.core import LinearProgram
+
+        lp = LinearProgram()
+        lp.add_unknown("a")
+        lp.add_equality({"a": 2.0}, 1.0)
+        lp.add_equality({"a": 2.0}, 1.0)
+        lp.add_equality({"a": 2.0}, 3.0)  # same coeffs, different rhs: kept
+        assert lp.num_equalities == 2

@@ -140,3 +140,55 @@ def test_power_matches_repeated_mul(p, k):
     for _ in range(k):
         expected = expected * m
     assert m**k == expected
+
+
+class TestInterning:
+    """Interned monomials must be indistinguishable from the previous
+    construct-each-time implementation: identical hashing, comparison,
+    ordering — plus the new identity guarantee."""
+
+    def test_equal_constructions_are_identical(self):
+        assert Monomial({"x": 1, "y": 2}) is Monomial([("y", 2), ("x", 1)])
+
+    def test_one_is_singleton(self):
+        assert Monomial.one() is Monomial({}) is Monomial({"x": 0})
+
+    def test_products_are_interned(self):
+        a = Monomial({"x": 1}) * Monomial({"x": 1, "y": 1})
+        assert a is Monomial({"x": 2, "y": 1})
+
+    def test_hash_matches_fresh_tuple_hash(self):
+        m = Monomial({"x": 3, "y": 1})
+        assert hash(m) == hash((("x", 3), ("y", 1)))
+
+    def test_ordering_unchanged(self):
+        # Sorting is total and deterministic regardless of input order.
+        basis = monomials_up_to_degree(["x", "y"], 3)
+        assert sorted(basis) == sorted(reversed(basis))
+        assert sorted(basis)[0] is Monomial.one()
+
+    def test_without_and_pow_return_interned(self):
+        m = Monomial({"x": 2, "y": 1})
+        assert m.without("y") is Monomial({"x": 2})
+        assert m**2 is Monomial({"x": 4, "y": 2})
+        assert m**1 is m
+
+    def test_degree_cached_value_is_correct(self):
+        m = Monomial({"x": 2, "y": 5})
+        assert m.degree() == 7
+        assert (m * m).degree() == 14
+
+    def test_duplicate_variables_in_pairs_merge(self):
+        assert Monomial([("x", 1), ("x", 1)]) is Monomial({"x": 2})
+        assert Monomial([("x", 2), ("y", 1), ("x", 1)]) is Monomial({"x": 3, "y": 1})
+
+    def test_pickle_roundtrip_reinterns(self):
+        import pickle
+
+        m = Monomial({"x": 2, "z": 1})
+        assert pickle.loads(pickle.dumps(m)) is m
+
+    @given(powers)
+    def test_interning_preserves_equality_semantics(self, p):
+        a, b = Monomial(p), Monomial(dict(p))
+        assert a == b and a is b and hash(a) == hash(b)

@@ -231,3 +231,36 @@ def test_substitution_commutes_with_evaluation(p, v):
 @settings(max_examples=60)
 def test_negation_is_additive_inverse(p):
     assert (p + (-p)).is_zero()
+
+
+@given(polys, polys, polys)
+@settings(max_examples=60)
+def test_substitute_all_is_simultaneous(p, q, r):
+    # Reference implementation: rename through fresh intermediates, then
+    # substitute one variable at a time (the pre-optimization strategy).
+    mapping = {"x": q, "y": r}
+    fresh = {var: f"__ref_{i}__" for i, var in enumerate(mapping)}
+    reference = p
+    for var, tmp in fresh.items():
+        reference = reference.substitute(var, Polynomial.variable(tmp))
+    for var, tmp in fresh.items():
+        reference = reference.substitute(tmp, mapping[var])
+    assert p.substitute_all(mapping) == reference
+
+
+@given(polys)
+@settings(max_examples=60)
+def test_substitute_swap_variables(p):
+    swapped = p.substitute_all(
+        {"x": Polynomial.variable("y"), "y": Polynomial.variable("x")}
+    )
+    assert swapped.substitute_all(
+        {"x": Polynomial.variable("y"), "y": Polynomial.variable("x")}
+    ) == p
+
+
+@given(polys)
+@settings(max_examples=60)
+def test_substitute_absent_variable_returns_self(p):
+    assert p.substitute("__nope__", Polynomial.variable("x")) is p
+    assert p.substitute_all({"__nope__": Polynomial.variable("x")}) is p
