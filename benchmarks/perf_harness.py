@@ -13,10 +13,13 @@ spends its time.
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_harness.py [--quick] [--repeats N]
-                                                     [--output PATH]
+                                                     [--output PATH] [--jobs N]
 
 ``--quick`` runs a single repeat on a benchmark subset (CI smoke test);
-the default is best-of-3 on the full suite.
+the default is best-of-3 on the full suite.  ``--jobs N`` routes each
+suite through the batch engine's process pool (``repro.batch``); the
+recorded baselines are sequential, so ``speedup`` is omitted there —
+parallel timings measure throughput, not the single-analysis hot path.
 
 Output schema (``repro-bench-synthesis/v1``)::
 
@@ -64,7 +67,17 @@ PRE_PR_BASELINE_SECONDS: Dict[str, float] = {
 
 #: Benchmarks kept in ``--quick`` mode (cheap but exercises every layer:
 #: branching, probabilistic choice, nondeterminism, degree-2 templates).
-_QUICK_SET = {"ber", "linear01", "prdwalk", "pol04", "mini-roul", "coupon", "goods"}
+#: Names must exist in the registry — ``_select`` silently falls back to
+#: the first two benchmarks for a suite with no matches.
+_QUICK_SET = {
+    "ber",
+    "linear01",
+    "prdwalk",
+    "pol04",
+    "simple_loop",
+    "bitcoin_mining",
+    "goods_discount",
+}
 
 
 def _clear_session_caches() -> None:
@@ -97,18 +110,28 @@ def _select(benches, quick: bool):
     return picked or list(benches)[:2]
 
 
-def _run_table2(quick: bool) -> int:
-    benches = _select(TABLE2_BENCHMARKS, quick)
-    for bench in benches:
-        bench.analyze()
+def _run_benches(benches, jobs: int) -> int:
+    """Analyze ``benches`` sequentially in-process, or fan them out via
+    the batch engine when ``jobs > 1``."""
+    if jobs > 1:
+        from repro.batch import AnalysisRequest, run_batch
+
+        reports = run_batch([AnalysisRequest(benchmark=b.name) for b in benches], jobs=jobs)
+        failed = [r.name for r in reports if not r.ok]
+        if failed:
+            raise RuntimeError(f"batch analysis failed for {failed}")
+    else:
+        for bench in benches:
+            bench.analyze()
     return len(benches)
 
 
-def _run_table3(quick: bool) -> int:
-    benches = _select(TABLE3_BENCHMARKS, quick)
-    for bench in benches:
-        bench.analyze()
-    return len(benches)
+def _run_table2(quick: bool, jobs: int = 1) -> int:
+    return _run_benches(_select(TABLE2_BENCHMARKS, quick), jobs)
+
+
+def _run_table3(quick: bool, jobs: int = 1) -> int:
+    return _run_benches(_select(TABLE3_BENCHMARKS, quick), jobs)
 
 
 #: Table5's probabilistic variants, built once: ``probabilistic_variant``
@@ -128,14 +151,29 @@ def _table5_variants(quick: bool) -> list:
     return variants
 
 
-def _run_table5(quick: bool) -> int:
+def _run_table5(quick: bool, jobs: int = 1) -> int:
+    if jobs > 1:
+        from repro.batch import requests_from_spec, run_batch
+
+        # Reuse the canonical suite expansion (coin-flip transformation
+        # included) so the parallel timing measures the same workload as
+        # ``repro batch {"suite": "table5"}``.
+        selected = {b.name for b in _select(TABLE3_BENCHMARKS, quick)}
+        requests = [
+            r for r in requests_from_spec({"tasks": [{"suite": "table5"}]})
+            if r.benchmark in selected
+        ]
+        failed = [r.name for r in run_batch(requests, jobs=jobs) if not r.ok]
+        if failed:
+            raise RuntimeError(f"batch analysis failed for {failed}")
+        return len(requests)
     variants = _table5_variants(quick)
     for bench in variants:
         bench.analyze()
     return len(variants)
 
 
-SUITES: List[Tuple[str, Callable[[bool], int]]] = [
+SUITES: List[Tuple[str, Callable[[bool, int], int]]] = [
     ("table2", _run_table2),
     ("table3", _run_table3),
     ("table5", _run_table5),
@@ -153,7 +191,9 @@ def _warm_parse_caches(quick: bool) -> None:
         bench.invariant_map()
 
 
-def run(quick: bool = False, repeats: int = 3, output: str = _DEFAULT_OUTPUT) -> dict:
+def run(
+    quick: bool = False, repeats: int = 3, output: str = _DEFAULT_OUTPUT, jobs: int = 1
+) -> dict:
     _warm_parse_caches(quick)
     suites: Dict[str, dict] = {}
     for name, runner in SUITES:
@@ -162,11 +202,12 @@ def run(quick: bool = False, repeats: int = 3, output: str = _DEFAULT_OUTPUT) ->
         for _ in range(max(1, repeats)):
             _clear_session_caches()
             start = time.perf_counter()
-            count = runner(quick)
+            count = runner(quick, jobs)
             best = min(best, time.perf_counter() - start)
-        # Baselines cover the *full* suite; a --quick subset is not
-        # comparable, so both baseline and speedup are omitted there.
-        baseline = None if quick else PRE_PR_BASELINE_SECONDS.get(name)
+        # Baselines cover the *full* suite run sequentially; a --quick
+        # subset or a parallel run is not comparable, so both baseline
+        # and speedup are omitted there.
+        baseline = None if (quick or jobs > 1) else PRE_PR_BASELINE_SECONDS.get(name)
         suites[name] = {
             "current_seconds": round(best, 4),
             "baseline_seconds": baseline,
@@ -177,25 +218,27 @@ def run(quick: bool = False, repeats: int = 3, output: str = _DEFAULT_OUTPUT) ->
 
     total_current = sum(s["current_seconds"] for s in suites.values())
     total_baseline = sum(PRE_PR_BASELINE_SECONDS.values())
+    comparable = not quick and jobs == 1
     report = {
         "schema": "repro-bench-synthesis/v1",
         "meta": {
             "python": sys.version.split()[0],
             "quick": quick,
             "repeats": repeats,
+            "jobs": jobs,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         },
         "suites": suites,
         "total": {
             "current_seconds": round(total_current, 4),
-            "baseline_seconds": total_baseline if not quick else None,
-            "speedup": round(total_baseline / total_current, 2) if not quick else None,
+            "baseline_seconds": total_baseline if comparable else None,
+            "speedup": round(total_baseline / total_current, 2) if comparable else None,
         },
     }
     out_path = Path(output)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")
-    if not quick:
+    if comparable:
         print(f"total: {total_current:.4f}s (baseline {total_baseline:.4f}s, "
               f"speedup {report['total']['speedup']}x)")
     return report
@@ -206,8 +249,16 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true", help="single repeat on a benchmark subset")
     parser.add_argument("--repeats", type=int, default=3, help="take the best of N runs")
     parser.add_argument("--output", default=_DEFAULT_OUTPUT, help="report path")
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="fan each suite across N worker processes"
+    )
     args = parser.parse_args(argv)
-    run(quick=args.quick, repeats=1 if args.quick else args.repeats, output=args.output)
+    run(
+        quick=args.quick,
+        repeats=1 if args.quick else args.repeats,
+        output=args.output,
+        jobs=args.jobs,
+    )
     return 0
 
 

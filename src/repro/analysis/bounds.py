@@ -198,6 +198,7 @@ def analyze(
             nonnegative=mode_info.require_nonnegative_template,
             max_multiplicands=max_multiplicands,
         )
+        result.warnings.extend(result.upper.warnings)
     except SynthesisError as exc:
         result.warnings.append(f"no degree-{degree} upper bound: {exc}")
 
@@ -211,6 +212,7 @@ def analyze(
                 degree=degree,
                 max_multiplicands=max_multiplicands,
             )
+            result.warnings.extend(result.lower.warnings)
         except SynthesisError as exc:
             result.warnings.append(f"no degree-{degree} lower bound: {exc}")
 

@@ -1,0 +1,19 @@
+"""Batch-analysis engine: many (program, init, degree, mode) tasks at once.
+
+The experiment drivers (Tables 2-5), the perf harness and the
+``python -m repro batch`` / ``bench --all`` CLI all sit on top of
+:func:`run_batch`; see :mod:`repro.batch.spec` for the JSON task model
+and :mod:`repro.batch.engine` for the pool/timeout mechanics.
+"""
+
+from .engine import execute_request, run_batch
+from .spec import AnalysisReport, AnalysisRequest, load_spec, requests_from_spec
+
+__all__ = [
+    "AnalysisReport",
+    "AnalysisRequest",
+    "execute_request",
+    "load_spec",
+    "requests_from_spec",
+    "run_batch",
+]

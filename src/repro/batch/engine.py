@@ -1,0 +1,270 @@
+"""Process-pool batch-analysis engine.
+
+:func:`run_batch` fans a list of :class:`AnalysisRequest` tasks across
+worker processes (``jobs > 1``) or runs them in-process (``jobs == 1``,
+the default — byte-identical results, no pool overhead).  Every task is
+isolated: an exception becomes a ``status="error"`` report, a blown
+per-task budget becomes ``status="timeout"``, and neither takes the
+rest of the batch down.  Reports come back in request order regardless
+of completion order, so ``--jobs N`` never changes the output, only the
+wall clock.
+
+Adaptive degree escalation (``degree="auto"``) mirrors how the paper's
+evaluation picks template degrees: try d = 1, 2, ... ``max_degree`` and
+keep the first degree at which the requested bounds are feasible.
+
+The analysis itself is deterministic (LP synthesis; Monte-Carlo columns
+are seeded), which is what makes sequential/parallel equivalence exact.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.bounds import CostAnalysisResult
+from ..errors import ReproError
+from ..programs import Benchmark, get_benchmark, probabilistic_variant
+from ..semantics import simulate
+from .spec import AnalysisReport, AnalysisRequest
+
+__all__ = ["execute_request", "run_batch"]
+
+
+class BatchTimeout(Exception):
+    """Internal: raised inside a task when its wall-clock budget expires."""
+
+
+@contextmanager
+def _task_alarm(seconds: Optional[float]):
+    """Arm a real-time interval timer for the current task.
+
+    Only available on the main thread of a process with POSIX signals
+    (true for CLI use and for pool workers); elsewhere the budget is
+    silently unenforced rather than wrong.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise BatchTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ---------------------------------------------------------------------------
+# Request resolution
+# ---------------------------------------------------------------------------
+
+#: (benchmark name, prob) -> variant Benchmark.  ``probabilistic_variant``
+#: re-parses the program; per-process memoisation keeps repeated inits of
+#: the same Table 5 variant on the cached CFG, like the registry benches.
+_VARIANT_CACHE: Dict[Tuple[str, float], Benchmark] = {}
+
+
+def _resolve_benchmark(request: AnalysisRequest) -> Benchmark:
+    if request.benchmark is not None:
+        bench = get_benchmark(request.benchmark)
+    else:
+        bench = Benchmark(
+            name=request.display_name,
+            title=request.display_name,
+            source=request.source or "",
+            invariants=dict(request.invariants or {}),
+            init=dict(request.init or {}),
+            degree=2,
+        )
+    if request.nondet_prob is not None and bench.has_nondeterminism:
+        if request.benchmark is not None:
+            key = (request.benchmark, request.nondet_prob)
+            variant = _VARIANT_CACHE.get(key)
+            if variant is None:
+                variant = probabilistic_variant(bench, prob=request.nondet_prob)
+                _VARIANT_CACHE[key] = variant
+            bench = variant
+        else:
+            bench = probabilistic_variant(bench, prob=request.nondet_prob)
+    return bench
+
+
+def _degree_plan(request: AnalysisRequest, bench: Benchmark) -> List[int]:
+    if request.degree == "auto":
+        return list(range(1, request.max_degree + 1))
+    if request.degree is not None:
+        return [int(request.degree)]
+    return [bench.degree]
+
+
+def _is_complete(request: AnalysisRequest, result: CostAnalysisResult) -> bool:
+    """Did this degree produce everything the request asked for?"""
+    if result.upper is None:
+        return False
+    if request.compute_lower and result.mode.lower and result.lower is None:
+        return False
+    return True
+
+
+def _fill_bounds(report: AnalysisReport, result: CostAnalysisResult) -> None:
+    report.mode = result.mode.name
+    report.warnings = list(result.warnings)
+    if result.upper is not None:
+        report.upper_value = result.upper.value
+        report.upper_bound = str(result.upper.bound.round(5))
+        report.upper_runtime = result.upper.runtime
+    if result.lower is not None:
+        report.lower_value = result.lower.value
+        report.lower_bound = str(result.lower.bound.round(5))
+        report.lower_runtime = result.lower.runtime
+        report.policy_enumerated = result.lower.policy_enumerated
+
+
+def execute_request(request: AnalysisRequest) -> AnalysisReport:
+    """Run one task in the current process and capture the outcome.
+
+    Never raises for analysis-level failures: parse errors, infeasible
+    LPs, bad valuations and timeouts all come back as structured
+    reports.  (Programming errors in the request object itself — e.g.
+    neither ``benchmark`` nor ``source`` — still raise ``ValueError``
+    from :meth:`AnalysisRequest.validate` before any work starts.)
+    """
+    request.validate()
+    start = time.perf_counter()
+    report = AnalysisReport(name=request.display_name, status="ok", tag=request.tag)
+    try:
+        with _task_alarm(request.timeout_s):
+            bench = _resolve_benchmark(request)
+            if request.name is None:
+                report.name = bench.name
+            init = dict(request.init) if request.init is not None else dict(bench.init)
+            report.init = init
+
+            result: Optional[CostAnalysisResult] = None
+            for degree in _degree_plan(request, bench):
+                report.degrees_tried.append(degree)
+                result = bench.analyze(
+                    init=init,
+                    degree=degree,
+                    compute_lower=request.compute_lower,
+                    mode=request.mode,
+                    max_multiplicands=request.max_multiplicands,
+                )
+                report.degree = degree
+                if _is_complete(request, result):
+                    break
+            assert result is not None  # degree plan is never empty
+            report.analysis_runtime = time.perf_counter() - start
+            _fill_bounds(report, result)
+            if request.degree == "auto" and not _is_complete(request, result):
+                report.warnings.append(
+                    f"degree escalation exhausted at d={request.max_degree} "
+                    "without a feasible bound for every requested side"
+                )
+
+            if request.simulate_runs is not None:
+                if bench.has_nondeterminism and not request.simulate_nondet:
+                    report.warnings.append(
+                        "simulation skipped: program is nondeterministic "
+                        "(set nondet_prob to fix a coin-flip policy)"
+                    )
+                else:
+                    stats = simulate(
+                        bench.cfg,
+                        init,
+                        runs=request.simulate_runs,
+                        seed=request.simulate_seed,
+                        max_steps=request.simulate_max_steps,
+                    )
+                    report.sim_mean = stats.mean
+                    report.sim_std = stats.std
+                    report.sim_truncated = stats.truncated
+                    report.sim_termination_rate = stats.termination_rate
+                    if stats.truncated:
+                        report.warnings.append(
+                            f"{stats.truncated} of {stats.runs} simulated runs were "
+                            f"truncated at {request.simulate_max_steps} steps; "
+                            "sim mean/std underestimate the true cost"
+                        )
+    except BatchTimeout:
+        report.status = "timeout"
+        report.error = f"TimeoutError: task exceeded {request.timeout_s:g}s budget"
+    except (ReproError, ValueError, KeyError, OverflowError, ZeroDivisionError) as exc:
+        report.status = "error"
+        report.error = f"{type(exc).__name__}: {exc}"
+    report.runtime = time.perf_counter() - start
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Pool fan-out
+# ---------------------------------------------------------------------------
+
+
+def _pool_worker(payload: Tuple[int, Dict]) -> Tuple[int, Dict]:
+    """Module-level so it pickles under both fork and spawn contexts."""
+    index, request_dict = payload
+    try:
+        report = execute_request(AnalysisRequest.from_dict(request_dict))
+    except Exception as exc:  # defensive: never poison the pool
+        report = AnalysisReport(
+            name=str(request_dict.get("name") or request_dict.get("benchmark") or "<source>"),
+            status="error",
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return index, report.to_dict()
+
+
+def run_batch(
+    requests: Sequence[AnalysisRequest],
+    jobs: int = 1,
+    progress: Optional[Callable[[AnalysisReport], None]] = None,
+) -> List[AnalysisReport]:
+    """Execute ``requests`` and return reports in request order.
+
+    ``jobs == 1`` (default) runs in-process; ``jobs > 1`` fans out over
+    a ``multiprocessing.Pool``.  ``progress`` is invoked once per
+    finished task, in *completion* order (the returned list is always
+    in request order).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    for request in requests:
+        request.validate()
+    if not requests:
+        return []
+
+    if jobs == 1:
+        reports = []
+        for request in requests:
+            report = execute_request(request)
+            if progress is not None:
+                progress(report)
+            reports.append(report)
+        return reports
+
+    payloads = [(index, request.to_dict()) for index, request in enumerate(requests)]
+    ordered: List[Optional[AnalysisReport]] = [None] * len(requests)
+    with multiprocessing.Pool(processes=min(jobs, len(requests))) as pool:
+        for index, report_dict in pool.imap_unordered(_pool_worker, payloads):
+            report = AnalysisReport.from_dict(report_dict)
+            ordered[index] = report
+            if progress is not None:
+                progress(report)
+    assert all(report is not None for report in ordered)
+    return ordered  # type: ignore[return-value]

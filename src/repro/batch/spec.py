@@ -1,0 +1,314 @@
+"""JSON-serializable work units of the batch-analysis engine.
+
+An :class:`AnalysisRequest` describes one analysis task — *which*
+program (a registry benchmark name or inline source text), at which
+initial valuation, with which synthesis knobs — and an
+:class:`AnalysisReport` is the structured, process-boundary-safe result
+the engine hands back.  Both round-trip through plain dicts/JSON so
+they can cross a process pool, be written to disk, and be diffed across
+runs.
+
+A *spec file* (``python -m repro batch SPEC.json``) is either a JSON
+list of request objects or ``{"defaults": {...}, "tasks": [...]}``.
+Tasks may also name a whole suite::
+
+    {"suite": "table2"}                      # every Table 2 benchmark
+    {"suite": "table5", "all_inits": true}   # Table 5 variants, all v0
+
+:func:`requests_from_spec` expands suites into concrete requests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+__all__ = [
+    "AnalysisReport",
+    "AnalysisRequest",
+    "load_spec",
+    "requests_from_spec",
+]
+
+#: Degree ceiling for ``degree="auto"`` escalation unless overridden.
+DEFAULT_MAX_DEGREE = 4
+
+#: Suites a spec task may name.  ``table5`` is the Table 3 set with
+#: nondeterminism replaced by a fair coin (the paper's Table 5 setup).
+_SUITES = ("table2", "table3", "table5", "all")
+
+
+@dataclass
+class AnalysisRequest:
+    """One batch task: a program + valuation + synthesis settings.
+
+    Exactly one of ``benchmark`` (registry name) and ``source`` (inline
+    program text) must be set.  All fields are JSON-plain.
+    """
+
+    #: Registry benchmark name (``repro.programs.get_benchmark``).
+    benchmark: Optional[str] = None
+    #: Inline program source in the paper's surface syntax.
+    source: Optional[str] = None
+    #: Display name; defaults to the benchmark name or ``"<source>"``.
+    name: Optional[str] = None
+    #: Initial valuation; ``None`` uses the benchmark's anchor.
+    init: Optional[Dict[str, float]] = None
+    #: Per-label invariants for ``source`` requests (benchmarks carry
+    #: their own).  Keys may be ints or numeric strings (JSON).
+    invariants: Optional[Dict[int, str]] = None
+    #: Template degree: ``None`` (benchmark default / 2), a fixed int,
+    #: or ``"auto"`` — escalate d = 1, 2, ... ``max_degree`` until the
+    #: requested bounds are feasible (minimal-degree selection, as in
+    #: the paper's experiments).
+    degree: Union[int, str, None] = None
+    #: Ceiling for ``degree="auto"``.
+    max_degree: int = DEFAULT_MAX_DEGREE
+    #: Soundness regime: ``None`` (benchmark default / "auto"),
+    #: "auto", "signed" or "nonnegative".
+    mode: Optional[str] = None
+    compute_lower: bool = True
+    max_multiplicands: Optional[int] = None
+    #: Replace every ``if *`` by ``if prob(p)`` before analysis (the
+    #: Table 5 transformation); ``None`` leaves the program as-is.
+    nondet_prob: Optional[float] = None
+    #: Monte-Carlo runs to simulate after synthesis (omitted when
+    #: ``None`` or when the program is nondeterministic).
+    simulate_runs: Optional[int] = None
+    simulate_seed: int = 0
+    simulate_max_steps: int = 1_000_000
+    #: Simulate even a nondeterministic program (under the default
+    #: then-branch scheduler); off by default because a demonic bound
+    #: is not comparable to one fixed policy's statistics.
+    simulate_nondet: bool = False
+    #: Per-task wall-clock budget in seconds; exceeding it yields a
+    #: report with ``status="timeout"`` instead of killing the batch.
+    timeout_s: Optional[float] = None
+    #: Free-form caller tag, echoed on the report.
+    tag: Optional[str] = None
+
+    @property
+    def display_name(self) -> str:
+        return self.name or self.benchmark or "<source>"
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an ill-formed request."""
+        if (self.benchmark is None) == (self.source is None):
+            raise ValueError("exactly one of 'benchmark' and 'source' must be set")
+        if self.degree is not None and self.degree != "auto":
+            if not isinstance(self.degree, int) or isinstance(self.degree, bool) or self.degree < 1:
+                raise ValueError(f"degree must be a positive int or 'auto', got {self.degree!r}")
+        if self.max_degree < 1:
+            raise ValueError(f"max_degree must be >= 1, got {self.max_degree}")
+        if self.mode is not None and self.mode not in ("auto", "signed", "nonnegative"):
+            raise ValueError(f"mode must be 'auto', 'signed' or 'nonnegative', got {self.mode!r}")
+        if self.nondet_prob is not None and not (0.0 <= self.nondet_prob <= 1.0):
+            raise ValueError(f"nondet_prob must be in [0, 1], got {self.nondet_prob}")
+        if self.simulate_runs is not None and self.simulate_runs <= 0:
+            raise ValueError(f"simulate_runs must be positive, got {self.simulate_runs}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def for_benchmark(cls, bench, init: Optional[Mapping[str, float]] = None, **kwargs) -> "AnalysisRequest":
+        """Build a request for a :class:`repro.programs.Benchmark` object.
+
+        Registry benchmarks are referenced by name (workers re-resolve
+        them, keeping init-dependent invariants and all metadata).  An
+        ad-hoc benchmark object (e.g. a modified copy) is embedded as
+        source text, with its invariants resolved to plain strings for
+        the given valuation so the request stays JSON-serializable.
+        """
+        from ..programs import get_benchmark
+
+        try:
+            registered = get_benchmark(bench.name) is bench
+        except KeyError:
+            registered = False
+        resolved_init = dict(init) if init is not None else None
+        if registered:
+            return cls(benchmark=bench.name, init=resolved_init, **kwargs)
+
+        anchor = resolved_init if resolved_init is not None else dict(bench.init)
+        invariants = dict(bench.invariants)
+        if bench.init_invariants is not None:
+            for label, cond in bench.init_invariants(dict(anchor)).items():
+                if label in invariants:
+                    invariants[label] = f"({invariants[label]}) and ({cond})"
+                else:
+                    invariants[label] = cond
+        kwargs.setdefault("degree", bench.degree)
+        kwargs.setdefault("mode", bench.mode)
+        return cls(
+            source=bench.source,
+            name=bench.name,
+            init=dict(anchor),
+            invariants=invariants,
+            **kwargs,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AnalysisRequest":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - set of names
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown request field(s): {sorted(unknown)}")
+        payload = dict(data)
+        if payload.get("invariants") is not None:
+            # JSON object keys are strings; invariant labels are ints.
+            try:
+                payload["invariants"] = {
+                    int(label): cond for label, cond in payload["invariants"].items()
+                }
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"invariant labels must be integers, got {sorted(payload['invariants'])!r}"
+                ) from None
+        if payload.get("init") is not None:
+            payload["init"] = {var: float(value) for var, value in payload["init"].items()}
+        return cls(**payload)
+
+
+@dataclass
+class AnalysisReport:
+    """Structured outcome of one :class:`AnalysisRequest`.
+
+    ``status`` is ``"ok"`` (analysis ran; individual bounds may still
+    be missing — see ``warnings``), ``"error"`` (an exception, captured
+    in ``error``) or ``"timeout"`` (the per-task budget expired).
+    """
+
+    name: str
+    status: str
+    init: Dict[str, float] = field(default_factory=dict)
+    mode: Optional[str] = None
+    #: Template degree the reported bounds were synthesized at.
+    degree: Optional[int] = None
+    #: All degrees attempted (> 1 entry only for ``degree="auto"``).
+    degrees_tried: List[int] = field(default_factory=list)
+    upper_value: Optional[float] = None
+    upper_bound: Optional[str] = None
+    upper_runtime: Optional[float] = None
+    lower_value: Optional[float] = None
+    lower_bound: Optional[str] = None
+    lower_runtime: Optional[float] = None
+    #: False when the PLCS nondeterministic-policy space was not
+    #: exhaustively enumerated (cf. ``BoundResult.policy_enumerated``).
+    policy_enumerated: Optional[bool] = None
+    sim_mean: Optional[float] = None
+    sim_std: Optional[float] = None
+    sim_truncated: Optional[int] = None
+    sim_termination_rate: Optional[float] = None
+    warnings: List[str] = field(default_factory=list)
+    #: ``"ExceptionType: message"`` when ``status != "ok"``.
+    error: Optional[str] = None
+    #: Total wall-clock seconds spent on this task.
+    runtime: float = 0.0
+    #: Wall-clock seconds of the synthesis phase only (excludes any
+    #: Monte-Carlo simulation) — what the paper's timing columns report.
+    analysis_runtime: Optional[float] = None
+    tag: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AnalysisReport":
+        return cls(**dict(data))
+
+
+# ---------------------------------------------------------------------------
+# Spec files
+# ---------------------------------------------------------------------------
+
+
+def load_spec(path: str) -> List[AnalysisRequest]:
+    """Read a JSON spec file and expand it into concrete requests."""
+    with open(path) as handle:
+        spec = json.load(handle)
+    return requests_from_spec(spec)
+
+
+def requests_from_spec(spec: Union[List[Any], Mapping[str, Any]]) -> List[AnalysisRequest]:
+    """Expand a parsed spec (list of tasks, or ``{defaults, tasks}``).
+
+    Per-task settings win over ``defaults``.  A task with a ``suite``
+    key expands to one request per benchmark of that suite; with
+    ``"all_inits": true`` it further expands over the benchmark's
+    Table 4 valuations.
+    """
+    if isinstance(spec, Mapping):
+        defaults = dict(spec.get("defaults") or {})
+        # A suite default would silently *replace* every task's explicit
+        # benchmark/source with the suite expansion; reject it up front.
+        for forbidden in ("suite", "all_inits"):
+            if forbidden in defaults:
+                raise ValueError(f"{forbidden!r} is not allowed in defaults; set it per task")
+        tasks = spec.get("tasks")
+        if tasks is None:
+            raise ValueError("spec object must have a 'tasks' list")
+    elif isinstance(spec, list):
+        defaults, tasks = {}, spec
+    else:
+        raise ValueError(f"spec must be a list or an object with 'tasks', got {type(spec).__name__}")
+
+    requests: List[AnalysisRequest] = []
+    for index, task in enumerate(tasks):
+        if not isinstance(task, Mapping):
+            raise ValueError(f"task #{index} must be an object, got {type(task).__name__}")
+        merged = {**defaults, **task}
+        suite = merged.pop("suite", None)
+        all_inits = bool(merged.pop("all_inits", False))
+        if suite is None:
+            request = AnalysisRequest.from_dict(merged)
+            request.validate()
+            requests.append(request)
+            continue
+        if suite not in _SUITES:
+            raise ValueError(f"task #{index}: unknown suite {suite!r}; known: {_SUITES}")
+        if "benchmark" in merged or "source" in merged:
+            raise ValueError(
+                f"task #{index}: 'suite' conflicts with an explicit 'benchmark'/'source'"
+            )
+        requests.extend(_expand_suite(suite, merged, all_inits))
+    return requests
+
+
+def _expand_suite(
+    suite: str, overrides: Mapping[str, Any], all_inits: bool
+) -> List[AnalysisRequest]:
+    from ..programs import benchmarks_by_category
+
+    if suite == "all":
+        benches = benchmarks_by_category("table2") + benchmarks_by_category("table3")
+    elif suite == "table5":
+        benches = benchmarks_by_category("table3")
+    else:
+        benches = benchmarks_by_category(suite)
+
+    requests: List[AnalysisRequest] = []
+    for bench in benches:
+        inits: List[Optional[Dict[str, float]]]
+        if all_inits:
+            inits = sorted(bench.all_inits(), key=lambda v: sorted(v.items()))
+        else:
+            inits = [None]
+        for init in inits:
+            payload = dict(overrides)
+            payload["benchmark"] = bench.name
+            if init is not None:
+                payload.setdefault("init", dict(init))
+            if suite == "table5" and bench.has_nondeterminism:
+                payload.setdefault("nondet_prob", 0.5)
+            request = AnalysisRequest.from_dict(payload)
+            request.validate()
+            requests.append(request)
+    return requests

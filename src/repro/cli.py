@@ -2,13 +2,18 @@
 
 Usage::
 
-    python -m repro analyze FILE [--init x=100,y=0] [--degree 2]
-                                 [--invariant LABEL:COND ...]
+    python -m repro analyze FILE [--init x=100,y=0] [--degree 2|auto]
+                                 [--max-degree 4] [--invariant LABEL:COND ...]
                                  [--mode auto|signed|nonnegative]
+                                 [--max-multiplicands K]
                                  [--concentration] [--no-lower]
     python -m repro simulate FILE --init x=100 [--runs 1000] [--seed 0]
+                                  [--max-steps 1000000]
     python -m repro cfg FILE
-    python -m repro bench NAME [--init x=100]
+    python -m repro bench NAME [--init x=100] [--degree D|auto]
+                               [--max-multiplicands K]
+    python -m repro bench --all [--jobs N]
+    python -m repro batch SPEC.json [--jobs N] [--timeout S] [--output OUT.json]
     python -m repro list
 
 Program files use the surface syntax of the paper's Figure 1 grammar
@@ -17,16 +22,24 @@ comment annotations::
 
     # @invariant 1: x >= 0
     # @invariant 4: x >= 0 and 1 - y >= 0
+
+User-input errors (malformed ``--init``/``--invariant``/``--degree``
+values, unreadable files, bad spec JSON) print a one-line ``error:``
+message and exit with status 2; analysis failures exit with status 1.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import re
 import sys
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 from .analysis import analyze
+from .batch import AnalysisReport, AnalysisRequest, load_spec, run_batch
+from .errors import ReproError
 from .programs import all_benchmarks, get_benchmark
 from .semantics import build_cfg, simulate
 from .syntax import parse_program
@@ -34,6 +47,10 @@ from .syntax import parse_program
 __all__ = ["main", "parse_valuation", "extract_invariant_annotations"]
 
 _ANNOTATION_RE = re.compile(r"^\s*#\s*@invariant\s+(\d+)\s*:\s*(.+?)\s*$", re.MULTILINE)
+
+
+class CLIError(Exception):
+    """A user-input problem: reported as one line on stderr, exit 2."""
 
 
 def parse_valuation(text: Optional[str]) -> Dict[str, float]:
@@ -48,7 +65,12 @@ def parse_valuation(text: Optional[str]) -> Dict[str, float]:
         if "=" not in chunk:
             raise ValueError(f"malformed assignment {chunk!r}; expected var=value")
         name, value = chunk.split("=", 1)
-        out[name.strip()] = float(value)
+        try:
+            out[name.strip()] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"malformed assignment {chunk.strip()!r}; {value.strip()!r} is not a number"
+            ) from None
     return out
 
 
@@ -57,32 +79,95 @@ def extract_invariant_annotations(source: str) -> Dict[int, str]:
     return {int(label): cond for label, cond in _ANNOTATION_RE.findall(source)}
 
 
+def _parse_cli_valuation(text: Optional[str], flag: str = "--init") -> Dict[str, float]:
+    try:
+        return parse_valuation(text)
+    except ValueError as exc:
+        raise CLIError(f"invalid {flag} value: {exc}") from None
+
+
+def _parse_invariant_spec(spec: str) -> Tuple[int, str]:
+    label, sep, cond = spec.partition(":")
+    if not sep or not cond.strip():
+        raise CLIError(
+            f"invalid --invariant value {spec!r}; expected LABEL:COND (e.g. '1: x >= 0')"
+        )
+    try:
+        label_id = int(label.strip())
+    except ValueError:
+        raise CLIError(
+            f"invalid --invariant label {label.strip()!r}; must be an integer CFG label"
+        ) from None
+    return label_id, cond.strip()
+
+
+def _parse_degree(text: str) -> Union[int, str]:
+    if text == "auto":
+        return "auto"
+    try:
+        degree = int(text)
+    except ValueError:
+        raise CLIError(f"invalid --degree value {text!r}; expected a positive integer or 'auto'") from None
+    if degree < 1:
+        raise CLIError(f"invalid --degree value {text!r}; degree must be >= 1")
+    return degree
+
+
 def _read_program(path: str):
-    with open(path) as handle:
-        source = handle.read()
+    try:
+        with open(path) as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise CLIError(f"cannot read {path!r}: {exc.strerror or exc}") from None
     return source, parse_program(source, name=path)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    degree = _parse_degree(args.degree)
+    if args.max_degree < 1:
+        raise CLIError(f"invalid --max-degree value {args.max_degree}; must be >= 1")
+    init = _parse_cli_valuation(args.init)
     source, program = _read_program(args.file)
     invariants = extract_invariant_annotations(source)
     for spec in args.invariant or []:
-        label, _, cond = spec.partition(":")
-        invariants[int(label)] = cond.strip()
-    result = analyze(
-        program,
-        init=parse_valuation(args.init),
-        invariants=invariants or None,
-        degree=args.degree,
-        mode=args.mode,
-        compute_lower=not args.no_lower,
-        check_concentration=args.concentration,
-    )
+        label_id, cond = _parse_invariant_spec(spec)
+        invariants[label_id] = cond
+
+    degrees = [degree] if degree != "auto" else list(range(1, args.max_degree + 1))
+    result = None
+    for attempt in degrees:
+        result = analyze(
+            program,
+            init=init,
+            invariants=invariants or None,
+            degree=attempt,
+            mode=args.mode,
+            compute_lower=not args.no_lower,
+            check_concentration=args.concentration,
+            max_multiplicands=args.max_multiplicands,
+        )
+        # Same completeness rule as the batch engine's degree escalation:
+        # stop at the first degree where every requested bound exists.
+        upper_ok = result.upper is not None
+        lower_ok = args.no_lower or not result.mode.lower or result.lower is not None
+        if upper_ok and lower_ok:
+            break
+    assert result is not None
+    if degree == "auto":
+        print(f"degree:  {result.upper.degree if result.upper else degrees[-1]} (auto)")
+        if result.upper is None:
+            # Same wording as the batch engine's escalation warning.
+            print(
+                f"warning: degree escalation exhausted at d={args.max_degree} "
+                "without a feasible bound for every requested side",
+                file=sys.stderr,
+            )
     print(result.summary())
     return 0 if result.upper is not None else 1
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    init = _parse_cli_valuation(args.init)
     _, program = _read_program(args.file)
     if program.has_nondeterminism():
         print(
@@ -91,14 +176,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.max_steps < 1:
+        raise CLIError(f"invalid --max-steps value {args.max_steps}; must be >= 1")
     cfg = build_cfg(program)
-    stats = simulate(cfg, parse_valuation(args.init), runs=args.runs, seed=args.seed)
+    stats = simulate(cfg, init, runs=args.runs, seed=args.seed, max_steps=args.max_steps)
     print(f"runs:             {stats.runs}")
     print(f"mean cost:        {stats.mean:.6g}")
     print(f"std:              {stats.std:.6g}")
     print(f"min / max:        {stats.min:.6g} / {stats.max:.6g}")
     print(f"mean steps:       {stats.mean_steps:.6g}")
     print(f"termination rate: {stats.termination_rate:.3f}")
+    if stats.truncated:
+        print(
+            f"warning: {stats.truncated} of {stats.runs} runs were truncated at "
+            f"{args.max_steps} steps; mean/std underestimate the true cost "
+            "(raise --max-steps)"
+        )
     return 0
 
 
@@ -108,10 +201,88 @@ def _cmd_cfg(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_table(reports: List[AnalysisReport]) -> str:
+    from .experiments.common import fmt, render_table
+
+    rows = []
+    for report in reports:
+        rows.append(
+            [
+                report.name,
+                ", ".join(f"{k}={v:g}" for k, v in report.init.items() if v),
+                report.status,
+                str(report.degree) if report.degree is not None else "-",
+                fmt(report.upper_value),
+                fmt(report.lower_value),
+                fmt(report.sim_mean),
+                fmt(report.runtime, 3) + "s",
+            ]
+        )
+    headers = ["program", "v0", "status", "d", "upper", "lower", "sim mean", "time"]
+    return render_table(headers, rows)
+
+
+def _print_report_diagnostics(reports: List[AnalysisReport]) -> None:
+    for report in reports:
+        for warning in report.warnings:
+            print(f"warning [{report.name}]: {warning}", file=sys.stderr)
+        if report.error:
+            print(f"error [{report.name}]: {report.error}", file=sys.stderr)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
-    bench = get_benchmark(args.name)
-    init = parse_valuation(args.init) or None
-    result = bench.analyze(init=init)
+    if args.jobs < 1:
+        raise CLIError(f"invalid --jobs value {args.jobs}; must be >= 1")
+    degree = _parse_degree(args.degree) if args.degree is not None else None
+    init = _parse_cli_valuation(args.init) or None
+
+    if args.all:
+        if args.name is not None:
+            raise CLIError("give either a benchmark NAME or --all, not both")
+        requests = [
+            AnalysisRequest(
+                benchmark=bench.name,
+                init=init,
+                degree=degree,
+                max_degree=args.max_degree,
+                max_multiplicands=args.max_multiplicands,
+                timeout_s=args.timeout,
+            )
+            for bench in all_benchmarks()
+        ]
+        reports = run_batch(requests, jobs=args.jobs)
+        print(_report_table(reports))
+        _print_report_diagnostics(reports)
+        return 0 if all(r.ok for r in reports) else 1
+
+    if args.name is None:
+        raise CLIError("missing benchmark NAME (or use --all)")
+    try:
+        bench = get_benchmark(args.name)
+    except KeyError as exc:
+        raise CLIError(str(exc.args[0] if exc.args else exc)) from None
+
+    if degree == "auto" or args.timeout is not None:
+        # The engine owns degree escalation and per-task budgets; route
+        # through it so those flags behave exactly as in `repro batch`.
+        report = run_batch(
+            [
+                AnalysisRequest(
+                    benchmark=bench.name,
+                    init=init,
+                    degree=degree,
+                    max_degree=args.max_degree,
+                    max_multiplicands=args.max_multiplicands,
+                    timeout_s=args.timeout,
+                )
+            ]
+        )[0]
+        print(f"# {bench.title}")
+        print(_report_table([report]))
+        _print_report_diagnostics([report])
+        return 0 if report.ok else 1
+
+    result = bench.analyze(init=init, degree=degree, max_multiplicands=args.max_multiplicands)
     print(f"# {bench.title}")
     print(result.summary())
     if bench.paper_upper:
@@ -119,6 +290,57 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if bench.paper_lower:
         print(f"paper lower: {bench.paper_lower}")
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        raise CLIError(f"invalid --jobs value {args.jobs}; must be >= 1")
+    try:
+        requests = load_spec(args.spec)
+    except OSError as exc:
+        raise CLIError(f"cannot read {args.spec!r}: {exc.strerror or exc}") from None
+    except json.JSONDecodeError as exc:
+        raise CLIError(f"invalid JSON in {args.spec!r}: {exc}") from None
+    except ValueError as exc:
+        raise CLIError(f"invalid spec {args.spec!r}: {exc}") from None
+    if not requests:
+        raise CLIError(f"spec {args.spec!r} contains no tasks")
+    if args.timeout is not None:
+        for request in requests:
+            if request.timeout_s is None:
+                request.timeout_s = args.timeout
+    if args.output:
+        # Fail fast on an unwritable report location rather than after
+        # the (potentially long) batch has run.
+        out_dir = os.path.dirname(os.path.abspath(args.output))
+        if not os.path.isdir(out_dir) or not os.access(out_dir, os.W_OK):
+            raise CLIError(f"cannot write {args.output!r}: directory is missing or unwritable")
+
+    def _progress(report: AnalysisReport) -> None:
+        if not args.quiet:
+            print(f"[{report.status:>7s}] {report.name} ({report.runtime:.3f}s)", file=sys.stderr)
+
+    reports = run_batch(requests, jobs=args.jobs, progress=_progress)
+    print(_report_table(reports))
+    _print_report_diagnostics(reports)
+
+    if args.output:
+        payload = {
+            "schema": "repro-batch/v1",
+            "jobs": args.jobs,
+            "tasks": len(reports),
+            "failed": sum(not r.ok for r in reports),
+            "reports": [r.to_dict() for r in reports],
+        }
+        try:
+            with open(args.output, "w") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+        except OSError as exc:
+            raise CLIError(f"cannot write {args.output!r}: {exc.strerror or exc}") from None
+        print(f"wrote {args.output}", file=sys.stderr)
+
+    return 0 if all(r.ok for r in reports) else 1
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -137,10 +359,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze = sub.add_parser("analyze", help="synthesize PUCS/PLCS bounds for a program file")
     p_analyze.add_argument("file")
     p_analyze.add_argument("--init", help="initial valuation, e.g. x=100,y=0")
-    p_analyze.add_argument("--degree", type=int, default=2)
+    p_analyze.add_argument(
+        "--degree", default="2", help="template degree (a positive integer, or 'auto' to escalate)"
+    )
+    p_analyze.add_argument(
+        "--max-degree", type=int, default=4, help="degree ceiling for --degree auto"
+    )
     p_analyze.add_argument("--mode", choices=["auto", "signed", "nonnegative"], default="auto")
     p_analyze.add_argument(
         "--invariant", action="append", metavar="LABEL:COND", help="per-label invariant annotation"
+    )
+    p_analyze.add_argument(
+        "--max-multiplicands", type=int, default=None, help="Handelman multiplicand cap K"
     )
     p_analyze.add_argument("--concentration", action="store_true", help="also synthesize an RSM")
     p_analyze.add_argument("--no-lower", action="store_true", help="skip the PLCS lower bound")
@@ -151,16 +381,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--init", help="initial valuation, e.g. x=100")
     p_sim.add_argument("--runs", type=int, default=1000)
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--max-steps", type=int, default=1_000_000, help="truncate runs after this many steps"
+    )
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_cfg = sub.add_parser("cfg", help="print the labelled control-flow graph")
     p_cfg.add_argument("file")
     p_cfg.set_defaults(func=_cmd_cfg)
 
-    p_bench = sub.add_parser("bench", help="analyze a named paper benchmark")
-    p_bench.add_argument("name")
+    p_bench = sub.add_parser("bench", help="analyze named paper benchmarks")
+    p_bench.add_argument("name", nargs="?", help="benchmark name (see 'repro list')")
+    p_bench.add_argument("--all", action="store_true", help="run every registered benchmark")
     p_bench.add_argument("--init", help="override the anchor valuation")
+    p_bench.add_argument(
+        "--degree", default=None, help="override the template degree (integer or 'auto')"
+    )
+    p_bench.add_argument(
+        "--max-degree", type=int, default=4, help="degree ceiling for --degree auto"
+    )
+    p_bench.add_argument(
+        "--max-multiplicands", type=int, default=None, help="Handelman multiplicand cap K"
+    )
+    p_bench.add_argument("--jobs", type=int, default=1, help="worker processes (with --all)")
+    p_bench.add_argument("--timeout", type=float, default=None, help="per-benchmark budget (s)")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_batch = sub.add_parser("batch", help="run a JSON spec of analysis tasks")
+    p_batch.add_argument("spec", help="JSON spec file (see README: 'Batch analysis')")
+    p_batch.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p_batch.add_argument(
+        "--timeout", type=float, default=None, help="default per-task budget in seconds"
+    )
+    p_batch.add_argument("--output", help="write the full JSON report here")
+    p_batch.add_argument("--quiet", action="store_true", help="no per-task progress on stderr")
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_list = sub.add_parser("list", help="list the paper benchmarks")
     p_list.set_defaults(func=_cmd_list)
@@ -169,7 +424,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # Engine-level request validation (bad --timeout/--max-degree
+        # values etc.) is user input too: same one-line contract.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -35,6 +35,7 @@ the PUCS and PLCS runs of one analysis share them.
 
 from __future__ import annotations
 
+import math
 import time
 import weakref
 from dataclasses import dataclass, field
@@ -93,6 +94,13 @@ class BoundResult:
     runtime: float = 0.0
     nondet_choices: Optional[Dict[int, int]] = None
     options: SynthesisOptions = field(default_factory=SynthesisOptions)
+    #: False when the PLCS policy space was *not* exhaustively explored
+    #: (too many nondeterministic labels, so a fixed fallback policy was
+    #: used) — the bound is still sound but may be suboptimal.
+    policy_enumerated: bool = True
+    #: Non-fatal conditions encountered while producing this bound;
+    #: :func:`repro.analysis.analyze` copies these onto the result.
+    warnings: List[str] = field(default_factory=list)
 
     def bound_at(self, valuation: Mapping[str, float]) -> float:
         """Evaluate the entry bound at another initial valuation.
@@ -266,6 +274,15 @@ class _PreparedSynthesis:
         lp.set_objective(objective, maximize=(self.kind == "lower"))
 
         solution = lp.solve()
+        if math.isnan(solution.objective):
+            # A NaN objective means the solver returned garbage (e.g. a
+            # degenerate LP): letting it flow into bound comparisons
+            # would silently corrupt best-policy selection downstream.
+            raise SynthesisError(
+                f"LP solver returned a NaN objective for the {self.kind} bound "
+                f"(degree {options.degree}); the program/invariant combination "
+                "produced a degenerate LP"
+            )
         h_numeric = self.template.instantiate(solution.values)
         bound = h_numeric[cfg.entry]
         return BoundResult(
@@ -334,7 +351,14 @@ def synthesize(
     # so prepare once and only re-solve the LP per policy.
     if len(nondet_labels) > _MAX_NONDET_ENUMERATION:
         policy = {label.id: 0 for label in nondet_labels}
-        return _synthesize_once(cfg, invariants, init, kind, options, policy)
+        result = _synthesize_once(cfg, invariants, init, kind, options, policy)
+        result.policy_enumerated = False
+        result.warnings.append(
+            f"PLCS policy enumeration skipped: {len(nondet_labels)} nondeterministic "
+            f"labels exceed the cap of {_MAX_NONDET_ENUMERATION}; used the all-then "
+            "policy, so the lower bound may be suboptimal"
+        )
+        return result
 
     prepared = _PreparedSynthesis(cfg, invariants, kind, options)
     best: Optional[BoundResult] = None
@@ -345,6 +369,14 @@ def synthesize(
             candidate = prepared.solve(init, policy)
         except SynthesisError as exc:
             failures.append(f"policy {policy}: {exc}")
+            continue
+        # NaN-safe comparison: ``candidate.value > best.value`` is False
+        # for any NaN operand, which would silently keep (or drop) the
+        # wrong candidate.  ``solve`` already raises on NaN objectives;
+        # the explicit guard keeps the selection correct even if a
+        # NaN-valued result reaches this loop through another path.
+        if math.isnan(candidate.value):
+            failures.append(f"policy {policy}: NaN objective")
             continue
         if best is None or candidate.value > best.value:
             best = candidate

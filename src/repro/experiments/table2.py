@@ -7,15 +7,22 @@ For each of the fifteen Absynth-style benchmarks this prints
 * the PUCS upper bound and PLCS lower bound of the paper's method,
 * the bounds the paper reports, for side-by-side comparison.
 
-Run as ``python -m repro.experiments.table2``.
+PUCS/PLCS synthesis runs through the batch engine (``jobs > 1`` fans
+the benchmarks across worker processes; bounds are identical for every
+``jobs`` value).  The [74]-style baseline column is computed in-driver:
+it is a single cheap LP per program and needs the local CFG objects.
+
+Run as ``python -m repro.experiments.table2 [--jobs N]``.
 """
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
 from typing import List, Optional
 
 from ..baseline import baseline_upper_bound
+from ..batch import AnalysisReport, AnalysisRequest, run_batch
 from ..errors import SynthesisError, UnsupportedProgramError
 from ..programs import TABLE2_BENCHMARKS, Benchmark
 from .common import fmt, fmt_poly, render_table
@@ -36,8 +43,7 @@ class Table2Row:
     paper_lower: Optional[str]
 
 
-def _row(bench: Benchmark) -> Table2Row:
-    result = bench.analyze()
+def _row(bench: Benchmark, report: AnalysisReport) -> Table2Row:
     try:
         base = baseline_upper_bound(bench.cfg, bench.invariant_map(), bench.init, degree=bench.degree)
         baseline_str: Optional[str] = fmt_poly(base.bound)
@@ -46,10 +52,12 @@ def _row(bench: Benchmark) -> Table2Row:
     return Table2Row(
         benchmark=bench.name,
         baseline_upper=baseline_str,
-        our_upper=fmt_poly(result.upper_bound) if result.upper else None,
-        our_lower=fmt_poly(result.lower_bound) if result.lower else ("0" if bench.paper_lower == "0" else None),
-        our_upper_value=result.upper.value if result.upper else None,
-        our_lower_value=result.lower.value if result.lower else None,
+        our_upper=report.upper_bound,
+        our_lower=report.lower_bound
+        if report.lower_bound is not None
+        else ("0" if bench.paper_lower == "0" else None),
+        our_upper_value=report.upper_value,
+        our_lower_value=report.lower_value,
         paper_74=bench.paper_upper and None,  # placeholder, set below
         paper_upper=bench.paper_upper,
         paper_lower=bench.paper_lower,
@@ -76,17 +84,19 @@ PAPER_74_UPPER = {
 }
 
 
-def build_table2() -> List[Table2Row]:
+def build_table2(jobs: int = 1) -> List[Table2Row]:
+    requests = [AnalysisRequest(benchmark=bench.name) for bench in TABLE2_BENCHMARKS]
+    reports = run_batch(requests, jobs=jobs)
     rows = []
-    for bench in TABLE2_BENCHMARKS:
-        row = _row(bench)
+    for bench, report in zip(TABLE2_BENCHMARKS, reports):
+        row = _row(bench, report)
         row.paper_74 = PAPER_74_UPPER.get(bench.name)
         rows.append(row)
     return rows
 
 
-def main() -> str:
-    rows = build_table2()
+def main(jobs: int = 1) -> str:
+    rows = build_table2(jobs=jobs)
     text_rows = [
         [
             r.benchmark,
@@ -113,4 +123,7 @@ def main() -> str:
 
 
 if __name__ == "__main__":
-    print(main())
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    args = parser.parse_args()
+    print(main(jobs=args.jobs))

@@ -1,16 +1,22 @@
 """Table 3: symbolic PUCS/PLCS bounds and runtimes on the new benchmarks.
 
-Run as ``python -m repro.experiments.table3``.
+Analyses run through the batch engine (:mod:`repro.batch`); pass
+``jobs > 1`` to fan the benchmarks across worker processes.  The bounds
+are identical for every ``jobs`` value — synthesis is deterministic —
+only the wall clock changes.
+
+Run as ``python -m repro.experiments.table3 [--jobs N]``.
 """
 
 from __future__ import annotations
 
-import time
+import argparse
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..batch import AnalysisRequest, run_batch
 from ..programs import TABLE3_BENCHMARKS, Benchmark
-from .common import fmt, fmt_poly, render_table
+from .common import fmt, render_table
 
 __all__ = ["Table3Row", "build_table3", "main"]
 
@@ -28,21 +34,23 @@ class Table3Row:
     paper_lower: Optional[str]
 
 
-def build_table3(benchmarks: Optional[List[Benchmark]] = None) -> List[Table3Row]:
+def build_table3(
+    benchmarks: Optional[List[Benchmark]] = None, jobs: int = 1
+) -> List[Table3Row]:
+    benches = list(benchmarks or TABLE3_BENCHMARKS)
+    requests = [AnalysisRequest(benchmark=bench.name) for bench in benches]
+    reports = run_batch(requests, jobs=jobs)
     rows = []
-    for bench in benchmarks or TABLE3_BENCHMARKS:
-        start = time.perf_counter()
-        result = bench.analyze()
-        elapsed = time.perf_counter() - start
+    for bench, report in zip(benches, reports):
         rows.append(
             Table3Row(
                 benchmark=bench.name,
                 init=dict(bench.init),
-                upper=fmt_poly(result.upper_bound) if result.upper else None,
-                lower=fmt_poly(result.lower_bound) if result.lower else None,
-                upper_value=result.upper.value if result.upper else None,
-                lower_value=result.lower.value if result.lower else None,
-                runtime=elapsed,
+                upper=report.upper_bound,
+                lower=report.lower_bound,
+                upper_value=report.upper_value,
+                lower_value=report.lower_value,
+                runtime=report.runtime,
                 paper_upper=bench.paper_upper,
                 paper_lower=bench.paper_lower,
             )
@@ -50,8 +58,8 @@ def build_table3(benchmarks: Optional[List[Benchmark]] = None) -> List[Table3Row
     return rows
 
 
-def main() -> str:
-    rows = build_table3()
+def main(jobs: int = 1) -> str:
+    rows = build_table3(jobs=jobs)
     text_rows = [
         [
             r.benchmark,
@@ -71,4 +79,7 @@ def main() -> str:
 
 
 if __name__ == "__main__":
-    print(main())
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    args = parser.parse_args()
+    print(main(jobs=args.jobs))

@@ -7,20 +7,74 @@ nondeterminism (the two Bitcoin examples) have no simulation column —
 Monte-Carlo needs a policy; Table 5 handles them by replacing ``if *``
 with a coin flip.
 
-Run as ``python -m repro.experiments.table4 [--runs N]``.
+All work goes through the batch engine; ``jobs > 1`` parallelizes the
+(benchmark, valuation) grid without changing any reported bound.
+
+Run as ``python -m repro.experiments.table4 [--runs N] [--jobs N]``.
 """
 
 from __future__ import annotations
 
 import argparse
-import time
 from typing import List, Optional
 
+from ..batch import AnalysisReport, AnalysisRequest, run_batch
 from ..programs import TABLE3_BENCHMARKS, Benchmark
-from ..semantics import simulate
 from .common import BoundsRow, fmt, render_table
 
-__all__ = ["build_table4", "main"]
+__all__ = ["bench_requests", "bench_rows", "build_table4", "main", "rows_from_reports"]
+
+
+def bench_requests(
+    bench: Benchmark,
+    runs: int = 1000,
+    seed: int = 0,
+    simulate_nondet: bool = False,
+    nondet_prob: Optional[float] = None,
+) -> List[AnalysisRequest]:
+    """One request per initial valuation of ``bench`` (the Table 4 grid).
+
+    ``nondet_prob`` applies the Table 5 coin-flip transformation, which
+    also makes the nondeterministic benchmarks simulable.
+    """
+    simulable = bench.simulation_supported or nondet_prob is not None or simulate_nondet
+    return [
+        AnalysisRequest.for_benchmark(
+            bench,
+            init=init,
+            nondet_prob=nondet_prob,
+            simulate_nondet=simulate_nondet,
+            simulate_runs=runs if simulable else None,
+            simulate_seed=seed,
+            simulate_max_steps=bench.max_sim_steps,
+        )
+        for init in sorted(bench.all_inits(), key=lambda v: sorted(v.items()))
+    ]
+
+
+def rows_from_reports(reports: List[AnalysisReport]) -> List[BoundsRow]:
+    """Project engine reports onto the table's row records."""
+    rows = []
+    for report in reports:
+        row = BoundsRow(benchmark=report.name, init=dict(report.init))
+        row.upper_value = report.upper_value
+        row.upper_time = report.upper_runtime
+        if report.upper_bound is not None:
+            row.upper_str = report.upper_bound
+        row.lower_value = report.lower_value
+        row.lower_time = report.lower_runtime
+        if report.lower_bound is not None:
+            row.lower_str = report.lower_bound
+        if row.upper_time is None:
+            # Synthesis-only elapsed time (never simulation), matching
+            # what the paper's T(s) columns measure.
+            row.upper_time = (
+                report.analysis_runtime if report.analysis_runtime is not None else report.runtime
+            )
+        row.sim_mean = report.sim_mean
+        row.sim_std = report.sim_std
+        rows.append(row)
+    return rows
 
 
 def bench_rows(
@@ -30,41 +84,24 @@ def bench_rows(
     simulate_nondet: bool = False,
 ) -> List[BoundsRow]:
     """Bounds + simulation rows for every initial valuation of ``bench``."""
-    rows = []
-    for init in sorted(bench.all_inits(), key=lambda v: sorted(v.items())):
-        t0 = time.perf_counter()
-        result = bench.analyze(init=init)
-        t_total = time.perf_counter() - t0
-        row = BoundsRow(benchmark=bench.name, init=dict(init))
-        if result.upper:
-            row.upper_value = result.upper.value
-            row.upper_str = str(result.upper.bound.round(5))
-            row.upper_time = result.upper.runtime
-        if result.lower:
-            row.lower_value = result.lower.value
-            row.lower_str = str(result.lower.bound.round(5))
-            row.lower_time = result.lower.runtime
-        if row.upper_time is None:
-            row.upper_time = t_total
-        if bench.simulation_supported or simulate_nondet:
-            stats = simulate(bench.cfg, init, runs=runs, seed=seed, max_steps=bench.max_sim_steps)
-            row.sim_mean = stats.mean
-            row.sim_std = stats.std
-        rows.append(row)
-    return rows
+    requests = bench_requests(bench, runs=runs, seed=seed, simulate_nondet=simulate_nondet)
+    return rows_from_reports(run_batch(requests))
 
 
 def build_table4(
-    runs: int = 1000, seed: int = 0, benchmarks: Optional[List[Benchmark]] = None
+    runs: int = 1000,
+    seed: int = 0,
+    benchmarks: Optional[List[Benchmark]] = None,
+    jobs: int = 1,
 ) -> List[BoundsRow]:
-    rows: List[BoundsRow] = []
+    requests: List[AnalysisRequest] = []
     for bench in benchmarks or TABLE3_BENCHMARKS:
-        rows.extend(bench_rows(bench, runs=runs, seed=seed))
-    return rows
+        requests.extend(bench_requests(bench, runs=runs, seed=seed))
+    return rows_from_reports(run_batch(requests, jobs=jobs))
 
 
-def main(runs: int = 1000, seed: int = 0) -> str:
-    rows = build_table4(runs=runs, seed=seed)
+def main(runs: int = 1000, seed: int = 0, jobs: int = 1) -> str:
+    rows = build_table4(runs=runs, seed=seed, jobs=jobs)
     text_rows = [
         [
             r.benchmark,
@@ -89,5 +126,6 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--runs", type=int, default=1000, help="simulated runs per valuation")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
     args = parser.parse_args()
-    print(main(runs=args.runs, seed=args.seed))
+    print(main(runs=args.runs, seed=args.seed, jobs=args.jobs))

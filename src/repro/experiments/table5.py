@@ -2,58 +2,49 @@
 
 The paper's Table 5 re-runs the experiment suite after replacing every
 demonic ``if *`` with a fair coin flip, which makes the two Bitcoin
-programs simulable.  We rebuild each benchmark through
-:func:`repro.syntax.replace_nondet` (the transformation preserves label
-numbering, so invariants carry over unchanged) and reuse the Table 4
+programs simulable.  The replacement preserves label numbering (a
+nondeterministic label becomes a probabilistic one in place), so the
+invariants carry over unchanged; the batch engine applies it per task
+via the request's ``nondet_prob`` field and we reuse the Table 4 row
 machinery.
 
-Run as ``python -m repro.experiments.table5 [--runs N]``.
+Run as ``python -m repro.experiments.table5 [--runs N] [--jobs N]``.
 """
 
 from __future__ import annotations
 
 import argparse
-from dataclasses import replace as dataclass_replace
 from typing import List, Optional
 
-from ..programs import TABLE3_BENCHMARKS, Benchmark
-from ..syntax import pretty, replace_nondet
+from ..batch import AnalysisRequest, run_batch
+from ..programs import TABLE3_BENCHMARKS, Benchmark, probabilistic_variant
 from .common import BoundsRow, fmt, render_table
-from .table4 import bench_rows
+from .table4 import bench_requests, rows_from_reports
 
 __all__ = ["probabilistic_variant", "build_table5", "main"]
 
 
-def probabilistic_variant(bench: Benchmark, prob: float = 0.5) -> Benchmark:
-    """The benchmark with ``if *`` replaced by ``if prob(prob)``.
-
-    Returns ``bench`` itself when it has no nondeterminism.  The CFG of
-    the variant has identical label numbering (a nondeterministic label
-    becomes a probabilistic one in place), so the invariants transfer.
-    """
-    if not bench.has_nondeterminism:
-        return bench
-    transformed = replace_nondet(bench.program, prob=prob)
-    return dataclass_replace(
-        bench,
-        name=f"{bench.name}_prob",
-        title=f"{bench.title} (nondet -> prob({prob:g}))",
-        source=pretty(transformed),
-    )
+def _table5_requests(
+    runs: int, seed: int, benchmarks: Optional[List[Benchmark]]
+) -> List[AnalysisRequest]:
+    requests: List[AnalysisRequest] = []
+    for bench in benchmarks or TABLE3_BENCHMARKS:
+        prob = 0.5 if bench.has_nondeterminism else None
+        requests.extend(bench_requests(bench, runs=runs, seed=seed, nondet_prob=prob))
+    return requests
 
 
 def build_table5(
-    runs: int = 1000, seed: int = 0, benchmarks: Optional[List[Benchmark]] = None
+    runs: int = 1000,
+    seed: int = 0,
+    benchmarks: Optional[List[Benchmark]] = None,
+    jobs: int = 1,
 ) -> List[BoundsRow]:
-    rows: List[BoundsRow] = []
-    for bench in benchmarks or TABLE3_BENCHMARKS:
-        variant = probabilistic_variant(bench)
-        rows.extend(bench_rows(variant, runs=runs, seed=seed))
-    return rows
+    return rows_from_reports(run_batch(_table5_requests(runs, seed, benchmarks), jobs=jobs))
 
 
-def main(runs: int = 1000, seed: int = 0) -> str:
-    rows = build_table5(runs=runs, seed=seed)
+def main(runs: int = 1000, seed: int = 0, jobs: int = 1) -> str:
+    rows = build_table5(runs=runs, seed=seed, jobs=jobs)
     text_rows = [
         [
             r.benchmark,
@@ -76,5 +67,6 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--runs", type=int, default=1000, help="simulated runs per valuation")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
     args = parser.parse_args()
-    print(main(runs=args.runs, seed=args.seed))
+    print(main(runs=args.runs, seed=args.seed, jobs=args.jobs))

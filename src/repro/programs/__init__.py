@@ -1,7 +1,7 @@
 """Benchmark program suite (Tables 2 and 3 of the paper)."""
 
-from .base import Benchmark
-from .registry import all_benchmarks, benchmarks_by_category, get_benchmark
+from .base import Benchmark, probabilistic_variant
+from .registry import all_benchmarks, benchmark_names, benchmarks_by_category, get_benchmark
 from .table2 import TABLE2_BENCHMARKS
 from .table3 import TABLE3_BENCHMARKS
 
@@ -10,6 +10,8 @@ __all__ = [
     "TABLE2_BENCHMARKS",
     "TABLE3_BENCHMARKS",
     "all_benchmarks",
+    "benchmark_names",
     "benchmarks_by_category",
     "get_benchmark",
+    "probabilistic_variant",
 ]

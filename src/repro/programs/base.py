@@ -21,7 +21,7 @@ from ..semantics.cfg import CFG, build_cfg
 from ..syntax.ast import Program
 from ..syntax.parser import parse_program
 
-__all__ = ["Benchmark"]
+__all__ = ["Benchmark", "probabilistic_variant"]
 
 
 @dataclass
@@ -100,18 +100,50 @@ class Benchmark:
         degree: Optional[int] = None,
         compute_lower: bool = True,
         check_concentration: bool = False,
+        mode: Optional[str] = None,
+        max_multiplicands: Optional[int] = None,
     ) -> CostAnalysisResult:
-        """Run the full pipeline on this benchmark."""
+        """Run the full pipeline on this benchmark.
+
+        ``degree``, ``mode`` and ``max_multiplicands`` default to the
+        benchmark's own settings; pass explicit values to override them
+        (the CLI and the batch engine plumb their flags through here).
+        """
         anchor = dict(init if init is not None else self.init)
         return analyze(
             self.program,
             init=anchor,
             invariants=self.invariant_map(anchor),
             degree=degree if degree is not None else self.degree,
-            mode=self.mode,
+            mode=mode if mode is not None else self.mode,
             compute_lower=compute_lower,
             check_concentration=check_concentration,
+            max_multiplicands=max_multiplicands,
         )
 
     def __repr__(self) -> str:
         return f"Benchmark({self.name!r}, category={self.category!r}, degree={self.degree})"
+
+
+def probabilistic_variant(bench: Benchmark, prob: float = 0.5) -> Benchmark:
+    """The benchmark with ``if *`` replaced by ``if prob(prob)``.
+
+    Returns ``bench`` itself when it has no nondeterminism.  The CFG of
+    the variant has identical label numbering (a nondeterministic label
+    becomes a probabilistic one in place), so the invariants transfer.
+    This is the Table 5 transformation; it lives here so the batch
+    engine can build variants without importing the experiment drivers.
+    """
+    from dataclasses import replace as dataclass_replace
+
+    from ..syntax import pretty, replace_nondet
+
+    if not bench.has_nondeterminism:
+        return bench
+    transformed = replace_nondet(bench.program, prob=prob)
+    return dataclass_replace(
+        bench,
+        name=f"{bench.name}_prob",
+        title=f"{bench.title} (nondet -> prob({prob:g}))",
+        source=pretty(transformed),
+    )

@@ -8,7 +8,7 @@ from .base import Benchmark
 from .table2 import TABLE2_BENCHMARKS
 from .table3 import TABLE3_BENCHMARKS
 
-__all__ = ["all_benchmarks", "benchmarks_by_category", "get_benchmark"]
+__all__ = ["all_benchmarks", "benchmark_names", "benchmarks_by_category", "get_benchmark"]
 
 _REGISTRY: Dict[str, Benchmark] = {}
 for _bench in [*TABLE2_BENCHMARKS, *TABLE3_BENCHMARKS]:
@@ -28,6 +28,11 @@ def get_benchmark(name: str) -> Benchmark:
 
 def all_benchmarks() -> List[Benchmark]:
     return list(_REGISTRY.values())
+
+
+def benchmark_names() -> List[str]:
+    """Registry names in registration (table) order."""
+    return list(_REGISTRY)
 
 
 def benchmarks_by_category(category: str) -> List[Benchmark]:

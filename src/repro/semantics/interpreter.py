@@ -56,6 +56,10 @@ class SimulationStats:
     max: float
     mean_steps: float
     termination_rate: float
+    #: Runs cut off at ``max_steps`` before reaching ``l_out``.  Their
+    #: *partial* accumulated cost still enters ``mean``/``std``, so a
+    #: nonzero count means the statistics underestimate the true cost.
+    truncated: int = 0
     costs: List[float] = field(repr=False, default_factory=list)
 
     def stderr(self) -> float:
@@ -181,5 +185,6 @@ def simulate(
         max=max(costs),
         mean_steps=total_steps / runs,
         termination_rate=terminated / runs,
+        truncated=runs - terminated,
         costs=costs,
     )

@@ -89,3 +89,169 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "bitcoin_mining" in out and "[nondet]" in out
         assert out.count("\n") == 25
+
+
+NONTERMINATING = """
+var x;
+while x >= 0 do
+    x := x + 1;
+    tick(1)
+od
+"""
+
+
+class TestErrorExits:
+    """Malformed user input exits 2 with a one-line error (no traceback)."""
+
+    def test_invariant_without_colon(self, program_file, capsys):
+        code = main(["analyze", program_file, "--init", "x=5", "--invariant", "abc"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "LABEL:COND" in err
+
+    def test_invariant_nonnumeric_label(self, program_file, capsys):
+        code = main(["analyze", program_file, "--invariant", "foo: x >= 0"])
+        assert code == 2
+        assert "integer CFG label" in capsys.readouterr().err
+
+    def test_malformed_init_assignment(self, program_file, capsys):
+        code = main(["analyze", program_file, "--init", "x:3"])
+        assert code == 2
+        assert "invalid --init" in capsys.readouterr().err
+
+    def test_non_numeric_init_value(self, program_file, capsys):
+        code = main(["simulate", program_file, "--init", "x=ten"])
+        assert code == 2
+        assert "not a number" in capsys.readouterr().err
+
+    def test_bad_degree(self, program_file, capsys):
+        code = main(["analyze", program_file, "--degree", "two"])
+        assert code == 2
+        assert "--degree" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "nope.prob")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_unknown_benchmark_name(self, capsys):
+        code = main(["bench", "no_such_bench"])
+        assert code == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_parse_error_is_one_line(self, tmp_path, capsys):
+        path = tmp_path / "broken.prob"
+        path.write_text("var x; while x >= 1 do")
+        code = main(["analyze", str(path)])
+        assert code == 1
+        assert "ParseError" in capsys.readouterr().err
+
+
+class TestSimulateTruncation:
+    def test_truncation_warning_printed(self, tmp_path, capsys):
+        path = tmp_path / "diverge.prob"
+        path.write_text(NONTERMINATING)
+        code = main(["simulate", str(path), "--init", "x=0", "--runs", "20", "--max-steps", "50"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "termination rate: 0.000" in out
+        assert "warning: 20 of 20 runs were truncated" in out
+
+    def test_no_warning_when_all_terminate(self, program_file, capsys):
+        code = main(["simulate", program_file, "--init", "x=5", "--runs", "50"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "truncated" not in out
+
+
+class TestDegreeAuto:
+    def test_analyze_degree_auto(self, program_file, capsys):
+        code = main(["analyze", program_file, "--init", "x=100", "--degree", "auto"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "degree:  1 (auto)" in out
+        assert "upper:" in out
+
+    def test_bench_degree_and_cap_plumbed(self, capsys):
+        code = main(["bench", "simple_loop", "--degree", "2", "--max-multiplicands", "3"])
+        assert code == 0
+        assert "upper:" in capsys.readouterr().out
+
+
+class TestBenchAll:
+    def test_bench_all_lists_every_benchmark(self, capsys):
+        code = main(["bench", "--all"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("\n") >= 27  # 25 benchmarks + header + rule
+        assert "bitcoin_mining" in out and "trader" in out
+
+    def test_bench_all_rejects_name(self, capsys):
+        code = main(["bench", "rdwalk", "--all"])
+        assert code == 2
+        assert "either" in capsys.readouterr().err
+
+
+class TestBatchCommand:
+    def test_batch_runs_spec(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "defaults": {"degree": "auto"},
+                    "tasks": [{"benchmark": "rdwalk"}, {"benchmark": "ber"}],
+                }
+            )
+        )
+        out_path = tmp_path / "report.json"
+        code = main(
+            ["batch", str(spec), "--jobs", "2", "--output", str(out_path), "--quiet"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "rdwalk" in captured.out and "ber" in captured.out
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == "repro-batch/v1"
+        assert payload["failed"] == 0
+        assert len(payload["reports"]) == 2
+        assert all(r["status"] == "ok" for r in payload["reports"])
+
+    def test_batch_failure_exit_code(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps([{"benchmark": "does_not_exist"}]))
+        code = main(["batch", str(spec), "--quiet"])
+        assert code == 1
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_batch_missing_spec(self, tmp_path, capsys):
+        code = main(["batch", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_batch_invalid_json(self, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text("{not json")
+        code = main(["batch", str(spec)])
+        assert code == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+
+class TestReviewRegressions:
+    def test_bench_timeout_enforced_on_fixed_degree_path(self, capsys):
+        code = main(["bench", "bitcoin_pool", "--timeout", "0.0001"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "timeout" in out
+
+    def test_batch_unwritable_output_fails_fast(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps([{"benchmark": "rdwalk"}]))
+        code = main(["batch", str(spec), "--output", str(tmp_path / "no_dir" / "out.json")])
+        assert code == 2
+        assert "cannot write" in capsys.readouterr().err

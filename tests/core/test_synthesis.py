@@ -167,3 +167,108 @@ class TestModes:
         assert result.lp_equalities > 0
         assert result.runtime >= 0.0
         assert "upper" in repr(result)
+
+
+class TestPolicyFallback:
+    """Regression tests: PLCS policy handling at / beyond the
+    enumeration cap, and NaN-safe best-policy selection."""
+
+    @staticmethod
+    def _many_nondet_cfg(blocks):
+        body = "; ".join("if * then tick(1) else tick(1) fi" for _ in range(blocks))
+        return build_cfg(parse_program(f"var x; {body}"))
+
+    def test_fallback_marks_result_non_enumerated(self):
+        from repro.core.synthesis import _MAX_NONDET_ENUMERATION
+
+        cfg = self._many_nondet_cfg(_MAX_NONDET_ENUMERATION + 1)
+        result = synthesize(cfg, InvariantMap.trivial(), {"x": 0}, kind="lower", degree=1)
+        assert result.policy_enumerated is False
+        assert any("enumeration" in w for w in result.warnings)
+        # Every branch ticks 1, so the bound itself is still exact.
+        assert result.value == pytest.approx(_MAX_NONDET_ENUMERATION + 1, rel=1e-9)
+
+    def test_enumerated_result_has_no_fallback_warning(self):
+        cfg = self._many_nondet_cfg(2)
+        result = synthesize(cfg, InvariantMap.trivial(), {"x": 0}, kind="lower", degree=1)
+        assert result.policy_enumerated is True
+        assert result.warnings == []
+
+    def test_fallback_warning_reaches_analysis_result(self):
+        from repro.analysis import analyze
+        from repro.core.synthesis import _MAX_NONDET_ENUMERATION
+
+        blocks = _MAX_NONDET_ENUMERATION + 1
+        body = "; ".join("if * then tick(1) else tick(1) fi" for _ in range(blocks))
+        result = analyze(f"var x; {body}", init={"x": 0}, degree=1)
+        assert result.lower is not None
+        assert any("enumeration" in w for w in result.warnings)
+
+    def test_nan_candidate_skipped_in_policy_loop(self, monkeypatch):
+        """A NaN objective from one policy must lose to any real value."""
+        import repro.core.synthesis as synthesis_mod
+
+        cfg = self._many_nondet_cfg(1)
+        real_solve = synthesis_mod._PreparedSynthesis.solve
+        seen = []
+
+        def fake_solve(self, init, nondet_choices):
+            result = real_solve(self, init, nondet_choices)
+            seen.append(dict(nondet_choices))
+            if len(seen) == 1:
+                result.value = float("nan")
+            return result
+
+        monkeypatch.setattr(synthesis_mod._PreparedSynthesis, "solve", fake_solve)
+        result = synthesize(cfg, InvariantMap.trivial(), {"x": 0}, kind="lower", degree=1)
+        assert len(seen) == 2
+        assert result.value == result.value  # not NaN
+        assert result.value == pytest.approx(1.0, rel=1e-9)
+
+    def test_all_nan_policies_raise(self, monkeypatch):
+        import repro.core.synthesis as synthesis_mod
+        from repro.errors import SynthesisError
+
+        cfg = self._many_nondet_cfg(1)
+        real_solve = synthesis_mod._PreparedSynthesis.solve
+
+        def fake_solve(self, init, nondet_choices):
+            result = real_solve(self, init, nondet_choices)
+            result.value = float("nan")
+            return result
+
+        monkeypatch.setattr(synthesis_mod._PreparedSynthesis, "solve", fake_solve)
+        with pytest.raises(InfeasibleError, match="NaN"):
+            synthesize(cfg, InvariantMap.trivial(), {"x": 0}, kind="lower", degree=1)
+
+    def test_nan_lp_objective_raises(self, monkeypatch, rdwalk_cfg, rdwalk_invariants):
+        """A NaN straight from the LP layer surfaces as SynthesisError."""
+        import repro.core.synthesis as synthesis_mod
+        from repro.errors import SynthesisError
+
+        class _NaNLP:
+            def __init__(self):
+                self.unknowns = []
+
+            def add_unknown(self, name, nonnegative=False):
+                self.unknowns.append(name)
+
+            def add_equality(self, coeffs, rhs):
+                pass
+
+            def set_objective(self, form, maximize=False):
+                pass
+
+            def solve(self):
+                from types import SimpleNamespace
+
+                return SimpleNamespace(
+                    values={name: 0.0 for name in self.unknowns},
+                    objective=float("nan"),
+                    num_variables=len(self.unknowns),
+                    num_equalities=0,
+                )
+
+        monkeypatch.setattr(synthesis_mod, "LinearProgram", _NaNLP)
+        with pytest.raises(SynthesisError, match="NaN"):
+            synthesize_pucs(rdwalk_cfg, rdwalk_invariants, {"x": 10}, degree=1)

@@ -114,3 +114,21 @@ class TestFormatting:
         lines = text.splitlines()
         assert len(lines) == 4
         assert all(len(line) == len(lines[0]) for line in lines[1:2])
+
+
+class TestJobsParity:
+    """The --jobs flag must never change any reported bound."""
+
+    def test_table3_parallel_matches_sequential(self):
+        benches = [get_benchmark(n) for n in ("simple_loop", "random_walk", "bitcoin_mining")]
+        seq = build_table3(benches)
+        par = build_table3(benches, jobs=2)
+        key = lambda r: (r.benchmark, r.upper, r.lower, r.upper_value, r.lower_value)
+        assert [key(r) for r in par] == [key(r) for r in seq]
+
+    def test_table5_parallel_matches_sequential(self):
+        benches = [get_benchmark("bitcoin_mining"), get_benchmark("simple_loop")]
+        seq = build_table5(runs=25, benchmarks=benches)
+        par = build_table5(runs=25, benchmarks=benches, jobs=2)
+        key = lambda r: (r.benchmark, r.upper_value, r.lower_value, r.sim_mean, r.sim_std)
+        assert [key(r) for r in par] == [key(r) for r in seq]

@@ -160,3 +160,27 @@ class TestTrajectories:
     def test_trajectory_costs_sum_to_total(self, figure2_cfg):
         result = run(figure2_cfg, {"x": 5, "y": 0}, rng=random.Random(1), record_trajectory=True)
         assert sum(c for _, _, c in result.trajectory) == pytest.approx(result.total_cost)
+
+
+class TestTruncation:
+    """Regression tests: truncated (non-terminated) runs are counted and
+    surfaced instead of silently skewing mean/std."""
+
+    def test_truncated_runs_counted(self):
+        cfg = make("var x; while x >= 0 do x := x + 1; tick(1) od")
+        stats = simulate(cfg, {"x": 0}, runs=7, seed=0, max_steps=30)
+        assert stats.truncated == 7
+        assert stats.termination_rate == 0.0
+        # Partial costs still enter the statistics (documented skew).
+        assert stats.mean == pytest.approx(10.0)
+
+    def test_terminating_program_has_no_truncated_runs(self):
+        cfg = make("var i; while i >= 1 do tick(i); i := i - 1 od")
+        stats = simulate(cfg, {"i": 3}, runs=5, seed=0)
+        assert stats.truncated == 0
+        assert stats.termination_rate == 1.0
+
+    def test_mixed_truncation_consistent_with_rate(self, figure2_cfg):
+        stats = simulate(figure2_cfg, {"x": 4, "y": 0}, runs=40, seed=1, max_steps=30)
+        assert stats.truncated == round((1.0 - stats.termination_rate) * stats.runs)
+        assert 0 < stats.truncated < stats.runs
