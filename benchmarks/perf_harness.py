@@ -14,12 +14,16 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf_harness.py [--quick] [--repeats N]
                                                      [--output PATH] [--jobs N]
+                                                     [--cache-dir DIR]
 
 ``--quick`` runs a single repeat on a benchmark subset (CI smoke test);
 the default is best-of-3 on the full suite.  ``--jobs N`` routes each
 suite through the batch engine's process pool (``repro.batch``); the
 recorded baselines are sequential, so ``speedup`` is omitted there —
 parallel timings measure throughput, not the single-analysis hot path.
+``--cache-dir DIR`` routes through the engine with a content-addressed
+result cache: the first repeat populates it, later repeats (and later
+invocations) time the warm lookup path; baselines are likewise omitted.
 
 Output schema (``repro-bench-synthesis/v1``)::
 
@@ -110,13 +114,16 @@ def _select(benches, quick: bool):
     return picked or list(benches)[:2]
 
 
-def _run_benches(benches, jobs: int) -> int:
-    """Analyze ``benches`` sequentially in-process, or fan them out via
-    the batch engine when ``jobs > 1``."""
-    if jobs > 1:
+def _run_benches(benches, jobs: int, cache=None) -> int:
+    """Analyze ``benches`` sequentially in-process, or route them
+    through the batch engine when ``jobs > 1`` or a result cache is in
+    play (the cache lives at the engine layer)."""
+    if jobs > 1 or cache is not None:
         from repro.batch import AnalysisRequest, run_batch
 
-        reports = run_batch([AnalysisRequest(benchmark=b.name) for b in benches], jobs=jobs)
+        reports = run_batch(
+            [AnalysisRequest(benchmark=b.name) for b in benches], jobs=jobs, cache=cache
+        )
         failed = [r.name for r in reports if not r.ok]
         if failed:
             raise RuntimeError(f"batch analysis failed for {failed}")
@@ -126,12 +133,12 @@ def _run_benches(benches, jobs: int) -> int:
     return len(benches)
 
 
-def _run_table2(quick: bool, jobs: int = 1) -> int:
-    return _run_benches(_select(TABLE2_BENCHMARKS, quick), jobs)
+def _run_table2(quick: bool, jobs: int = 1, cache=None) -> int:
+    return _run_benches(_select(TABLE2_BENCHMARKS, quick), jobs, cache)
 
 
-def _run_table3(quick: bool, jobs: int = 1) -> int:
-    return _run_benches(_select(TABLE3_BENCHMARKS, quick), jobs)
+def _run_table3(quick: bool, jobs: int = 1, cache=None) -> int:
+    return _run_benches(_select(TABLE3_BENCHMARKS, quick), jobs, cache)
 
 
 #: Table5's probabilistic variants, built once: ``probabilistic_variant``
@@ -151,8 +158,8 @@ def _table5_variants(quick: bool) -> list:
     return variants
 
 
-def _run_table5(quick: bool, jobs: int = 1) -> int:
-    if jobs > 1:
+def _run_table5(quick: bool, jobs: int = 1, cache=None) -> int:
+    if jobs > 1 or cache is not None:
         from repro.batch import requests_from_spec, run_batch
 
         # Reuse the canonical suite expansion (coin-flip transformation
@@ -163,7 +170,7 @@ def _run_table5(quick: bool, jobs: int = 1) -> int:
             r for r in requests_from_spec({"tasks": [{"suite": "table5"}]})
             if r.benchmark in selected
         ]
-        failed = [r.name for r in run_batch(requests, jobs=jobs) if not r.ok]
+        failed = [r.name for r in run_batch(requests, jobs=jobs, cache=cache) if not r.ok]
         if failed:
             raise RuntimeError(f"batch analysis failed for {failed}")
         return len(requests)
@@ -173,7 +180,7 @@ def _run_table5(quick: bool, jobs: int = 1) -> int:
     return len(variants)
 
 
-SUITES: List[Tuple[str, Callable[[bool, int], int]]] = [
+SUITES: List[Tuple[str, Callable[[bool, int, object], int]]] = [
     ("table2", _run_table2),
     ("table3", _run_table3),
     ("table5", _run_table5),
@@ -192,7 +199,11 @@ def _warm_parse_caches(quick: bool) -> None:
 
 
 def run(
-    quick: bool = False, repeats: int = 3, output: str = _DEFAULT_OUTPUT, jobs: int = 1
+    quick: bool = False,
+    repeats: int = 3,
+    output: str = _DEFAULT_OUTPUT,
+    jobs: int = 1,
+    cache=None,
 ) -> dict:
     _warm_parse_caches(quick)
     suites: Dict[str, dict] = {}
@@ -202,12 +213,13 @@ def run(
         for _ in range(max(1, repeats)):
             _clear_session_caches()
             start = time.perf_counter()
-            count = runner(quick, jobs)
+            count = runner(quick, jobs, cache)
             best = min(best, time.perf_counter() - start)
-        # Baselines cover the *full* suite run sequentially; a --quick
-        # subset or a parallel run is not comparable, so both baseline
-        # and speedup are omitted there.
-        baseline = None if (quick or jobs > 1) else PRE_PR_BASELINE_SECONDS.get(name)
+        # Baselines cover the *full* suite run sequentially with a cold
+        # synthesis path; a --quick subset, a parallel run or a result
+        # cache is not comparable, so baseline and speedup are omitted.
+        comparable_suite = not quick and jobs == 1 and cache is None
+        baseline = PRE_PR_BASELINE_SECONDS.get(name) if comparable_suite else None
         suites[name] = {
             "current_seconds": round(best, 4),
             "baseline_seconds": baseline,
@@ -218,7 +230,7 @@ def run(
 
     total_current = sum(s["current_seconds"] for s in suites.values())
     total_baseline = sum(PRE_PR_BASELINE_SECONDS.values())
-    comparable = not quick and jobs == 1
+    comparable = not quick and jobs == 1 and cache is None
     report = {
         "schema": "repro-bench-synthesis/v1",
         "meta": {
@@ -226,6 +238,7 @@ def run(
             "quick": quick,
             "repeats": repeats,
             "jobs": jobs,
+            "cache": str(cache.root) if cache is not None else None,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         },
         "suites": suites,
@@ -252,12 +265,24 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--jobs", type=int, default=1, help="fan each suite across N worker processes"
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="route suites through the batch engine with a result cache at "
+        "this directory (measures the warm-lookup path, not synthesis)",
+    )
     args = parser.parse_args(argv)
+    cache = None
+    if args.cache_dir is not None:
+        from repro.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
     run(
         quick=args.quick,
         repeats=1 if args.quick else args.repeats,
         output=args.output,
         jobs=args.jobs,
+        cache=cache,
     )
     return 0
 

@@ -35,6 +35,7 @@ from .analysis import (
     instrument_runtime,
 )
 from .baseline import baseline_applicable, baseline_upper_bound
+from .cache import ResultCache
 from .core import (
     BoundResult,
     classify,
@@ -101,6 +102,7 @@ __all__ = [
     "Program",
     "RankingCertificate",
     "ReproError",
+    "ResultCache",
     "SemanticsError",
     "SynthesisError",
     "UnboundedError",

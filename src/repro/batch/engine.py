@@ -14,7 +14,13 @@ evaluation picks template degrees: try d = 1, 2, ... ``max_degree`` and
 keep the first degree at which the requested bounds are feasible.
 
 The analysis itself is deterministic (LP synthesis; Monte-Carlo columns
-are seeded), which is what makes sequential/parallel equivalence exact.
+are seeded), which is what makes sequential/parallel equivalence exact —
+and what makes results cacheable: pass ``cache`` (a
+:class:`repro.cache.ResultCache`) and every task consults the shared
+content-addressed store before synthesizing, then populates it with
+``status == "ok"`` reports.  Pool workers clone the cache over the same
+root, so a parallel batch warms the store for every later sequential
+run and vice versa; a warm re-run performs zero LP solves.
 """
 
 from __future__ import annotations
@@ -212,35 +218,96 @@ def execute_request(request: AnalysisRequest) -> AnalysisReport:
 
 
 # ---------------------------------------------------------------------------
-# Pool fan-out
+# Cache consult/populate
 # ---------------------------------------------------------------------------
 
 
-def _pool_worker(payload: Tuple[int, Dict]) -> Tuple[int, Dict]:
+def _cached_execute(
+    request: AnalysisRequest, cache
+) -> Tuple[AnalysisReport, Optional[bool], bool]:
+    """Run one task through the content-addressed store.
+
+    Returns ``(report, hit, stored)`` where ``hit`` is ``True`` for a
+    cache hit, ``False`` for a consulted-but-cold key, and ``None``
+    when the cache was bypassed (no cache, or the key cannot be derived
+    — unknown benchmark, unparseable source — in which case the failure
+    surfaces as a structured report exactly as in the uncached path);
+    ``stored`` reports whether this call persisted a new entry.
+    Only ``status == "ok"`` reports are persisted — errors and
+    timeouts are environment-dependent and must re-execute.  A cached
+    report is returned verbatim (original runtimes included) so warm
+    re-runs are byte-identical; only the presentation echoes (``name``,
+    ``tag``) are re-derived for the incoming request.
+    """
+    if cache is None:
+        return execute_request(request), None, False
+    key = cache.request_key(request)
+    if key is None:
+        return execute_request(request), None, False
+    report = cache.lookup_for(key, request)
+    if report is not None:
+        return report, True, False
+    report = execute_request(request)
+    stored = report.status == "ok" and cache.store(key, report)
+    return report, False, stored
+
+
+# ---------------------------------------------------------------------------
+# Pool fan-out
+# ---------------------------------------------------------------------------
+
+#: cache root -> per-process ResultCache clone (one per pool worker).
+_WORKER_CACHES: Dict[str, object] = {}
+
+
+def _worker_cache(config: Optional[Dict]):
+    if config is None:
+        return None
+    root = config["root"]
+    cache = _WORKER_CACHES.get(root)
+    if cache is None:
+        from ..cache import ResultCache
+
+        cache = ResultCache(root, max_memory_entries=config["max_memory_entries"])
+        _WORKER_CACHES[root] = cache
+    return cache
+
+
+def _pool_worker(
+    payload: Tuple[int, Dict, Optional[Dict]]
+) -> Tuple[int, Dict, Optional[bool], bool]:
     """Module-level so it pickles under both fork and spawn contexts."""
-    index, request_dict = payload
+    index, request_dict, cache_config = payload
+    hit: Optional[bool] = None
+    stored = False
     try:
-        report = execute_request(AnalysisRequest.from_dict(request_dict))
+        report, hit, stored = _cached_execute(
+            AnalysisRequest.from_dict(request_dict), _worker_cache(cache_config)
+        )
     except Exception as exc:  # defensive: never poison the pool
         report = AnalysisReport(
             name=str(request_dict.get("name") or request_dict.get("benchmark") or "<source>"),
             status="error",
             error=f"{type(exc).__name__}: {exc}",
         )
-    return index, report.to_dict()
+    return index, report.to_dict(), hit, stored
 
 
 def run_batch(
     requests: Sequence[AnalysisRequest],
     jobs: int = 1,
     progress: Optional[Callable[[AnalysisReport], None]] = None,
+    cache=None,
 ) -> List[AnalysisReport]:
     """Execute ``requests`` and return reports in request order.
 
     ``jobs == 1`` (default) runs in-process; ``jobs > 1`` fans out over
     a ``multiprocessing.Pool``.  ``progress`` is invoked once per
     finished task, in *completion* order (the returned list is always
-    in request order).
+    in request order).  ``cache`` (a :class:`repro.cache.ResultCache`)
+    short-circuits previously solved tasks; with a pool, workers clone
+    it over the same root and the parent instance aggregates their
+    hit/miss counts, so ``cache.stats()`` reflects the whole batch.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -252,18 +319,26 @@ def run_batch(
     if jobs == 1:
         reports = []
         for request in requests:
-            report = execute_request(request)
+            report, _, _ = _cached_execute(request, cache)
             if progress is not None:
                 progress(report)
             reports.append(report)
         return reports
 
-    payloads = [(index, request.to_dict()) for index, request in enumerate(requests)]
+    cache_config = cache.worker_config() if cache is not None else None
+    payloads = [
+        (index, request.to_dict(), cache_config) for index, request in enumerate(requests)
+    ]
     ordered: List[Optional[AnalysisReport]] = [None] * len(requests)
     with multiprocessing.Pool(processes=min(jobs, len(requests))) as pool:
-        for index, report_dict in pool.imap_unordered(_pool_worker, payloads):
+        for index, report_dict, hit, stored in pool.imap_unordered(_pool_worker, payloads):
             report = AnalysisReport.from_dict(report_dict)
             ordered[index] = report
+            if cache is not None and hit is not None:
+                # Fold worker-side consults into the parent counters;
+                # bypassed (uncacheable) tasks count nowhere, matching
+                # the jobs == 1 accounting exactly.
+                cache.record(hit, stored=stored)
             if progress is not None:
                 progress(report)
     assert all(report is not None for report in ordered)

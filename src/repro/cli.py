@@ -11,9 +11,14 @@ Usage::
                                   [--max-steps 1000000]
     python -m repro cfg FILE
     python -m repro bench NAME [--init x=100] [--degree D|auto]
-                               [--max-multiplicands K]
+                               [--max-multiplicands K] [--cache-dir DIR]
     python -m repro bench --all [--jobs N]
     python -m repro batch SPEC.json [--jobs N] [--timeout S] [--output OUT.json]
+                                    [--no-cache] [--cache-dir DIR]
+    python -m repro serve [--host H] [--port P] [--jobs N]
+                          [--no-cache] [--cache-dir DIR]
+    python -m repro cache stats [--cache-dir DIR] [--json]
+    python -m repro cache clear [--cache-dir DIR]
     python -m repro list
 
 Program files use the surface syntax of the paper's Figure 1 grammar
@@ -99,6 +104,35 @@ def _parse_invariant_spec(spec: str) -> Tuple[int, str]:
             f"invalid --invariant label {label.strip()!r}; must be an integer CFG label"
         ) from None
     return label_id, cond.strip()
+
+
+def _make_cache(args: argparse.Namespace, default_on: bool):
+    """Build the result cache an engine-backed command should use.
+
+    ``--no-cache`` always wins; an explicit ``--cache-dir`` always
+    enables; otherwise ``default_on`` decides (the heavy-traffic
+    commands — ``batch`` and ``serve`` — cache by default, one-shot
+    ``bench`` only on request).
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None and not default_on:
+        return None
+    from .cache import ResultCache
+
+    return ResultCache(cache_dir)
+
+
+def _print_cache_summary(cache) -> None:
+    # Process-local counters only — a disk census of a months-old store
+    # is `repro cache stats`' job, not a per-run stderr line's.
+    if cache is None:
+        return
+    print(
+        f"cache: {cache.hits} hits, {cache.misses} misses ({cache.root})",
+        file=sys.stderr,
+    )
 
 
 def _parse_degree(text: str) -> Union[int, str]:
@@ -236,6 +270,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     degree = _parse_degree(args.degree) if args.degree is not None else None
     init = _parse_cli_valuation(args.init) or None
 
+    cache = _make_cache(args, default_on=False)
+
     if args.all:
         if args.name is not None:
             raise CLIError("give either a benchmark NAME or --all, not both")
@@ -250,9 +286,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             for bench in all_benchmarks()
         ]
-        reports = run_batch(requests, jobs=args.jobs)
+        reports = run_batch(requests, jobs=args.jobs, cache=cache)
         print(_report_table(reports))
         _print_report_diagnostics(reports)
+        _print_cache_summary(cache)
         return 0 if all(r.ok for r in reports) else 1
 
     if args.name is None:
@@ -262,9 +299,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     except KeyError as exc:
         raise CLIError(str(exc.args[0] if exc.args else exc)) from None
 
-    if degree == "auto" or args.timeout is not None:
-        # The engine owns degree escalation and per-task budgets; route
-        # through it so those flags behave exactly as in `repro batch`.
+    if degree == "auto" or args.timeout is not None or cache is not None:
+        # The engine owns degree escalation, per-task budgets and the
+        # result cache; route through it so those flags behave exactly
+        # as in `repro batch`.
         report = run_batch(
             [
                 AnalysisRequest(
@@ -275,11 +313,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     max_multiplicands=args.max_multiplicands,
                     timeout_s=args.timeout,
                 )
-            ]
+            ],
+            cache=cache,
         )[0]
         print(f"# {bench.title}")
         print(_report_table([report]))
         _print_report_diagnostics([report])
+        _print_cache_summary(cache)
         return 0 if report.ok else 1
 
     result = bench.analyze(init=init, degree=degree, max_multiplicands=args.max_multiplicands)
@@ -320,9 +360,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if not args.quiet:
             print(f"[{report.status:>7s}] {report.name} ({report.runtime:.3f}s)", file=sys.stderr)
 
-    reports = run_batch(requests, jobs=args.jobs, progress=_progress)
+    cache = _make_cache(args, default_on=True)
+    reports = run_batch(requests, jobs=args.jobs, progress=_progress, cache=cache)
     print(_report_table(reports))
     _print_report_diagnostics(reports)
+    _print_cache_summary(cache)
 
     if args.output:
         payload = {
@@ -341,6 +383,44 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}", file=sys.stderr)
 
     return 0 if all(r.ok for r in reports) else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import create_server, run_server
+
+    if args.jobs < 1:
+        raise CLIError(f"invalid --jobs value {args.jobs}; must be >= 1")
+    if not 0 <= args.port <= 65535:
+        raise CLIError(f"invalid --port value {args.port}; must be in [0, 65535]")
+    cache = _make_cache(args, default_on=True)
+    try:
+        server = create_server(
+            host=args.host, port=args.port, jobs=args.jobs, cache=cache, verbose=True
+        )
+    except OSError as exc:
+        # Only bind failures get the friendly exit-2 treatment; a
+        # runtime OSError mid-serve is a different animal and surfaces
+        # as itself.
+        raise CLIError(f"cannot bind {args.host}:{args.port}: {exc.strerror or exc}") from None
+    return run_server(server)
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached entr{'y' if removed == 1 else 'ies'} from {cache.root}")
+        return 0
+    stats = cache.stats()
+    if args.json:
+        print(json.dumps(stats.to_dict(), indent=2))
+        return 0
+    print(f"root:    {stats.root}")
+    print(f"entries: {stats.entries}")
+    print(f"size:    {stats.size_bytes} bytes")
+    return 0
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -405,6 +485,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--jobs", type=int, default=1, help="worker processes (with --all)")
     p_bench.add_argument("--timeout", type=float, default=None, help="per-benchmark budget (s)")
+    p_bench.add_argument(
+        "--cache-dir", default=None, help="consult/populate a result cache at this directory"
+    )
     p_bench.set_defaults(func=_cmd_bench)
 
     p_batch = sub.add_parser("batch", help="run a JSON spec of analysis tasks")
@@ -415,7 +498,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument("--output", help="write the full JSON report here")
     p_batch.add_argument("--quiet", action="store_true", help="no per-task progress on stderr")
+    p_batch.add_argument(
+        "--no-cache", action="store_true", help="disable the content-addressed result cache"
+    )
+    p_batch.add_argument(
+        "--cache-dir", default=None, help="result cache directory (default: $REPRO_CACHE_DIR)"
+    )
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_serve = sub.add_parser("serve", help="run the JSON analysis service over HTTP")
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=8095, help="bind port (0 = pick a free one)")
+    p_serve.add_argument("--jobs", type=int, default=1, help="worker processes per request batch")
+    p_serve.add_argument(
+        "--no-cache", action="store_true", help="disable the content-addressed result cache"
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, help="result cache directory (default: $REPRO_CACHE_DIR)"
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    p_cache.add_argument("action", choices=["stats", "clear"], help="what to do")
+    p_cache.add_argument(
+        "--cache-dir", default=None, help="result cache directory (default: $REPRO_CACHE_DIR)"
+    )
+    p_cache.add_argument("--json", action="store_true", help="machine-readable stats")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_list = sub.add_parser("list", help="list the paper benchmarks")
     p_list.set_defaults(func=_cmd_list)

@@ -10,7 +10,39 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-__all__ = ["fmt", "fmt_poly", "render_table", "ascii_plot", "BoundsRow"]
+__all__ = [
+    "fmt",
+    "fmt_poly",
+    "render_table",
+    "ascii_plot",
+    "BoundsRow",
+    "add_driver_args",
+    "driver_cache",
+]
+
+
+def add_driver_args(parser) -> None:
+    """Engine flags every table driver shares (``--jobs`` + caching)."""
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the content-addressed result cache"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="result cache directory (default: $REPRO_CACHE_DIR)"
+    )
+
+
+def driver_cache(args):
+    """The result cache a driver ``__main__`` should pass to the engine.
+
+    Caching is on by default so a warm re-run of a table short-circuits
+    straight to stored bounds; ``--no-cache`` recomputes everything.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    from ..cache import ResultCache
+
+    return ResultCache(getattr(args, "cache_dir", None))
 
 
 def fmt(value: Optional[float], digits: int = 4) -> str:

@@ -25,7 +25,7 @@ from ..baseline import baseline_upper_bound
 from ..batch import AnalysisReport, AnalysisRequest, run_batch
 from ..errors import SynthesisError, UnsupportedProgramError
 from ..programs import TABLE2_BENCHMARKS, Benchmark
-from .common import fmt, fmt_poly, render_table
+from .common import add_driver_args, driver_cache, fmt, fmt_poly, render_table
 
 __all__ = ["Table2Row", "build_table2", "main"]
 
@@ -84,9 +84,9 @@ PAPER_74_UPPER = {
 }
 
 
-def build_table2(jobs: int = 1) -> List[Table2Row]:
+def build_table2(jobs: int = 1, cache=None) -> List[Table2Row]:
     requests = [AnalysisRequest(benchmark=bench.name) for bench in TABLE2_BENCHMARKS]
-    reports = run_batch(requests, jobs=jobs)
+    reports = run_batch(requests, jobs=jobs, cache=cache)
     rows = []
     for bench, report in zip(TABLE2_BENCHMARKS, reports):
         row = _row(bench, report)
@@ -95,8 +95,8 @@ def build_table2(jobs: int = 1) -> List[Table2Row]:
     return rows
 
 
-def main(jobs: int = 1) -> str:
-    rows = build_table2(jobs=jobs)
+def main(jobs: int = 1, cache=None) -> str:
+    rows = build_table2(jobs=jobs, cache=cache)
     text_rows = [
         [
             r.benchmark,
@@ -124,6 +124,6 @@ def main(jobs: int = 1) -> str:
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    add_driver_args(parser)
     args = parser.parse_args()
-    print(main(jobs=args.jobs))
+    print(main(jobs=args.jobs, cache=driver_cache(args)))

@@ -16,7 +16,7 @@ from typing import List, Optional
 
 from ..batch import AnalysisRequest, run_batch
 from ..programs import TABLE3_BENCHMARKS, Benchmark
-from .common import fmt, render_table
+from .common import add_driver_args, driver_cache, fmt, render_table
 
 __all__ = ["Table3Row", "build_table3", "main"]
 
@@ -35,11 +35,11 @@ class Table3Row:
 
 
 def build_table3(
-    benchmarks: Optional[List[Benchmark]] = None, jobs: int = 1
+    benchmarks: Optional[List[Benchmark]] = None, jobs: int = 1, cache=None
 ) -> List[Table3Row]:
     benches = list(benchmarks or TABLE3_BENCHMARKS)
     requests = [AnalysisRequest(benchmark=bench.name) for bench in benches]
-    reports = run_batch(requests, jobs=jobs)
+    reports = run_batch(requests, jobs=jobs, cache=cache)
     rows = []
     for bench, report in zip(benches, reports):
         rows.append(
@@ -58,8 +58,8 @@ def build_table3(
     return rows
 
 
-def main(jobs: int = 1) -> str:
-    rows = build_table3(jobs=jobs)
+def main(jobs: int = 1, cache=None) -> str:
+    rows = build_table3(jobs=jobs, cache=cache)
     text_rows = [
         [
             r.benchmark,
@@ -80,6 +80,6 @@ def main(jobs: int = 1) -> str:
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    add_driver_args(parser)
     args = parser.parse_args()
-    print(main(jobs=args.jobs))
+    print(main(jobs=args.jobs, cache=driver_cache(args)))

@@ -18,7 +18,7 @@ from typing import List, Optional
 
 from ..batch import AnalysisRequest, run_batch
 from ..programs import TABLE3_BENCHMARKS, Benchmark, probabilistic_variant
-from .common import BoundsRow, fmt, render_table
+from .common import BoundsRow, add_driver_args, driver_cache, fmt, render_table
 from .table4 import bench_requests, rows_from_reports
 
 __all__ = ["probabilistic_variant", "build_table5", "main"]
@@ -39,12 +39,15 @@ def build_table5(
     seed: int = 0,
     benchmarks: Optional[List[Benchmark]] = None,
     jobs: int = 1,
+    cache=None,
 ) -> List[BoundsRow]:
-    return rows_from_reports(run_batch(_table5_requests(runs, seed, benchmarks), jobs=jobs))
+    return rows_from_reports(
+        run_batch(_table5_requests(runs, seed, benchmarks), jobs=jobs, cache=cache)
+    )
 
 
-def main(runs: int = 1000, seed: int = 0, jobs: int = 1) -> str:
-    rows = build_table5(runs=runs, seed=seed, jobs=jobs)
+def main(runs: int = 1000, seed: int = 0, jobs: int = 1, cache=None) -> str:
+    rows = build_table5(runs=runs, seed=seed, jobs=jobs, cache=cache)
     text_rows = [
         [
             r.benchmark,
@@ -67,6 +70,6 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--runs", type=int, default=1000, help="simulated runs per valuation")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    add_driver_args(parser)
     args = parser.parse_args()
-    print(main(runs=args.runs, seed=args.seed, jobs=args.jobs))
+    print(main(runs=args.runs, seed=args.seed, jobs=args.jobs, cache=driver_cache(args)))

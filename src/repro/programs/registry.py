@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import difflib
 from typing import Dict, List
 
 from .base import Benchmark
@@ -18,12 +19,21 @@ for _bench in [*TABLE2_BENCHMARKS, *TABLE3_BENCHMARKS]:
 
 
 def get_benchmark(name: str) -> Benchmark:
-    """Look up a benchmark by name; raises ``KeyError`` with suggestions."""
+    """Look up a benchmark by name; raises ``KeyError`` with suggestions.
+
+    A near-miss (typo'd CLI argument or spec entry) names its closest
+    registry matches instead of dumping the whole listing, so the
+    one-line exit-2 error stays actionable.
+    """
     try:
         return _REGISTRY[name]
     except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+        close = difflib.get_close_matches(name, _REGISTRY, n=3, cutoff=0.6)
+        if close:
+            hint = f"did you mean {', '.join(close)}?"
+        else:
+            hint = f"known: {', '.join(sorted(_REGISTRY))}"
+        raise KeyError(f"unknown benchmark {name!r}; {hint}") from None
 
 
 def all_benchmarks() -> List[Benchmark]:

@@ -1,0 +1,257 @@
+"""Long-lived JSON analysis service (``repro serve``).
+
+A stdlib-only HTTP front over the batch engine and the
+content-addressed result cache, so repeated analysis traffic
+short-circuits to cache lookups instead of re-running LP synthesis:
+
+``POST /analyze``
+    Body is one :class:`~repro.batch.spec.AnalysisRequest` object
+    (same JSON shape as a spec-file task), a list of tasks, or a full
+    ``{"defaults": ..., "tasks": ...}`` spec (suite expansion
+    included).  A single request returns its ``AnalysisReport`` JSON —
+    byte-identical to what the CLI/engine produce for the same request
+    against the same cache; a multi-task body returns
+    ``{"schema": "repro-service/v1", "reports": [...]}``.
+``GET /benchmarks``
+    The benchmark registry (names, categories, degrees, anchors).
+``GET /cache/stats``
+    Live counters + disk census of the backing store.
+``GET /healthz``
+    Liveness probe with version and uptime.
+
+Analysis failures (bad benchmark name, parse errors, infeasible LPs)
+are *not* HTTP errors: they come back as structured reports with
+``status: "error"`` inside a 200 response, exactly as in batch output.
+HTTP 400 is reserved for malformed envelopes (bad JSON, unknown
+request fields), 404/405 for bad routes.
+
+``ThreadingHTTPServer`` handles each connection on its own thread; the
+shared :class:`~repro.cache.ResultCache` is thread-safe and the engine
+is re-entrant (per-task SIGALRM budgets are main-thread-only and
+therefore inactive here — use the cache plus modest request sizes to
+keep handlers snappy).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+from urllib.parse import urlparse
+
+from .batch import AnalysisRequest, requests_from_spec, run_batch
+
+__all__ = ["AnalysisHTTPServer", "create_server", "run_server", "serve"]
+
+SERVICE_SCHEMA = "repro-service/v1"
+
+
+class AnalysisHTTPServer(ThreadingHTTPServer):
+    """HTTP server carrying the engine configuration for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address, jobs: int = 1, cache=None, verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.jobs = jobs
+        self.cache = cache
+        self.verbose = verbose
+        self.started = time.time()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def _benchmark_listing() -> List[Dict[str, Any]]:
+    from .programs import all_benchmarks
+
+    return [
+        {
+            "name": bench.name,
+            "title": bench.title,
+            "category": bench.category,
+            "degree": bench.degree,
+            "mode": bench.mode,
+            "nondeterministic": bench.has_nondeterminism,
+            "init": dict(bench.init),
+        }
+        for bench in all_benchmarks()
+    ]
+
+
+def _parse_analyze_body(body: Any) -> Tuple[List[AnalysisRequest], bool]:
+    """Expand a ``POST /analyze`` body into engine requests.
+
+    Returns ``(requests, single)``; ``single`` marks the
+    one-request-object form whose response is the bare report.
+    """
+    if isinstance(body, Mapping) and "tasks" not in body and "suite" not in body:
+        request = AnalysisRequest.from_dict(body)
+        request.validate()
+        return [request], True
+    if isinstance(body, Mapping) and "suite" in body and "tasks" not in body:
+        return requests_from_spec([dict(body)]), False
+    return requests_from_spec(body), False
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: AnalysisHTTPServer
+
+    # Keep-alive is safe: every response carries Content-Length.
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            sys.stderr.write(f"[serve] {self.address_string()} {format % args}\n")
+
+    # -- plumbing -------------------------------------------------------
+
+    def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Optional[Any]:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            # The unread body would desynchronize a keep-alive
+            # connection (its bytes parse as the next request line).
+            self.close_connection = True
+            self._send_error_json(400, "invalid Content-Length header")
+            return None
+        if length <= 0:
+            self.close_connection = True
+            self._send_error_json(400, "empty request body; expected JSON")
+            return None
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            self._send_error_json(400, f"invalid JSON body: {exc}")
+            return None
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        path = urlparse(self.path).path.rstrip("/") or "/"
+        if path == "/healthz":
+            from . import __version__
+
+            cache = self.server.cache
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "schema": SERVICE_SCHEMA,
+                    "version": __version__,
+                    "jobs": self.server.jobs,
+                    "cache": str(cache.root) if cache is not None else None,
+                    "uptime_s": round(time.time() - self.server.started, 3),
+                },
+            )
+        elif path == "/benchmarks":
+            listing = _benchmark_listing()
+            self._send_json(
+                200, {"schema": SERVICE_SCHEMA, "count": len(listing), "benchmarks": listing}
+            )
+        elif path == "/cache/stats":
+            cache = self.server.cache
+            if cache is None:
+                self._send_json(200, {"schema": SERVICE_SCHEMA, "enabled": False})
+            else:
+                self._send_json(
+                    200, {"schema": SERVICE_SCHEMA, "enabled": True, **cache.stats().to_dict()}
+                )
+        else:
+            self._send_error_json(404, f"unknown path {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        path = urlparse(self.path).path.rstrip("/")
+        if path != "/analyze":
+            self._send_error_json(404, f"unknown path {path!r}; POST /analyze")
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            requests, single = _parse_analyze_body(body)
+        except (TypeError, ValueError) as exc:
+            self._send_error_json(400, f"invalid analysis request: {exc}")
+            return
+        if not requests:
+            self._send_error_json(400, "request expands to no tasks")
+            return
+        # --jobs applies to multi-task bodies only: spawning (and
+        # forking) a process pool per single-request POST would cost
+        # far more than the analysis it parallelizes.
+        jobs = self.server.jobs if len(requests) > 1 else 1
+        reports = run_batch(requests, jobs=jobs, cache=self.server.cache)
+        if single:
+            self._send_json(200, reports[0].to_dict())
+        else:
+            self._send_json(
+                200,
+                {
+                    "schema": SERVICE_SCHEMA,
+                    "tasks": len(reports),
+                    "failed": sum(not r.ok for r in reports),
+                    "reports": [r.to_dict() for r in reports],
+                },
+            )
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 8095,
+    jobs: int = 1,
+    cache=None,
+    verbose: bool = False,
+) -> AnalysisHTTPServer:
+    """Bind (but do not run) an analysis server; ``port=0`` picks a
+    free port (read it back from ``server.port``)."""
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return AnalysisHTTPServer((host, port), jobs=jobs, cache=cache, verbose=verbose)
+
+
+def run_server(server: AnalysisHTTPServer) -> int:
+    """Run an already-bound server until interrupted."""
+    host = server.server_address[0]
+    where = f"http://{host}:{server.port}"
+    cache = server.cache
+    cache_line = f"cache at {cache.root}" if cache is not None else "cache disabled"
+    print(
+        f"repro serve: listening on {where} (jobs={server.jobs}, {cache_line})",
+        file=sys.stderr,
+    )
+    print(f"try: curl -s {where}/healthz", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8095,
+    jobs: int = 1,
+    cache=None,
+    verbose: bool = True,
+) -> int:
+    """Bind and run the service until interrupted (convenience API)."""
+    return run_server(
+        create_server(host=host, port=port, jobs=jobs, cache=cache, verbose=verbose)
+    )

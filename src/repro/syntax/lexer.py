@@ -44,7 +44,7 @@ KEYWORDS = frozenset(
 )
 
 # Multi-character symbols first so maximal munch works by ordered scan.
-_SYMBOLS = [":=", "<=", ">=", "==", "~", ";", ",", ":", "(", ")", "*", "+", "-", "<", ">", "="]
+_SYMBOLS = [":=", "<=", ">=", "==", "~", ";", ",", ":", "(", ")", "*", "+", "-", "<", ">", "=", "^"]
 
 
 @dataclass(frozen=True)

@@ -294,9 +294,33 @@ class _Parser:
         return left
 
     def _parse_factor(self) -> Polynomial:
-        tok = self.peek()
         if self.accept("-"):
             return -self._parse_factor()
+        base = self._parse_primary()
+        # Power binds tighter than unary minus: -x^2 is -(x^2), and the
+        # pretty-printer's x^2 output round-trips through here.  Chained
+        # exponents are rejected rather than silently associating one
+        # way: 2^3^2 means 512 in mathematics but 64 left-to-right.
+        if self.accept("^"):
+            exp_tok = self.expect("number")
+            if "." in exp_tok.text:
+                raise ParseError(
+                    f"exponent must be a nonnegative integer, got {exp_tok.text!r}",
+                    exp_tok.line,
+                    exp_tok.column,
+                )
+            base = base ** int(exp_tok.text)
+            if self.check("^"):
+                tok = self.peek()
+                raise ParseError(
+                    "chained '^' is ambiguous; parenthesize the intended base",
+                    tok.line,
+                    tok.column,
+                )
+        return base
+
+    def _parse_primary(self) -> Polynomial:
+        tok = self.peek()
         if tok.kind == "number":
             self.advance()
             return Polynomial.constant(float(tok.text))

@@ -240,6 +240,100 @@ class TestBatchCommand:
         assert "invalid JSON" in capsys.readouterr().err
 
 
+class TestBenchmarkSuggestions:
+    """Typo'd names get difflib suggestions in the one-line exit-2 error."""
+
+    def test_bench_typo_suggests_nearest(self, capsys):
+        code = main(["bench", "rdwlk"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+        assert "did you mean" in err and "rdwalk" in err
+
+    def test_batch_spec_typo_suggests_nearest(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps([{"benchmark": "bitcon_mining"}]))
+        code = main(["batch", str(spec), "--quiet", "--no-cache"])
+        assert code == 1
+        assert "did you mean bitcoin_mining" in capsys.readouterr().err
+
+    def test_far_off_name_lists_registry(self, capsys):
+        code = main(["bench", "zzzzqqqq"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "known:" in err and "rdwalk" in err
+
+
+class TestCacheCommands:
+    def test_stats_on_empty_cache(self, tmp_path, capsys):
+        code = main(["cache", "stats", "--cache-dir", str(tmp_path / "c")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "entries: 0" in out
+
+    def test_batch_populates_then_stats_then_clear(self, tmp_path, capsys):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps([{"benchmark": "rdwalk"}, {"benchmark": "ber"}]))
+        code = main(["batch", str(spec), "--quiet", "--cache-dir", cache_dir])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "cache: 0 hits, 2 misses" in captured.err
+
+        # Warm re-run: all hits, identical table.
+        code = main(["batch", str(spec), "--quiet", "--cache-dir", cache_dir])
+        warm = capsys.readouterr()
+        assert code == 0
+        assert "cache: 2 hits, 0 misses" in warm.err
+        assert warm.out == captured.out
+
+        code = main(["cache", "stats", "--json", "--cache-dir", cache_dir])
+        stats = json.loads(capsys.readouterr().out)
+        assert code == 0 and stats["entries"] == 2
+
+        code = main(["cache", "clear", "--cache-dir", cache_dir])
+        assert code == 0
+        assert "removed 2" in capsys.readouterr().out
+        main(["cache", "stats", "--json", "--cache-dir", cache_dir])
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_no_cache_opt_out(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps([{"benchmark": "rdwalk"}]))
+        code = main(["batch", str(spec), "--quiet", "--no-cache"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "cache:" not in captured.err
+
+    def test_bench_cache_dir_routes_through_engine(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "bench-cache")
+        assert main(["bench", "rdwalk", "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr()
+        assert "cache: 0 hits, 1 misses" in first.err
+        assert main(["bench", "rdwalk", "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr()
+        assert "cache: 1 hits, 0 misses" in second.err
+        assert second.out == first.out
+
+
+class TestServeArgValidation:
+    def test_bad_port_rejected(self, capsys):
+        code = main(["serve", "--port", "70000"])
+        assert code == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_bad_jobs_rejected(self, capsys):
+        code = main(["serve", "--jobs", "0"])
+        assert code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
 class TestReviewRegressions:
     def test_bench_timeout_enforced_on_fixed_degree_path(self, capsys):
         code = main(["bench", "bitcoin_pool", "--timeout", "0.0001"])

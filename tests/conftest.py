@@ -2,9 +2,28 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import InvariantMap, build_cfg, parse_program
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_default_cache(tmp_path_factory):
+    """Point the default result-cache root at a per-session temp dir.
+
+    Commands that cache by default (``repro batch``/``serve``) would
+    otherwise persist entries under ``~/.cache/repro`` across test
+    runs, making every second run warm and order-dependent.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 FIGURE2_SOURCE = """
 var x, y;

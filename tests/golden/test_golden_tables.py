@@ -1,0 +1,70 @@
+"""Golden-file regression tests: the drivers must reproduce the
+committed table bounds *bitwise*.
+
+These files pin the seed implementation's numbers (synthesized bound
+polynomials, LP optimal values, seeded simulation columns).  Any drift
+— a solver change, an arithmetic reordering, a stale or corrupted
+result-cache entry served through a driver — fails loudly here with a
+precise diff.  Regenerate deliberately with
+``PYTHONPATH=src python tests/golden/generate_golden.py``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+# pytest puts this file's directory on sys.path (no-__init__ layout),
+# so the generator is importable directly.
+import generate_golden
+
+HERE = Path(__file__).resolve().parent
+
+
+def _load(name):
+    return json.loads((HERE / f"{name}.json").read_text())
+
+
+def _diff(expected_rows, actual_rows):
+    """Human-readable first mismatch (pytest shows dict diffs poorly)."""
+    for index, (expected, actual) in enumerate(zip(expected_rows, actual_rows)):
+        if expected != actual:
+            fields = {
+                key for key in set(expected) | set(actual)
+                if expected.get(key) != actual.get(key)
+            }
+            return f"row {index} ({expected.get('benchmark')}): fields {sorted(fields)} differ"
+    return f"row count: {len(expected_rows)} expected vs {len(actual_rows)} actual"
+
+
+@pytest.mark.parametrize(
+    "name, build",
+    [
+        ("table2", generate_golden.table2_payload),
+        ("table3", generate_golden.table3_payload),
+        ("table5", generate_golden.table5_payload),
+    ],
+)
+def test_driver_reproduces_golden_bitwise(name, build):
+    golden = _load(name)
+    current = build()
+    assert current["rows"] == golden["rows"], _diff(golden["rows"], current["rows"])
+    assert current == golden
+
+
+def test_golden_files_cover_every_benchmark_row():
+    assert len(_load("table2")["rows"]) == 15
+    table3 = _load("table3")["rows"]
+    assert len(table3) == 10
+    # Table 5 expands every Table 3 benchmark over its valuation grid.
+    table5 = _load("table5")["rows"]
+    assert len(table5) >= len(table3)
+    assert any(row["benchmark"].endswith("_prob") for row in table5)
+
+
+def test_golden_floats_survive_json_round_trip():
+    # Bitwise means bitwise: serialize-parse must be the identity on
+    # the committed payloads (shortest-repr float round-tripping).
+    for name in ("table2", "table3", "table5"):
+        payload = _load(name)
+        assert json.loads(json.dumps(payload)) == payload

@@ -1,0 +1,103 @@
+"""Monte Carlo soundness spot-checks.
+
+For a handful of Table 2 and Table 5 benchmarks, the seeded simulated
+mean cost must lie below the synthesized PUCS upper bound and above the
+PLCS lower bound, within a CI-friendly statistical tolerance (six
+standard errors plus a small absolute epsilon).  This cross-checks the
+whole pipeline — invariants, pre-expectations, Handelman certificates,
+LP — against the operational semantics, and guards the result cache
+end to end: a cache serving a wrong bound for one of these programs
+fails the bracket.
+"""
+
+import math
+
+import pytest
+
+from repro.batch import AnalysisRequest, execute_request
+
+RUNS = 400
+SEED = 11
+
+#: bitcoin_pool trajectories are ~1000x longer than the other
+#: benchmarks'; fewer runs keep the test CI-friendly, and the slack
+#: below widens accordingly (it scales with 1/sqrt(runs)).
+RUNS_PER_BENCHMARK = {"bitcoin_pool": 40}
+
+
+def _runs(name):
+    return RUNS_PER_BENCHMARK.get(name, RUNS)
+
+
+def _slack(report, runs):
+    std = report.sim_std or 0.0
+    return 6.0 * std / math.sqrt(runs) + 1e-6
+
+
+def _assert_bracketed(report, runs=RUNS):
+    assert report.ok, report.error
+    assert report.sim_mean is not None, report.warnings
+    slack = _slack(report, runs)
+    if report.upper_value is not None:
+        assert report.sim_mean <= report.upper_value + slack, (
+            f"{report.name}: sim mean {report.sim_mean} exceeds "
+            f"upper bound {report.upper_value} (slack {slack})"
+        )
+    if report.lower_value is not None:
+        assert report.sim_mean >= report.lower_value - slack, (
+            f"{report.name}: sim mean {report.sim_mean} undercuts "
+            f"lower bound {report.lower_value} (slack {slack})"
+        )
+
+
+class TestTable2Soundness:
+    """Probabilistic Table 2 programs, anchor valuations."""
+
+    @pytest.mark.parametrize("name", ["rdwalk", "ber", "bin", "prdwalk", "C4B_t13"])
+    def test_sim_mean_within_synthesized_bracket(self, name):
+        report = execute_request(
+            AnalysisRequest(benchmark=name, simulate_runs=RUNS, simulate_seed=SEED)
+        )
+        _assert_bracketed(report)
+        assert report.upper_value is not None  # every Table 2 row has a PUCS bound
+
+
+class TestTable5Soundness:
+    """Nondeterministic benchmarks after the prob(0.5) transformation."""
+
+    @pytest.mark.parametrize("name", ["bitcoin_mining", "bitcoin_pool"])
+    def test_coin_flip_variant_bracketed(self, name):
+        report = execute_request(
+            AnalysisRequest(
+                benchmark=name, nondet_prob=0.5, simulate_runs=_runs(name), simulate_seed=SEED
+            )
+        )
+        assert report.name == f"{name}_prob"
+        _assert_bracketed(report, runs=_runs(name))
+        assert report.upper_value is not None and report.lower_value is not None
+
+    def test_bracket_holds_through_a_cache_round_trip(self, tmp_path):
+        # The same spot-check on a report served *from the cache*: a
+        # stale or mismatched entry would break the bracket invariant.
+        from repro.batch import run_batch
+        from repro.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        request = AnalysisRequest(
+            benchmark="bitcoin_mining", nondet_prob=0.5, simulate_runs=RUNS, simulate_seed=SEED
+        )
+        cold = run_batch([request], cache=cache)[0]
+        warm = run_batch(
+            [
+                AnalysisRequest(
+                    benchmark="bitcoin_mining",
+                    nondet_prob=0.5,
+                    simulate_runs=RUNS,
+                    simulate_seed=SEED,
+                )
+            ],
+            cache=cache,
+        )[0]
+        assert cache.stats().hits == 1
+        assert warm.to_dict() == cold.to_dict()
+        _assert_bracketed(warm)

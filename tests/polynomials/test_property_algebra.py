@@ -1,0 +1,217 @@
+"""Property-based polynomial algebra tests against a naive reference.
+
+Randomized (seeded, fully deterministic) polynomials are pushed through
+``Polynomial`` add/mul/substitute/substitute_all and compared term by
+term with an independent dict-of-power-tuples implementation.  All
+random coefficients are dyadic rationals (halves of small integers), so
+every arithmetic result is exact in binary floating point and the
+comparison can demand *equality*, not approximation — order of
+accumulation cannot matter.
+
+Also pins the Monomial interning invariants the accumulator arithmetic
+relies on (equal power products are the same object, across every
+construction route, pickling, and intern-cache resets).
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.polynomials import Monomial, Polynomial
+from repro.polynomials.monomial import clear_intern_cache, monomials_up_to_degree
+
+VARS = ["x", "y", "z"]
+#: Dyadic coefficients: sums/products stay exact in binary floats.
+COEFFS = [-3.0, -2.0, -1.5, -1.0, -0.5, 0.5, 1.0, 1.5, 2.0, 3.0]
+
+# A reference polynomial is {powers-tuple: coeff} with powers sorted by
+# variable name — the same normal form Monomial guarantees.
+
+
+def ref_from_poly(poly):
+    return {mono.powers: float(coeff) for mono, coeff in poly.terms()}
+
+
+def poly_from_ref(ref):
+    return Polynomial({Monomial(dict(powers)): coeff for powers, coeff in ref.items()})
+
+
+def _norm(ref):
+    return {powers: coeff for powers, coeff in ref.items() if coeff != 0.0}
+
+
+def ref_add(a, b):
+    out = dict(a)
+    for powers, coeff in b.items():
+        out[powers] = out.get(powers, 0.0) + coeff
+    return _norm(out)
+
+
+def ref_mul(a, b):
+    out = {}
+    for pa, ca in a.items():
+        for pb, cb in b.items():
+            merged = dict(pa)
+            for var, exp in pb:
+                merged[var] = merged.get(var, 0) + exp
+            key = tuple(sorted(merged.items()))
+            out[key] = out.get(key, 0.0) + ca * cb
+    return _norm(out)
+
+
+def ref_pow(a, k):
+    out = {(): 1.0}
+    for _ in range(k):
+        out = ref_mul(out, a)
+    return out
+
+
+def ref_substitute_all(a, mapping):
+    """Simultaneous substitution: expand each original term against the
+    original monomial, never against earlier replacements."""
+    out = {}
+    for powers, coeff in a.items():
+        piece = {tuple(p for p in powers if p[0] not in mapping): coeff}
+        for var, exp in powers:
+            if var in mapping:
+                piece = ref_mul(piece, ref_pow(mapping[var], exp))
+        out = ref_add(out, piece)
+    return _norm(out)
+
+
+def random_ref(rng, max_terms=4, max_exp=2, variables=VARS):
+    ref = {}
+    for _ in range(rng.randint(1, max_terms)):
+        powers = tuple(
+            sorted(
+                (var, rng.randint(1, max_exp))
+                for var in rng.sample(variables, rng.randint(0, len(variables)))
+            )
+        )
+        ref[powers] = ref.get(powers, 0.0) + rng.choice(COEFFS)
+    return _norm(ref)
+
+
+CASES = list(range(120))
+
+
+class TestAgainstNaiveReference:
+    @pytest.mark.parametrize("case", CASES)
+    def test_add(self, case):
+        rng = random.Random(1000 + case)
+        a, b = random_ref(rng), random_ref(rng)
+        assert ref_from_poly(poly_from_ref(a) + poly_from_ref(b)) == ref_add(a, b)
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_sub_is_add_of_negation(self, case):
+        rng = random.Random(2000 + case)
+        a, b = random_ref(rng), random_ref(rng)
+        neg_b = {powers: -coeff for powers, coeff in b.items()}
+        assert ref_from_poly(poly_from_ref(a) - poly_from_ref(b)) == ref_add(a, neg_b)
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_mul(self, case):
+        rng = random.Random(3000 + case)
+        a, b = random_ref(rng), random_ref(rng)
+        assert ref_from_poly(poly_from_ref(a) * poly_from_ref(b)) == ref_mul(a, b)
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_substitute_single_var(self, case):
+        rng = random.Random(4000 + case)
+        a = random_ref(rng)
+        var = rng.choice(VARS)
+        replacement = random_ref(rng, max_terms=2, max_exp=1)
+        got = poly_from_ref(a).substitute(var, poly_from_ref(replacement))
+        assert ref_from_poly(got) == ref_substitute_all(a, {var: replacement})
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_substitute_all_simultaneous(self, case):
+        rng = random.Random(5000 + case)
+        a = random_ref(rng)
+        mapping = {
+            var: random_ref(rng, max_terms=2, max_exp=1)
+            for var in rng.sample(VARS, rng.randint(1, len(VARS)))
+        }
+        got = poly_from_ref(a).substitute_all(
+            {var: poly_from_ref(ref) for var, ref in mapping.items()}
+        )
+        assert ref_from_poly(got) == ref_substitute_all(a, mapping)
+
+    def test_substitute_all_swap_is_simultaneous_not_sequential(self):
+        # x <-> y: sequential substitution would collapse both onto one
+        # variable; the simultaneous semantics must swap them.
+        x, y = Polynomial.variable("x"), Polynomial.variable("y")
+        poly = x * x + 2.0 * y
+        swapped = poly.substitute_all({"x": y, "y": x})
+        assert ref_from_poly(swapped) == {(("y", 2),): 1.0, (("x", 1),): 2.0}
+
+    @pytest.mark.parametrize("case", CASES[:40])
+    def test_evaluate_agrees_with_reference(self, case):
+        rng = random.Random(6000 + case)
+        a = random_ref(rng)
+        valuation = {var: rng.choice([-2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0]) for var in VARS}
+        expected = sum(
+            coeff * _eval_powers(powers, valuation) for powers, coeff in a.items()
+        )
+        assert poly_from_ref(a).evaluate_numeric(valuation) == expected
+
+    @pytest.mark.parametrize("case", CASES[:40])
+    def test_ring_axioms(self, case):
+        rng = random.Random(7000 + case)
+        a, b, c = (poly_from_ref(random_ref(rng, max_terms=3)) for _ in range(3))
+        assert ref_from_poly(a * (b + c)) == ref_from_poly(a * b + a * c)
+        assert ref_from_poly((a + b) + c) == ref_from_poly(a + (b + c))
+        assert ref_from_poly(a * b) == ref_from_poly(b * a)
+
+
+def _eval_powers(powers, valuation):
+    out = 1.0
+    for var, exp in powers:
+        out *= valuation[var] ** exp
+    return out
+
+
+class TestMonomialInterning:
+    def test_every_construction_route_interns_to_one_object(self):
+        routes = [
+            Monomial({"x": 2, "y": 1}),
+            Monomial([("y", 1), ("x", 2)]),
+            Monomial([("x", 1), ("x", 1), ("y", 1)]),  # duplicate merge
+            Monomial.variable("x", 2) * Monomial.variable("y"),
+            Monomial.variable("x") ** 2 * Monomial.variable("y"),
+            Monomial({"x": 2, "y": 1, "z": 0}),  # zero exponents dropped
+        ]
+        assert all(mono is routes[0] for mono in routes[1:])
+
+    def test_pickle_round_trip_re_interns(self):
+        mono = Monomial({"x": 1, "z": 3})
+        assert pickle.loads(pickle.dumps(mono)) is mono
+
+    def test_degree_cached_and_consistent(self):
+        rng = random.Random(42)
+        for _ in range(50):
+            powers = {var: rng.randint(1, 3) for var in rng.sample(VARS, rng.randint(0, 3))}
+            mono = Monomial(powers)
+            assert mono.degree() == sum(powers.values())
+            assert mono.degree() == sum(exp for _, exp in mono.powers)
+
+    def test_clear_intern_cache_preserves_value_equality(self):
+        before = Monomial({"x": 1, "y": 2})
+        one_before = Monomial.one()
+        clear_intern_cache()
+        after = Monomial({"x": 1, "y": 2})
+        assert after == before and hash(after) == hash(before)
+        # The constant monomial survives the reset as the same object
+        # (it is re-seeded), and new constructions re-intern.
+        assert Monomial.one() is one_before
+        assert Monomial({"x": 1, "y": 2}) is after
+
+    def test_basis_enumeration_is_graded_lex_and_interned(self):
+        basis = monomials_up_to_degree(["x", "y"], 3)
+        degrees = [m.degree() for m in basis]
+        assert degrees == sorted(degrees)
+        assert basis[0] is Monomial.one()
+        assert len(basis) == len(set(basis)) == 10  # C(2+3, 3)
+        for mono in basis:
+            assert Monomial(dict(mono.powers)) is mono

@@ -1,0 +1,174 @@
+"""HTTP analysis-service tests (`repro.service` / `repro serve`)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.batch import AnalysisRequest, run_batch
+from repro.cache import ResultCache
+from repro.service import create_server
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    cache = ResultCache(tmp_path_factory.mktemp("service-cache"))
+    server = create_server(host="127.0.0.1", port=0, jobs=1, cache=cache)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, cache, f"http://127.0.0.1:{server.port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _get(base, path):
+    with urllib.request.urlopen(base + path, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(base, path, payload):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        _, _, base = service
+        status, payload = _get(base, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["schema"] == "repro-service/v1"
+        assert payload["cache"] is not None
+
+    def test_benchmarks_lists_registry(self, service):
+        _, _, base = service
+        status, payload = _get(base, "/benchmarks")
+        assert status == 200
+        names = [bench["name"] for bench in payload["benchmarks"]]
+        assert payload["count"] == len(names) == 25
+        assert "rdwalk" in names and "bitcoin_mining" in names
+        nondet = {b["name"]: b["nondeterministic"] for b in payload["benchmarks"]}
+        assert nondet["bitcoin_mining"] is True and nondet["rdwalk"] is False
+
+    def test_cache_stats_endpoint(self, service):
+        _, _, base = service
+        status, payload = _get(base, "/cache/stats")
+        assert status == 200
+        assert payload["enabled"] is True
+        assert "hits" in payload and "entries" in payload
+
+    def test_unknown_path_404(self, service):
+        _, _, base = service
+        try:
+            urllib.request.urlopen(base + "/nope", timeout=30)
+            raise AssertionError("expected 404")
+        except urllib.error.HTTPError as error:
+            assert error.code == 404
+
+
+class TestAnalyze:
+    def test_single_request_matches_engine_byte_for_byte(self, service):
+        _, cache, base = service
+        # Engine first (populates the shared store), then the service:
+        # the POST must return the stored report verbatim.
+        engine_report = run_batch([AnalysisRequest(benchmark="rdwalk")], cache=cache)[0]
+        status, payload = _post(base, "/analyze", {"benchmark": "rdwalk"})
+        assert status == 200
+        # Not sort_keys: byte-identical includes dict key order.
+        assert json.dumps(payload) == json.dumps(engine_report.to_dict())
+
+    def test_repeat_post_is_a_cache_hit(self, service):
+        _, cache, base = service
+        _post(base, "/analyze", {"benchmark": "ber"})
+        hits_before = cache.stats().hits
+        status, payload = _post(base, "/analyze", {"benchmark": "ber"})
+        assert status == 200 and payload["status"] == "ok"
+        assert cache.stats().hits == hits_before + 1
+
+    def test_inline_source_request(self, service):
+        _, _, base = service
+        status, payload = _post(
+            base,
+            "/analyze",
+            {
+                "source": "var x;\nwhile x >= 1 do\n x := x - 1;\n tick(1)\nod",
+                "name": "countdown",
+                "invariants": {"1": "x >= 0", "2": "x >= 1"},
+                "init": {"x": 9},
+                "degree": 1,
+            },
+        )
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["upper_value"] == pytest.approx(9.0, rel=1e-6)
+
+    def test_task_list_body(self, service):
+        _, _, base = service
+        status, payload = _post(
+            base, "/analyze", [{"benchmark": "rdwalk"}, {"benchmark": "ber"}]
+        )
+        assert status == 200
+        assert payload["schema"] == "repro-service/v1"
+        assert payload["tasks"] == 2 and payload["failed"] == 0
+        assert [r["name"] for r in payload["reports"]] == ["rdwalk", "ber"]
+
+    def test_spec_body_with_suite(self, service):
+        _, _, base = service
+        status, payload = _post(
+            base, "/analyze", {"defaults": {"degree": 1}, "tasks": [{"suite": "table2"}]}
+        )
+        assert status == 200
+        assert payload["tasks"] == 15
+
+    def test_analysis_failure_is_a_structured_report_not_http_error(self, service):
+        _, _, base = service
+        status, payload = _post(base, "/analyze", {"benchmark": "rdwlk"})
+        assert status == 200
+        assert payload["status"] == "error"
+        assert "did you mean" in payload["error"]
+
+
+class TestBadEnvelopes:
+    def test_invalid_json_400(self, service):
+        _, _, base = service
+        request = urllib.request.Request(
+            base + "/analyze", data=b"{not json", method="POST"
+        )
+        try:
+            urllib.request.urlopen(request, timeout=30)
+            raise AssertionError("expected 400")
+        except urllib.error.HTTPError as error:
+            assert error.code == 400
+            assert "invalid JSON" in json.loads(error.read())["error"]
+
+    def test_unknown_field_400(self, service):
+        _, _, base = service
+        status, payload = _post(base, "/analyze", {"bogus": 1})
+        assert status == 400
+        assert "unknown request field" in payload["error"]
+
+    def test_empty_body_400(self, service):
+        _, _, base = service
+        request = urllib.request.Request(base + "/analyze", data=b"", method="POST")
+        try:
+            urllib.request.urlopen(request, timeout=30)
+            raise AssertionError("expected 400")
+        except urllib.error.HTTPError as error:
+            assert error.code == 400
+
+    def test_post_wrong_path_404(self, service):
+        _, _, base = service
+        status, payload = _post(base, "/benchmarks", {"benchmark": "rdwalk"})
+        assert status == 404
