@@ -116,14 +116,16 @@ def _select(benches, quick: bool):
 
 def _run_benches(benches, jobs: int, cache=None) -> int:
     """Analyze ``benches`` sequentially in-process, or route them
-    through the batch engine when ``jobs > 1`` or a result cache is in
-    play (the cache lives at the engine layer)."""
+    through an ``Analyzer`` session when ``jobs > 1`` or a result
+    cache is in play (the cache lives at the engine layer)."""
     if jobs > 1 or cache is not None:
-        from repro.batch import AnalysisRequest, run_batch
+        from repro.api import Analyzer
+        from repro.batch import AnalysisRequest
 
-        reports = run_batch(
-            [AnalysisRequest(benchmark=b.name) for b in benches], jobs=jobs, cache=cache
-        )
+        with Analyzer(cache=cache, jobs=jobs) as analyzer:
+            reports = analyzer.analyze_batch(
+                [AnalysisRequest(benchmark=b.name) for b in benches]
+            )
         failed = [r.name for r in reports if not r.ok]
         if failed:
             raise RuntimeError(f"batch analysis failed for {failed}")
@@ -160,7 +162,8 @@ def _table5_variants(quick: bool) -> list:
 
 def _run_table5(quick: bool, jobs: int = 1, cache=None) -> int:
     if jobs > 1 or cache is not None:
-        from repro.batch import requests_from_spec, run_batch
+        from repro.api import Analyzer
+        from repro.batch import requests_from_spec
 
         # Reuse the canonical suite expansion (coin-flip transformation
         # included) so the parallel timing measures the same workload as
@@ -170,7 +173,8 @@ def _run_table5(quick: bool, jobs: int = 1, cache=None) -> int:
             r for r in requests_from_spec({"tasks": [{"suite": "table5"}]})
             if r.benchmark in selected
         ]
-        failed = [r.name for r in run_batch(requests, jobs=jobs, cache=cache) if not r.ok]
+        with Analyzer(cache=cache, jobs=jobs) as analyzer:
+            failed = [r.name for r in analyzer.analyze_batch(requests) if not r.ok]
         if failed:
             raise RuntimeError(f"batch analysis failed for {failed}")
         return len(requests)

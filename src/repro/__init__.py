@@ -76,9 +76,16 @@ from .semantics import (
 from .syntax import Program, parse_condition, parse_expression, parse_program, replace_nondet
 from .termination import RankingCertificate, certify_concentration, synthesize_rsm
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# The typed front door; imported last — it composes the layers above.
+from .api import AnalysisOptions, AnalysisReport, AnalysisRequest, Analyzer  # noqa: E402
 
 __all__ = [
+    "AnalysisOptions",
+    "AnalysisReport",
+    "AnalysisRequest",
+    "Analyzer",
     "BernoulliDistribution",
     "BinomialDistribution",
     "BoundResult",

@@ -43,6 +43,10 @@ class CostAnalysisResult:
     lower: Optional[BoundResult] = None
     concentration: Optional[RankingCertificate] = None
     warnings: List[str] = field(default_factory=list)
+    #: Why ``lower`` is ``None`` although a lower bound was requested:
+    #: the regime admits no PLCS bound, or synthesis was infeasible.
+    #: ``None`` when a lower bound exists or none was asked for.
+    lower_skipped: Optional[str] = None
 
     @property
     def upper_bound(self):
@@ -61,6 +65,10 @@ class CostAnalysisResult:
             lines.append(f"upper:   {self.upper.bound.round(6)}  (value {self.upper.value:.6g})")
         if self.lower:
             lines.append(f"lower:   {self.lower.bound.round(6)}  (value {self.lower.value:.6g})")
+        elif self.lower_skipped:
+            # A requested-but-missing PLCS bound used to vanish from the
+            # report silently; say why it is absent.
+            lines.append(f"lower:   skipped ({self.lower_skipped})")
         if self.concentration is not None:
             status = "certified" if self.concentration.certifies_concentration else "RSM only"
             lines.append(
@@ -69,6 +77,19 @@ class CostAnalysisResult:
         for warning in self.warnings:
             lines.append(f"warning: {warning}")
         return "\n".join(lines)
+
+    def complete_for(self, compute_lower: bool) -> bool:
+        """Did the analysis produce everything that was asked for?
+
+        The degree-escalation loops (engine, CLI, ``Analyzer``) share
+        this rule: an upper bound must exist, and — when a lower bound
+        was requested and the regime admits one — a lower bound too.
+        """
+        if self.upper is None:
+            return False
+        if compute_lower and self.mode.lower and self.lower is None:
+            return False
+        return True
 
 
 def analyze(
@@ -202,18 +223,28 @@ def analyze(
     except SynthesisError as exc:
         result.warnings.append(f"no degree-{degree} upper bound: {exc}")
 
-    if compute_lower and mode_info.lower:
-        try:
-            result.lower = synthesize(
-                cfg,
-                inv,
-                init,
-                kind="lower",
-                degree=degree,
-                max_multiplicands=max_multiplicands,
+    if compute_lower:
+        if mode_info.lower:
+            try:
+                result.lower = synthesize(
+                    cfg,
+                    inv,
+                    init,
+                    kind="lower",
+                    degree=degree,
+                    max_multiplicands=max_multiplicands,
+                )
+                result.warnings.extend(result.lower.warnings)
+            except SynthesisError as exc:
+                reason = f"no degree-{degree} lower bound: {exc}"
+                result.warnings.append(reason)
+                result.lower_skipped = reason
+        else:
+            # The regime rules out PLCS entirely (e.g. Theorem 6.14 is
+            # upper-only); record why instead of dropping the request
+            # on the floor.
+            result.lower_skipped = (
+                f"PLCS not attempted: regime {mode_info.name!r} admits no lower bound"
             )
-            result.warnings.extend(result.lower.warnings)
-        except SynthesisError as exc:
-            result.warnings.append(f"no degree-{degree} lower bound: {exc}")
 
     return result

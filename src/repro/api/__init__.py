@@ -1,0 +1,117 @@
+"""``repro.api`` — the one typed front door to the analysis pipeline.
+
+Every front end of this reproduction (the CLI, the HTTP service, the
+batch engine, the Table 2-5 experiment drivers, the perf harness) is a
+thin adapter over the three names this package exports first:
+
+:class:`AnalysisOptions`
+    A frozen, validated, JSON-round-trippable record of *how* to
+    analyze — degree plan (including ``"auto"`` escalation), soundness
+    mode, Handelman multiplicand cap, invariant policy, initial
+    valuation, coin-flip transformation, simulation settings, timeout
+    and LP solver backend.
+:class:`Analyzer`
+    A session facade owning the result cache, the solver backend and
+    the worker pool; ``analyze()`` returns the canonical
+    :class:`AnalysisReport`, ``analyze_batch()`` fans out, and
+    ``parse``/``build_cfg``/``derive_invariants``/``synthesize``
+    expose the pipeline stage by stage.
+:class:`AnalysisRequest` / :class:`AnalysisReport`
+    The JSON work unit and the canonical result record (schema
+    ``repro-report/v2``; :func:`report_to_v1` and the lenient
+    :meth:`AnalysisReport.from_dict` bridge v1 consumers/producers).
+
+Quick start::
+
+    from repro.api import AnalysisOptions, Analyzer
+
+    analyzer = Analyzer(AnalysisOptions(degree="auto"), cache=True)
+    report = analyzer.analyze("rdwalk")
+    print(report.upper_bound, report.upper_value)
+
+Solver backends are pluggable: implement
+:class:`repro.core.solvers.SolverBackend`, call
+:func:`register_backend`, and name it in
+``AnalysisOptions(solver=...)`` — the resolved backend id is part of
+every cache fingerprint, so distinct backends never alias entries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from ..batch.spec import (
+    REPORT_SCHEMA,
+    REPORT_SCHEMA_V1,
+    AnalysisReport,
+    AnalysisRequest,
+    load_spec,
+    requests_from_spec,
+)
+from ..cache import ResultCache, request_fingerprint, request_key
+from ..core.solvers import (
+    SolveOutcome,
+    SolverBackend,
+    available_backends,
+    backend_specs,
+    default_backend_id,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    use_solver,
+)
+from .analyzer import Analyzer
+from .options import AnalysisOptions
+
+__all__ = [
+    "AnalysisOptions",
+    "AnalysisReport",
+    "AnalysisRequest",
+    "Analyzer",
+    "REPORT_SCHEMA",
+    "REPORT_SCHEMA_V1",
+    "ResultCache",
+    "SolveOutcome",
+    "SolverBackend",
+    "available_backends",
+    "backend_specs",
+    "default_backend_id",
+    "get_backend",
+    "load_spec",
+    "register_backend",
+    "report_from_dict",
+    "report_to_v1",
+    "request_fingerprint",
+    "request_key",
+    "requests_from_spec",
+    "resolve_backend",
+    "use_solver",
+    "version_info",
+]
+
+
+def report_to_v1(report: AnalysisReport) -> Dict[str, Any]:
+    """``report`` as a pre-``repro.api`` (``repro-report/v1``) dict —
+    bitwise what a v1 writer produced for the same analysis."""
+    return report.to_v1_dict()
+
+
+def report_from_dict(data: Mapping[str, Any]) -> AnalysisReport:
+    """Read a v2 *or* v1 report dict (the v1 reader shim)."""
+    return AnalysisReport.from_dict(data)
+
+
+def version_info() -> Dict[str, Any]:
+    """Versions and schemas of everything a client can depend on."""
+    from .. import __version__
+    from ..cache import ENTRY_SCHEMA
+
+    return {
+        "repro": __version__,
+        "schemas": {
+            "report": REPORT_SCHEMA,
+            "report_compat": [REPORT_SCHEMA_V1],
+            "cache_entry": ENTRY_SCHEMA,
+        },
+        "solver_backends": backend_specs(),
+    }

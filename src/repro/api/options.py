@@ -1,0 +1,243 @@
+"""The one typed options object of the public API.
+
+Every front end used to re-thread its own copy of the degree / mode /
+invariant / simulation / timeout kwarg sprawl.  :class:`AnalysisOptions`
+consolidates all of it: an immutable, validated, JSON-round-trippable
+record of *how* to analyze — the *what* (a benchmark name, source text,
+a :class:`~repro.programs.Benchmark`) stays separate and is supplied to
+:meth:`repro.api.Analyzer.analyze` next to it.
+
+Layering (spec-file ``defaults`` + per-task overrides, session options
++ per-call overrides) goes through :meth:`AnalysisOptions.merge`, which
+takes mappings/keywords of *explicitly set* fields — never a second
+options object, whose untouched defaults would be indistinguishable
+from deliberate choices.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping as _MappingABC
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Mapping, Optional, Union
+
+from ..batch.spec import DEFAULT_MAX_DEGREE, AnalysisRequest
+
+__all__ = ["AnalysisOptions"]
+
+
+@dataclass(frozen=True)
+class AnalysisOptions:
+    """Everything that configures one expected-cost analysis.
+
+    All fields are JSON-plain and validated at construction.  Instances
+    are frozen: derive variations with :meth:`merge`.
+    """
+
+    #: Template degree plan: ``None`` (the benchmark's default, 2 for
+    #: inline source), a fixed positive int, or ``"auto"`` — escalate
+    #: d = 1..``max_degree`` until every requested bound is feasible.
+    degree: Union[int, str, None] = None
+    #: Ceiling for ``degree="auto"`` escalation.
+    max_degree: int = DEFAULT_MAX_DEGREE
+    #: Soundness regime: ``None`` (benchmark default / ``"auto"``),
+    #: ``"auto"``, ``"signed"`` or ``"nonnegative"``.
+    mode: Optional[str] = None
+    #: Attempt the PLCS lower bound when the regime admits one.
+    compute_lower: bool = True
+    #: Handelman multiplicand cap K (``None`` = the degree default).
+    max_multiplicands: Optional[int] = None
+    #: LP solver backend id (see ``repro.core.solvers``); ``None`` or
+    #: ``"auto"`` resolves to the environment default.
+    solver: Optional[str] = None
+    #: Per-label invariant annotations for inline-source programs
+    #: (registry benchmarks carry their own).
+    invariants: Optional[Dict[int, str]] = None
+    #: Strengthen annotations with automatically generated interval
+    #: invariants (the paper uses StInG similarly).
+    auto_invariants: bool = True
+    #: Initial valuation ``v*``; ``None`` uses the benchmark anchor.
+    init: Optional[Dict[str, float]] = None
+    #: Replace every ``if *`` by ``if prob(p)`` before analysis (the
+    #: Table 5 transformation); ``None`` leaves the program as-is.
+    nondet_prob: Optional[float] = None
+    #: Monte-Carlo runs to simulate after synthesis (``None`` = none).
+    simulate_runs: Optional[int] = None
+    simulate_seed: int = 0
+    simulate_max_steps: int = 1_000_000
+    #: Simulate even a nondeterministic program (default then-branch
+    #: scheduler); off because a demonic bound is not comparable to one
+    #: fixed policy's statistics.
+    simulate_nondet: bool = False
+    #: Per-task wall-clock budget in seconds (``status="timeout"``).
+    timeout_s: Optional[float] = None
+    #: Free-form caller tag, echoed on the report (not fingerprinted).
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # Normalize the mapping fields to plain, correctly-typed dicts
+        # (JSON object keys arrive as strings) before validating.
+        if self.invariants is not None:
+            try:
+                coerced = {int(label): str(cond) for label, cond in dict(self.invariants).items()}
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"invariant labels must be integers, got {sorted(dict(self.invariants))!r}"
+                ) from None
+            object.__setattr__(self, "invariants", coerced)
+        if self.init is not None:
+            try:
+                object.__setattr__(
+                    self, "init", {str(var): float(value) for var, value in dict(self.init).items()}
+                )
+            except (TypeError, ValueError):
+                raise ValueError(f"init values must be numbers, got {self.init!r}") from None
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.degree is not None and self.degree != "auto":
+            if not isinstance(self.degree, int) or isinstance(self.degree, bool) or self.degree < 1:
+                raise ValueError(f"degree must be a positive int or 'auto', got {self.degree!r}")
+        if not isinstance(self.max_degree, int) or self.max_degree < 1:
+            raise ValueError(f"max_degree must be an int >= 1, got {self.max_degree!r}")
+        if self.mode is not None and self.mode not in ("auto", "signed", "nonnegative"):
+            raise ValueError(f"mode must be 'auto', 'signed' or 'nonnegative', got {self.mode!r}")
+        if self.max_multiplicands is not None and self.max_multiplicands < 1:
+            raise ValueError(f"max_multiplicands must be >= 1, got {self.max_multiplicands!r}")
+        if self.solver is not None and not isinstance(self.solver, str):
+            raise ValueError(f"solver must be a backend name string, got {self.solver!r}")
+        if self.nondet_prob is not None and not (0.0 <= self.nondet_prob <= 1.0):
+            raise ValueError(f"nondet_prob must be in [0, 1], got {self.nondet_prob}")
+        if self.simulate_runs is not None and self.simulate_runs <= 0:
+            raise ValueError(f"simulate_runs must be positive, got {self.simulate_runs}")
+        if self.simulate_max_steps < 1:
+            raise ValueError(f"simulate_max_steps must be >= 1, got {self.simulate_max_steps}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+
+    # -- layering -------------------------------------------------------
+
+    def merge(self, *layers: Mapping[str, Any], **overrides: Any) -> "AnalysisOptions":
+        """A new options object with later layers winning.
+
+        ``layers`` are mappings of explicitly-set fields (e.g. a spec
+        file's ``defaults`` then a task object); ``overrides`` apply
+        last.  Unknown keys raise, and the merged result re-validates::
+
+            AnalysisOptions().merge(spec["defaults"], task, degree=3)
+        """
+        known = {f.name for f in fields(self)}
+        updates: Dict[str, Any] = {}
+        for layer in layers:
+            if not isinstance(layer, _MappingABC):
+                raise TypeError(
+                    "merge() layers must be mappings of option fields; to layer two "
+                    "AnalysisOptions, pass the explicit fields as a dict "
+                    f"(got {type(layer).__name__})"
+                )
+            updates.update(layer)
+        updates.update(overrides)
+        unknown = set(updates) - known
+        if unknown:
+            raise ValueError(f"unknown option field(s): {sorted(unknown)}")
+        return replace(self, **updates)
+
+    # -- JSON -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-plain dict of every field (round-trips via
+        :meth:`from_dict`)."""
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = dict(value) if isinstance(value, dict) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AnalysisOptions":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown option field(s): {sorted(unknown)}")
+        return cls(**dict(data))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnalysisOptions":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(f"options JSON must be an object, got {type(data).__name__}")
+        return cls.from_dict(data)
+
+    def degree_plan(self, default: Optional[int] = None) -> list:
+        """The degrees a caller should attempt, in order.
+
+        ``"auto"`` escalates 1..``max_degree``; a fixed degree is a
+        one-element plan; ``None`` defers to ``default`` (a benchmark's
+        own degree — kept as ``None`` when no default is given so the
+        callee can resolve it).
+        """
+        if self.degree == "auto":
+            return list(range(1, self.max_degree + 1))
+        if self.degree is not None:
+            return [int(self.degree)]
+        return [default]
+
+    # -- bridging to the engine -----------------------------------------
+
+    def to_request(
+        self,
+        benchmark: Optional[str] = None,
+        source: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> AnalysisRequest:
+        """The engine/cache work unit for these options applied to one
+        program (exactly one of ``benchmark``/``source``)."""
+        request = AnalysisRequest(
+            benchmark=benchmark,
+            source=source,
+            name=name,
+            init=dict(self.init) if self.init is not None else None,
+            invariants=dict(self.invariants) if self.invariants is not None else None,
+            degree=self.degree,
+            max_degree=self.max_degree,
+            mode=self.mode,
+            compute_lower=self.compute_lower,
+            max_multiplicands=self.max_multiplicands,
+            solver=self.solver,
+            auto_invariants=self.auto_invariants,
+            nondet_prob=self.nondet_prob,
+            simulate_runs=self.simulate_runs,
+            simulate_seed=self.simulate_seed,
+            simulate_max_steps=self.simulate_max_steps,
+            simulate_nondet=self.simulate_nondet,
+            timeout_s=self.timeout_s,
+            tag=self.tag,
+        )
+        request.validate()
+        return request
+
+    @classmethod
+    def from_request(cls, request: AnalysisRequest) -> "AnalysisOptions":
+        """The options embedded in an engine request (drops the program
+        identity — ``benchmark``/``source``/``name``)."""
+        return cls(
+            degree=request.degree,
+            max_degree=request.max_degree,
+            mode=request.mode,
+            compute_lower=request.compute_lower,
+            max_multiplicands=request.max_multiplicands,
+            solver=request.solver,
+            invariants=dict(request.invariants) if request.invariants is not None else None,
+            auto_invariants=request.auto_invariants,
+            init=dict(request.init) if request.init is not None else None,
+            nondet_prob=request.nondet_prob,
+            simulate_runs=request.simulate_runs,
+            simulate_seed=request.simulate_seed,
+            simulate_max_steps=request.simulate_max_steps,
+            simulate_nondet=request.simulate_nondet,
+            timeout_s=request.timeout_s,
+            tag=request.tag,
+        )

@@ -33,6 +33,7 @@ from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.bounds import CostAnalysisResult
+from ..core.solvers import resolved_solver_id, use_solver
 from ..errors import ReproError
 from ..programs import Benchmark, get_benchmark, probabilistic_variant
 from ..semantics import simulate
@@ -120,16 +121,13 @@ def _degree_plan(request: AnalysisRequest, bench: Benchmark) -> List[int]:
 
 def _is_complete(request: AnalysisRequest, result: CostAnalysisResult) -> bool:
     """Did this degree produce everything the request asked for?"""
-    if result.upper is None:
-        return False
-    if request.compute_lower and result.mode.lower and result.lower is None:
-        return False
-    return True
+    return result.complete_for(request.compute_lower)
 
 
 def _fill_bounds(report: AnalysisReport, result: CostAnalysisResult) -> None:
     report.mode = result.mode.name
     report.warnings = list(result.warnings)
+    report.lower_skipped = result.lower_skipped
     if result.upper is not None:
         report.upper_value = result.upper.value
         report.upper_bound = str(result.upper.bound.round(5))
@@ -155,6 +153,11 @@ def execute_request(request: AnalysisRequest) -> AnalysisReport:
     report = AnalysisReport(name=request.display_name, status="ok", tag=request.tag)
     try:
         with _task_alarm(request.timeout_s):
+            # Resolve the LP backend up front: an unknown/unavailable
+            # solver is a structured error before any synthesis work,
+            # and the *resolved* id is what the report (and the cache
+            # fingerprint) record.
+            report.solver = resolved_solver_id(request.solver)
             bench = _resolve_benchmark(request)
             if request.name is None:
                 report.name = bench.name
@@ -162,18 +165,20 @@ def execute_request(request: AnalysisRequest) -> AnalysisReport:
             report.init = init
 
             result: Optional[CostAnalysisResult] = None
-            for degree in _degree_plan(request, bench):
-                report.degrees_tried.append(degree)
-                result = bench.analyze(
-                    init=init,
-                    degree=degree,
-                    compute_lower=request.compute_lower,
-                    mode=request.mode,
-                    max_multiplicands=request.max_multiplicands,
-                )
-                report.degree = degree
-                if _is_complete(request, result):
-                    break
+            with use_solver(report.solver):
+                for degree in _degree_plan(request, bench):
+                    report.degrees_tried.append(degree)
+                    result = bench._analyze_resolved(
+                        init=init,
+                        degree=degree,
+                        compute_lower=request.compute_lower,
+                        mode=request.mode,
+                        max_multiplicands=request.max_multiplicands,
+                        auto_invariants=request.auto_invariants,
+                    )
+                    report.degree = degree
+                    if _is_complete(request, result):
+                        break
             assert result is not None  # degree plan is never empty
             report.analysis_runtime = time.perf_counter() - start
             _fill_bounds(report, result)
@@ -210,7 +215,7 @@ def execute_request(request: AnalysisRequest) -> AnalysisReport:
     except BatchTimeout:
         report.status = "timeout"
         report.error = f"TimeoutError: task exceeded {request.timeout_s:g}s budget"
-    except (ReproError, ValueError, KeyError, OverflowError, ZeroDivisionError) as exc:
+    except (ReproError, ValueError, KeyError, RuntimeError, OverflowError, ZeroDivisionError) as exc:
         report.status = "error"
         report.error = f"{type(exc).__name__}: {exc}"
     report.runtime = time.perf_counter() - start
@@ -298,6 +303,7 @@ def run_batch(
     jobs: int = 1,
     progress: Optional[Callable[[AnalysisReport], None]] = None,
     cache=None,
+    pool=None,
 ) -> List[AnalysisReport]:
     """Execute ``requests`` and return reports in request order.
 
@@ -308,6 +314,11 @@ def run_batch(
     short-circuits previously solved tasks; with a pool, workers clone
     it over the same root and the parent instance aggregates their
     hit/miss counts, so ``cache.stats()`` reflects the whole batch.
+
+    ``pool`` lends an already-running ``multiprocessing.Pool`` (e.g.
+    the one a :class:`repro.api.Analyzer` session owns): the batch
+    fans out on it, ``jobs`` is ignored, and the pool is left running
+    for the caller to reuse or close.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -316,7 +327,7 @@ def run_batch(
     if not requests:
         return []
 
-    if jobs == 1:
+    if jobs == 1 and pool is None:
         reports = []
         for request in requests:
             report, _, _ = _cached_execute(request, cache)
@@ -330,7 +341,10 @@ def run_batch(
         (index, request.to_dict(), cache_config) for index, request in enumerate(requests)
     ]
     ordered: List[Optional[AnalysisReport]] = [None] * len(requests)
-    with multiprocessing.Pool(processes=min(jobs, len(requests))) as pool:
+    own_pool = pool is None
+    if own_pool:
+        pool = multiprocessing.Pool(processes=min(jobs, len(requests)))
+    try:
         for index, report_dict, hit, stored in pool.imap_unordered(_pool_worker, payloads):
             report = AnalysisReport.from_dict(report_dict)
             ordered[index] = report
@@ -341,5 +355,9 @@ def run_batch(
                 cache.record(hit, stored=stored)
             if progress is not None:
                 progress(report)
+    finally:
+        if own_pool:
+            pool.terminate()
+            pool.join()
     assert all(report is not None for report in ordered)
     return ordered  # type: ignore[return-value]

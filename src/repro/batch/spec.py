@@ -27,12 +27,24 @@ from typing import Any, Dict, List, Mapping, Optional, Union
 __all__ = [
     "AnalysisReport",
     "AnalysisRequest",
+    "REPORT_SCHEMA",
+    "REPORT_SCHEMA_V1",
     "load_spec",
     "requests_from_spec",
 ]
 
 #: Degree ceiling for ``degree="auto"`` escalation unless overridden.
 DEFAULT_MAX_DEGREE = 4
+
+#: Canonical report schema.  v2 added ``lower_skipped`` (why no PLCS
+#: lower bound was produced) and ``solver`` (the resolved LP backend).
+REPORT_SCHEMA = "repro-report/v2"
+#: The pre-``repro.api`` shape; :meth:`AnalysisReport.from_dict` reads
+#: both, :meth:`AnalysisReport.to_v1_dict` writes it.
+REPORT_SCHEMA_V1 = "repro-report/v1"
+
+#: Fields present in v2 report dicts but not v1 ones.
+_REPORT_V2_FIELDS = ("lower_skipped", "solver")
 
 #: Suites a spec task may name.  ``table5`` is the Table 3 set with
 #: nondeterminism replaced by a fair coin (the paper's Table 5 setup).
@@ -70,6 +82,14 @@ class AnalysisRequest:
     mode: Optional[str] = None
     compute_lower: bool = True
     max_multiplicands: Optional[int] = None
+    #: LP solver backend id (``repro.core.solvers``); ``None``/"auto"
+    #: resolves to the environment default.  The *resolved* id is part
+    #: of the cache fingerprint, so backends never alias entries.
+    solver: Optional[str] = None
+    #: Strengthen annotations with automatically generated interval
+    #: invariants (the paper uses StInG similarly); part of the cache
+    #: fingerprint because it changes the LP.
+    auto_invariants: bool = True
     #: Replace every ``if *`` by ``if prob(p)`` before analysis (the
     #: Table 5 transformation); ``None`` leaves the program as-is.
     nondet_prob: Optional[float] = None
@@ -103,6 +123,8 @@ class AnalysisRequest:
             raise ValueError(f"max_degree must be >= 1, got {self.max_degree}")
         if self.mode is not None and self.mode not in ("auto", "signed", "nonnegative"):
             raise ValueError(f"mode must be 'auto', 'signed' or 'nonnegative', got {self.mode!r}")
+        if self.solver is not None and not isinstance(self.solver, str):
+            raise ValueError(f"solver must be a backend name string, got {self.solver!r}")
         if self.nondet_prob is not None and not (0.0 <= self.nondet_prob <= 1.0):
             raise ValueError(f"nondet_prob must be in [0, 1], got {self.nondet_prob}")
         if self.simulate_runs is not None and self.simulate_runs <= 0:
@@ -212,6 +234,13 @@ class AnalysisReport:
     #: Monte-Carlo simulation) — what the paper's timing columns report.
     analysis_runtime: Optional[float] = None
     tag: Optional[str] = None
+    # -- v2 fields (``repro-report/v2``) --------------------------------
+    #: Why no PLCS lower bound is reported although one was requested
+    #: (regime admits none, or synthesis was infeasible at every degree
+    #: tried); ``None`` when a lower bound exists or none was asked for.
+    lower_skipped: Optional[str] = None
+    #: Resolved LP solver backend id the bounds were synthesized with.
+    solver: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -220,9 +249,34 @@ class AnalysisReport:
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
 
+    def to_v1_dict(self) -> Dict[str, Any]:
+        """The report as a pre-``repro.api`` (v1) dict.
+
+        Drops the v2-only fields; everything else — key order included —
+        is bitwise what a v1 writer produced, so v1 consumers (and the
+        golden-table comparisons) keep working unchanged.
+        """
+        payload = asdict(self)
+        for fieldname in _REPORT_V2_FIELDS:
+            payload.pop(fieldname, None)
+        return payload
+
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AnalysisReport":
-        return cls(**dict(data))
+        """Read a v2 *or* v1 report dict (the v1 shim: missing v2
+        fields default).  An embedded ``schema`` marker is accepted and
+        checked; unknown fields are rejected rather than dropped."""
+        payload = dict(data)
+        schema = payload.pop("schema", None)
+        if schema is not None and schema not in (REPORT_SCHEMA, REPORT_SCHEMA_V1):
+            raise ValueError(
+                f"unsupported report schema {schema!r}; "
+                f"expected {REPORT_SCHEMA!r} or {REPORT_SCHEMA_V1!r}"
+            )
+        unknown = set(payload) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown report field(s): {sorted(unknown)}")
+        return cls(**payload)
 
 
 # ---------------------------------------------------------------------------

@@ -23,9 +23,12 @@ the key.  Request fields that only affect presentation or scheduling
 them from the incoming request.
 
 Every fingerprint embeds :func:`cache_salt` — the entry-schema version,
-the ``repro`` version and the LP-solver (SciPy/HiGHS) version — so a
-code or solver upgrade silently invalidates stale entries instead of
-serving bounds a different implementation computed.
+the ``repro`` version and the SciPy version — so a code or solver
+upgrade silently invalidates stale entries instead of serving bounds a
+different implementation computed.  The *resolved LP solver backend
+id* (``repro.core.solvers``) is part of the fingerprint itself: a
+``linprog``-produced bound is never served to a session configured for
+``highs`` and vice versa, even though both live in the same store.
 
 Storage
 -------
@@ -93,7 +96,9 @@ __all__ = [
 ]
 
 #: On-disk entry schema; bumping it invalidates every existing entry.
-ENTRY_SCHEMA = "repro-cache/v1"
+#: v2: reports are ``repro-report/v2`` shaped and fingerprints carry
+#: the resolved solver backend id + invariant policy.
+ENTRY_SCHEMA = "repro-cache/v2"
 
 
 def cache_salt() -> str:
@@ -251,6 +256,7 @@ def request_fingerprint(request) -> Dict[str, Any]:
     which will surface the same failure as a structured report.
     """
     from .batch.engine import _degree_plan, _resolve_benchmark
+    from .core.solvers import resolved_solver_id
 
     request.validate()
     bench = _resolve_benchmark(request)
@@ -278,11 +284,16 @@ def request_fingerprint(request) -> Dict[str, Any]:
         "salt": cache_salt(),
         "program": _canonical_program_text(bench),
         "invariants": invariants,
+        "auto_invariants": bool(request.auto_invariants),
         "init": {var: float(value) for var, value in init.items()},
         "degrees": _degree_plan(request, bench),
         "mode": request.mode if request.mode is not None else bench.mode,
         "compute_lower": bool(request.compute_lower),
         "max_multiplicands": request.max_multiplicands,
+        # The *resolved* backend, not the requested name: "auto" and an
+        # explicit "highs" must share entries when they run the same
+        # solver, while "highs" and "linprog" must never alias.
+        "solver": resolved_solver_id(request.solver),
         "simulate": simulate,
     }
 

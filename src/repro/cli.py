@@ -5,7 +5,7 @@ Usage::
     python -m repro analyze FILE [--init x=100,y=0] [--degree 2|auto]
                                  [--max-degree 4] [--invariant LABEL:COND ...]
                                  [--mode auto|signed|nonnegative]
-                                 [--max-multiplicands K]
+                                 [--max-multiplicands K] [--solver NAME]
                                  [--concentration] [--no-lower]
     python -m repro simulate FILE --init x=100 [--runs 1000] [--seed 0]
                                   [--max-steps 1000000]
@@ -42,8 +42,8 @@ import re
 import sys
 from typing import Dict, List, Optional, Tuple, Union
 
-from .analysis import analyze
-from .batch import AnalysisReport, AnalysisRequest, load_spec, run_batch
+from .api import AnalysisOptions, Analyzer
+from .batch import AnalysisReport, load_spec
 from .errors import ReproError
 from .programs import all_benchmarks, get_benchmark
 from .semantics import build_cfg, simulate
@@ -135,6 +135,20 @@ def _print_cache_summary(cache) -> None:
     )
 
 
+def _validate_solver(name: Optional[str]) -> Optional[str]:
+    """Surface an unknown --solver as a one-line exit-2 error (with the
+    registry's did-you-mean suggestion) before any work starts."""
+    if name is None or name == "auto":
+        return name
+    from .core.solvers import get_backend
+
+    try:
+        get_backend(name)
+    except KeyError as exc:
+        raise CLIError(str(exc.args[0] if exc.args else exc)) from None
+    return name
+
+
 def _parse_degree(text: str) -> Union[int, str]:
     if text == "auto":
         return "auto"
@@ -167,26 +181,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         label_id, cond = _parse_invariant_spec(spec)
         invariants[label_id] = cond
 
-    degrees = [degree] if degree != "auto" else list(range(1, args.max_degree + 1))
-    result = None
-    for attempt in degrees:
-        result = analyze(
-            program,
-            init=init,
-            invariants=invariants or None,
-            degree=attempt,
-            mode=args.mode,
-            compute_lower=not args.no_lower,
-            check_concentration=args.concentration,
-            max_multiplicands=args.max_multiplicands,
-        )
-        # Same completeness rule as the batch engine's degree escalation:
-        # stop at the first degree where every requested bound exists.
-        upper_ok = result.upper is not None
-        lower_ok = args.no_lower or not result.mode.lower or result.lower is not None
-        if upper_ok and lower_ok:
-            break
-    assert result is not None
+    options = AnalysisOptions(
+        degree=degree,
+        max_degree=args.max_degree,
+        mode=args.mode,
+        compute_lower=not args.no_lower,
+        max_multiplicands=args.max_multiplicands,
+        solver=_validate_solver(args.solver),
+        invariants=invariants or None,
+        init=init,
+    )
+    # The staged facade analyzes the parsed AST directly — exact float
+    # literals, no cache/pool — and owns the auto-degree escalation.
+    result = Analyzer(options).synthesize(program, check_concentration=args.concentration)
+    degrees = options.degree_plan(default=2)
     if degree == "auto":
         print(f"degree:  {result.upper.degree if result.upper else degrees[-1]} (auto)")
         if result.upper is None:
@@ -270,23 +278,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     degree = _parse_degree(args.degree) if args.degree is not None else None
     init = _parse_cli_valuation(args.init) or None
 
+    options = AnalysisOptions(
+        degree=degree,
+        max_degree=args.max_degree,
+        max_multiplicands=args.max_multiplicands,
+        solver=_validate_solver(args.solver),
+        init=init,
+        timeout_s=args.timeout,
+    )
     cache = _make_cache(args, default_on=False)
 
     if args.all:
         if args.name is not None:
             raise CLIError("give either a benchmark NAME or --all, not both")
-        requests = [
-            AnalysisRequest(
-                benchmark=bench.name,
-                init=init,
-                degree=degree,
-                max_degree=args.max_degree,
-                max_multiplicands=args.max_multiplicands,
-                timeout_s=args.timeout,
+        with Analyzer(options, cache=cache, jobs=args.jobs) as analyzer:
+            reports = analyzer.analyze_batch(
+                [analyzer.request(bench.name) for bench in all_benchmarks()]
             )
-            for bench in all_benchmarks()
-        ]
-        reports = run_batch(requests, jobs=args.jobs, cache=cache)
         print(_report_table(reports))
         _print_report_diagnostics(reports)
         _print_cache_summary(cache)
@@ -300,29 +308,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         raise CLIError(str(exc.args[0] if exc.args else exc)) from None
 
     if degree == "auto" or args.timeout is not None or cache is not None:
-        # The engine owns degree escalation, per-task budgets and the
-        # result cache; route through it so those flags behave exactly
-        # as in `repro batch`.
-        report = run_batch(
-            [
-                AnalysisRequest(
-                    benchmark=bench.name,
-                    init=init,
-                    degree=degree,
-                    max_degree=args.max_degree,
-                    max_multiplicands=args.max_multiplicands,
-                    timeout_s=args.timeout,
-                )
-            ],
-            cache=cache,
-        )[0]
+        # The report path owns degree escalation, per-task budgets and
+        # the result cache; route through it so those flags behave
+        # exactly as in `repro batch`.
+        report = Analyzer(options, cache=cache).analyze(bench.name)
         print(f"# {bench.title}")
         print(_report_table([report]))
         _print_report_diagnostics([report])
         _print_cache_summary(cache)
         return 0 if report.ok else 1
 
-    result = bench.analyze(init=init, degree=degree, max_multiplicands=args.max_multiplicands)
+    result = Analyzer(options).synthesize(bench)
     print(f"# {bench.title}")
     print(result.summary())
     if bench.paper_upper:
@@ -349,6 +345,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for request in requests:
             if request.timeout_s is None:
                 request.timeout_s = args.timeout
+    _validate_solver(args.solver)
     if args.output:
         # Fail fast on an unwritable report location rather than after
         # the (potentially long) batch has run.
@@ -361,14 +358,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             print(f"[{report.status:>7s}] {report.name} ({report.runtime:.3f}s)", file=sys.stderr)
 
     cache = _make_cache(args, default_on=True)
-    reports = run_batch(requests, jobs=args.jobs, progress=_progress, cache=cache)
+    with Analyzer(cache=cache, jobs=args.jobs, solver=args.solver) as analyzer:
+        reports = analyzer.analyze_batch(requests, progress=_progress)
     print(_report_table(reports))
     _print_report_diagnostics(reports)
     _print_cache_summary(cache)
 
     if args.output:
         payload = {
-            "schema": "repro-batch/v1",
+            "schema": "repro-batch/v2",
             "jobs": args.jobs,
             "tasks": len(reports),
             "failed": sum(not r.ok for r in reports),
@@ -393,16 +391,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not 0 <= args.port <= 65535:
         raise CLIError(f"invalid --port value {args.port}; must be in [0, 65535]")
     cache = _make_cache(args, default_on=True)
+    analyzer = Analyzer(cache=cache, jobs=args.jobs, solver=_validate_solver(args.solver))
     try:
-        server = create_server(
-            host=args.host, port=args.port, jobs=args.jobs, cache=cache, verbose=True
-        )
-    except OSError as exc:
-        # Only bind failures get the friendly exit-2 treatment; a
-        # runtime OSError mid-serve is a different animal and surfaces
-        # as itself.
-        raise CLIError(f"cannot bind {args.host}:{args.port}: {exc.strerror or exc}") from None
-    return run_server(server)
+        try:
+            server = create_server(
+                host=args.host, port=args.port, analyzer=analyzer, verbose=True
+            )
+        except OSError as exc:
+            # Only bind failures get the friendly exit-2 treatment; a
+            # runtime OSError mid-serve is a different animal and
+            # surfaces as itself.
+            raise CLIError(f"cannot bind {args.host}:{args.port}: {exc.strerror or exc}") from None
+        return run_server(server)
+    finally:
+        analyzer.close()
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -454,6 +456,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_analyze.add_argument("--concentration", action="store_true", help="also synthesize an RSM")
     p_analyze.add_argument("--no-lower", action="store_true", help="skip the PLCS lower bound")
+    p_analyze.add_argument(
+        "--solver", default=None, help="LP solver backend (e.g. highs, linprog; default: auto)"
+    )
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_sim = sub.add_parser("simulate", help="Monte-Carlo simulation of a program file")
@@ -488,6 +493,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--cache-dir", default=None, help="consult/populate a result cache at this directory"
     )
+    p_bench.add_argument(
+        "--solver", default=None, help="LP solver backend (e.g. highs, linprog; default: auto)"
+    )
     p_bench.set_defaults(func=_cmd_bench)
 
     p_batch = sub.add_parser("batch", help="run a JSON spec of analysis tasks")
@@ -504,6 +512,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "--cache-dir", default=None, help="result cache directory (default: $REPRO_CACHE_DIR)"
     )
+    p_batch.add_argument(
+        "--solver",
+        default=None,
+        help="LP solver backend for tasks that don't pin one (e.g. highs, linprog)",
+    )
     p_batch.set_defaults(func=_cmd_batch)
 
     p_serve = sub.add_parser("serve", help="run the JSON analysis service over HTTP")
@@ -515,6 +528,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--cache-dir", default=None, help="result cache directory (default: $REPRO_CACHE_DIR)"
+    )
+    p_serve.add_argument(
+        "--solver",
+        default=None,
+        help="LP solver backend for requests that don't pin one (e.g. highs, linprog)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -17,14 +17,25 @@ rows are dropped at insertion, and the constraint matrix is assembled
 directly in CSR form — the dense ``np.zeros((rows, n))`` staging array
 of the naive implementation dominated LP setup for larger templates.
 
-Solving prefers a *direct* call into SciPy's bundled HiGHS bindings
-(``scipy.optimize._highspy``), handing HiGHS the rowwise CSR arrays
-as-is.  The public :func:`scipy.optimize.linprog` wrapper re-validates
-and re-copies every input on each call, which costs more than the
-actual simplex run on this pipeline's many small LPs.  When the private
-bindings are unavailable (older/newer SciPy layouts), we fall back to
-``linprog(method="highs")`` with a sparse matrix — results are
-identical, just slower to set up.
+Solving goes through the pluggable backend registry of
+:mod:`repro.core.solvers`.  Two built-in backends register here:
+
+``highs``
+    A *direct* call into SciPy's bundled HiGHS bindings
+    (``scipy.optimize._highspy``), handing HiGHS the rowwise CSR
+    arrays as-is.  The public :func:`scipy.optimize.linprog` wrapper
+    re-validates and re-copies every input on each call, which costs
+    more than the actual simplex run on this pipeline's many small
+    LPs.  On private-API drift it degrades to the ``linprog`` path —
+    results are identical, just slower to set up.
+``linprog``
+    The portable path through the public
+    ``linprog(method="highs")`` interface with a sparse matrix.
+
+Which backend runs is decided per solve: an explicit
+``solve(backend=...)`` argument, else the thread-local
+:func:`repro.core.solvers.use_solver` context the engine/Analyzer
+arm, else the environment default (``highs`` when available).
 """
 
 from __future__ import annotations
@@ -39,13 +50,14 @@ from scipy.sparse import csr_matrix
 
 from ..errors import CONSISTENCY_TOL, ZERO_TOL, InfeasibleError, SynthesisError, UnboundedError
 from ..polynomials import LinForm
+from .solvers import SolveOutcome, active_solver, register_backend, resolve_backend
 
 try:  # pragma: no cover - exercised indirectly via solve()
     import scipy.optimize._highspy._core as _highs_core
 except ImportError:  # pragma: no cover
     _highs_core = None
 
-__all__ = ["LinearProgram", "LPSolution"]
+__all__ = ["HighsDirectBackend", "LinearProgram", "LinprogBackend", "LPSolution"]
 
 #: Per-thread cache of configured HiGHS solver instances, keyed by
 #: presolve setting.  Constructing ``_Highs()`` and pushing options
@@ -262,25 +274,23 @@ class LinearProgram:
             )
         return result.status, result.x, result.fun, result.message
 
-    def solve(self) -> LPSolution:
-        """Solve with HiGHS; raises on infeasible/unbounded outcomes."""
+    def solve(self, backend: Optional[str] = None) -> LPSolution:
+        """Solve on a registered backend; raises on infeasible/unbounded.
+
+        ``backend`` names a :mod:`repro.core.solvers` backend; ``None``
+        defers to the thread-local :func:`~repro.core.solvers.use_solver`
+        context (armed by the engine/Analyzer), then the environment
+        default.  All built-in backends return bitwise-identical optima
+        for this pipeline's LPs.
+        """
         n = len(self._index)
         if n == 0:
             raise SynthesisError("linear program has no unknowns")
 
-        c, offset, data, indices, indptr, b_eq = self._assemble()
-
-        status = None
-        if _highs_core is not None and self._rows:
-            try:
-                direct = self._solve_highs_direct(c, data, indices, indptr, b_eq)
-            except Exception:  # private-API drift: fall back to linprog
-                direct = None
-            if direct is not None:
-                status, x, fun = direct
-                message = f"HiGHS status {status}"
-        if status is None:
-            status, x, fun, message = self._solve_linprog(c, data, indices, indptr, b_eq)
+        chosen = resolve_backend(backend if backend is not None else active_solver())
+        outcome = chosen.solve(self)
+        status, x, fun, message = outcome.status, outcome.x, outcome.fun, outcome.message
+        offset = self._objective.const if self._objective is not None else 0.0
 
         if status == 2:
             raise InfeasibleError(
@@ -301,3 +311,54 @@ class LinearProgram:
             num_variables=n,
             num_equalities=len(self._rows),
         )
+
+
+# ---------------------------------------------------------------------------
+# Built-in backends
+# ---------------------------------------------------------------------------
+
+
+class HighsDirectBackend:
+    """``highs``: direct calls into SciPy's bundled HiGHS bindings.
+
+    Degrades to the ``linprog`` path for row-free programs and on
+    private-API drift, so the outcome is always defined; the optima are
+    bitwise-identical either way.
+    """
+
+    id = "highs"
+
+    def available(self) -> bool:
+        return _highs_core is not None
+
+    def solve(self, lp: LinearProgram) -> SolveOutcome:
+        c, _offset, data, indices, indptr, b_eq = lp._assemble()
+        if _highs_core is not None and lp._rows:
+            try:
+                direct = lp._solve_highs_direct(c, data, indices, indptr, b_eq)
+            except Exception:  # private-API drift: fall back to linprog
+                direct = None
+            if direct is not None:
+                status, x, fun = direct
+                return SolveOutcome(status=status, x=x, fun=fun, message=f"HiGHS status {status}")
+        status, x, fun, message = lp._solve_linprog(c, data, indices, indptr, b_eq)
+        return SolveOutcome(status=status, x=x, fun=fun, message=message)
+
+
+class LinprogBackend:
+    """``linprog``: the portable public-SciPy path."""
+
+    id = "linprog"
+
+    def available(self) -> bool:
+        return True
+
+    def solve(self, lp: LinearProgram) -> SolveOutcome:
+        c, _offset, data, indices, indptr, b_eq = lp._assemble()
+        status, x, fun, message = lp._solve_linprog(c, data, indices, indptr, b_eq)
+        return SolveOutcome(status=status, x=x, fun=fun, message=message)
+
+
+#: replace=True keeps importlib.reload() of this module idempotent.
+register_backend(HighsDirectBackend(), replace=True)
+register_backend(LinprogBackend(), replace=True)

@@ -1,0 +1,235 @@
+"""Pluggable LP solver backends (the ``solver`` knob of ``repro.api``).
+
+Section 7's synthesis step reduces everything to "solve this small LP";
+*which* solver runs it used to be hardcoded inside
+:class:`~repro.core.lp.LinearProgram`.  This module turns that choice
+into a first-class, registrable backend:
+
+* :class:`SolverBackend` is the protocol a backend implements — an
+  ``id``, an availability probe, and ``solve(lp)`` returning a
+  :class:`SolveOutcome` with ``linprog``-compatible status codes;
+* :func:`register_backend` / :func:`get_backend` /
+  :func:`available_backends` manage the process-wide registry (unknown
+  names get a did-you-mean suggestion, like the benchmark registry);
+* :func:`resolve_backend` maps a requested name (or ``None``/"auto")
+  to a usable backend — the *resolved id* is what the result cache
+  folds into its request fingerprint, so bounds produced by one
+  backend are never served to a session configured for another;
+* :func:`use_solver` is the thread-local context the batch engine and
+  :class:`repro.api.Analyzer` arm around a task so every LP inside the
+  pipeline (synthesis, baseline, RSM) runs on the session's backend
+  without threading a parameter through every call.
+
+The built-in backends (``highs`` — SciPy's bundled HiGHS bindings
+called directly — and ``linprog`` — the public ``scipy.optimize``
+wrapper) live in :mod:`repro.core.lp` and register themselves on
+import.  Both produce bitwise-identical optima for this pipeline's
+LPs; they differ in setup overhead and in how far they reach into
+SciPy private APIs.
+"""
+
+from __future__ import annotations
+
+import difflib
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Protocol, runtime_checkable
+
+__all__ = [
+    "SolveOutcome",
+    "SolverBackend",
+    "active_solver",
+    "available_backends",
+    "backend_specs",
+    "default_backend_id",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "resolved_solver_id",
+    "use_solver",
+]
+
+#: Name accepted everywhere that means "pick the default backend".
+AUTO = "auto"
+
+
+@dataclass(frozen=True)
+class SolveOutcome:
+    """A backend's verdict, in ``scipy.optimize.linprog`` status codes.
+
+    ``status`` 0 = optimal (``x``/``fun`` set), 2 = infeasible,
+    3 = unbounded; anything else is a solver failure described by
+    ``message``.
+    """
+
+    status: int
+    x: Optional[Any] = None
+    fun: Optional[float] = None
+    message: str = ""
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """What a pluggable LP solver must provide.
+
+    Implementations are stateless from the caller's point of view
+    (per-thread solver objects and similar caches are internal) and
+    must be safe to share across threads.
+    """
+
+    #: Stable registry name; folded into cache fingerprints.
+    id: str
+
+    def available(self) -> bool:
+        """Can this backend run in the current environment?"""
+        ...
+
+    def solve(self, lp) -> SolveOutcome:
+        """Solve an assembled :class:`~repro.core.lp.LinearProgram`."""
+        ...
+
+
+_REGISTRY: Dict[str, SolverBackend] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def _ensure_builtins() -> None:
+    """Importing :mod:`repro.core.lp` registers the built-in backends."""
+    from . import lp  # noqa: F401  (import side effect)
+
+
+def register_backend(backend: SolverBackend, replace: bool = False) -> SolverBackend:
+    """Add ``backend`` to the registry (``backend.id`` is the key).
+
+    Re-registering an existing id raises unless ``replace=True`` —
+    silently shadowing the backend someone else's session resolved
+    would poison cache fingerprints.
+    """
+    backend_id = getattr(backend, "id", None)
+    if not backend_id or not isinstance(backend_id, str):
+        raise ValueError("solver backend must have a non-empty string 'id'")
+    if backend_id == AUTO:
+        raise ValueError(f"{AUTO!r} is reserved for default-backend resolution")
+    with _REGISTRY_LOCK:
+        if backend_id in _REGISTRY and not replace:
+            raise ValueError(
+                f"solver backend {backend_id!r} is already registered (pass replace=True)"
+            )
+        _REGISTRY[backend_id] = backend
+    return backend
+
+
+def unregister_backend(backend_id: str) -> None:
+    """Remove a backend (primarily for tests)."""
+    with _REGISTRY_LOCK:
+        _REGISTRY.pop(backend_id, None)
+
+
+def get_backend(name: str) -> SolverBackend:
+    """The registered backend called ``name``.
+
+    Unknown names raise ``KeyError`` with a nearest-name suggestion,
+    mirroring ``repro.programs.get_benchmark``.
+    """
+    _ensure_builtins()
+    with _REGISTRY_LOCK:
+        backend = _REGISTRY.get(name)
+        known = sorted(_REGISTRY)
+    if backend is not None:
+        return backend
+    suggestion = difflib.get_close_matches(name, known + [AUTO], n=1)
+    hint = f"; did you mean {suggestion[0]!r}?" if suggestion else ""
+    raise KeyError(f"unknown solver backend {name!r}{hint} known backends: {known}")
+
+
+def available_backends() -> List[str]:
+    """Sorted ids of every registered backend (available or not)."""
+    _ensure_builtins()
+    with _REGISTRY_LOCK:
+        return sorted(_REGISTRY)
+
+
+def default_backend_id() -> str:
+    """The backend ``"auto"`` resolves to: ``highs`` when SciPy's
+    direct bindings are importable, else ``linprog``."""
+    _ensure_builtins()
+    for candidate in ("highs", "linprog"):
+        with _REGISTRY_LOCK:
+            backend = _REGISTRY.get(candidate)
+        if backend is not None and backend.available():
+            return candidate
+    # Last resort: any available registered backend (a stripped-down
+    # environment with only a third-party backend installed).
+    for name in available_backends():
+        if get_backend(name).available():
+            return name
+    raise RuntimeError("no available LP solver backend is registered")
+
+
+def resolve_backend(name: Optional[str]) -> SolverBackend:
+    """Map a requested backend name to a usable backend.
+
+    ``None`` and ``"auto"`` pick :func:`default_backend_id`.  A named
+    backend that exists but cannot run here raises ``RuntimeError`` —
+    silently substituting another solver would undermine the cache's
+    backend-id fingerprinting.
+    """
+    if name is None or name == AUTO:
+        return get_backend(default_backend_id())
+    backend = get_backend(name)
+    if not backend.available():
+        raise RuntimeError(
+            f"solver backend {name!r} is registered but not available in this environment"
+        )
+    return backend
+
+
+def resolved_solver_id(name: Optional[str]) -> str:
+    """The id :func:`resolve_backend` would hand back for ``name``."""
+    return resolve_backend(name).id
+
+
+def backend_specs() -> List[Dict[str, Any]]:
+    """Registry census for ``GET /version`` and diagnostics."""
+    default = None
+    try:
+        default = default_backend_id()
+    except RuntimeError:  # pragma: no cover - no solver at all
+        pass
+    return [
+        {
+            "id": name,
+            "available": get_backend(name).available(),
+            "default": name == default,
+        }
+        for name in available_backends()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Active-solver context
+# ---------------------------------------------------------------------------
+
+_ACTIVE = threading.local()
+
+
+def active_solver() -> Optional[str]:
+    """The backend name armed by the innermost :func:`use_solver`."""
+    return getattr(_ACTIVE, "name", None)
+
+
+@contextmanager
+def use_solver(name: Optional[str]) -> Iterator[None]:
+    """Run the enclosed pipeline on backend ``name`` (thread-local).
+
+    ``None`` restores default resolution.  The batch engine arms this
+    per task from ``AnalysisRequest.solver``; ``Analyzer`` arms it for
+    staged calls — LP construction sites never see the choice.
+    """
+    previous = getattr(_ACTIVE, "name", None)
+    _ACTIVE.name = name
+    try:
+        yield
+    finally:
+        _ACTIVE.name = previous

@@ -7,6 +7,7 @@ per-benchmark record types the table modules share.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -17,18 +18,24 @@ __all__ = [
     "ascii_plot",
     "BoundsRow",
     "add_driver_args",
+    "driver_analyzer",
     "driver_cache",
+    "table_analyzer",
 ]
 
 
 def add_driver_args(parser) -> None:
-    """Engine flags every table driver shares (``--jobs`` + caching)."""
+    """Engine flags every table driver shares (``--jobs``, caching and
+    the LP solver backend)."""
     parser.add_argument("--jobs", type=int, default=1, help="worker processes")
     parser.add_argument(
         "--no-cache", action="store_true", help="disable the content-addressed result cache"
     )
     parser.add_argument(
         "--cache-dir", default=None, help="result cache directory (default: $REPRO_CACHE_DIR)"
+    )
+    parser.add_argument(
+        "--solver", default=None, help="LP solver backend (e.g. highs, linprog; default: auto)"
     )
 
 
@@ -43,6 +50,39 @@ def driver_cache(args):
     from ..cache import ResultCache
 
     return ResultCache(getattr(args, "cache_dir", None))
+
+
+def driver_analyzer(args):
+    """The :class:`repro.api.Analyzer` session a driver ``__main__``
+    should run its tables on (cache + pool + solver from the CLI)."""
+    from ..api import Analyzer
+
+    return Analyzer(
+        cache=driver_cache(args),
+        jobs=getattr(args, "jobs", 1),
+        solver=getattr(args, "solver", None),
+    )
+
+
+@contextmanager
+def table_analyzer(analyzer, jobs: int = 1, cache=None):
+    """The session a ``build_tableN`` call should use.
+
+    Yields ``analyzer`` untouched when one is passed; otherwise builds
+    an ephemeral :class:`repro.api.Analyzer` from the legacy
+    ``jobs``/``cache`` arguments and closes it (releasing its worker
+    pool) when the table is done.
+    """
+    if analyzer is not None:
+        yield analyzer
+        return
+    from ..api import Analyzer
+
+    ephemeral = Analyzer(cache=cache, jobs=jobs)
+    try:
+        yield ephemeral
+    finally:
+        ephemeral.close()
 
 
 def fmt(value: Optional[float], digits: int = 4) -> str:

@@ -96,10 +96,12 @@ def build_figure(
     lower: List[Optional[float]] = []
     sim_mean: List[Optional[float]] = []
     sim_stderr: List[Optional[float]] = []
+    from ..api import AnalysisOptions
+
     for x in xs:
         init: Dict[str, float] = dict(bench.init)
         init[bench.sweep_var] = x
-        result = bench.analyze(init=init)
+        result = bench.analyze(AnalysisOptions(init=init))
         upper.append(result.upper.value if result.upper else None)
         lower.append(result.lower.value if result.lower else None)
         stats = simulate(

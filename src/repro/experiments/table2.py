@@ -22,10 +22,10 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..baseline import baseline_upper_bound
-from ..batch import AnalysisReport, AnalysisRequest, run_batch
+from ..batch import AnalysisReport, AnalysisRequest
 from ..errors import SynthesisError, UnsupportedProgramError
 from ..programs import TABLE2_BENCHMARKS, Benchmark
-from .common import add_driver_args, driver_cache, fmt, fmt_poly, render_table
+from .common import add_driver_args, driver_analyzer, fmt, fmt_poly, render_table, table_analyzer
 
 __all__ = ["Table2Row", "build_table2", "main"]
 
@@ -84,9 +84,10 @@ PAPER_74_UPPER = {
 }
 
 
-def build_table2(jobs: int = 1, cache=None) -> List[Table2Row]:
+def build_table2(jobs: int = 1, cache=None, analyzer=None) -> List[Table2Row]:
     requests = [AnalysisRequest(benchmark=bench.name) for bench in TABLE2_BENCHMARKS]
-    reports = run_batch(requests, jobs=jobs, cache=cache)
+    with table_analyzer(analyzer, jobs=jobs, cache=cache) as session:
+        reports = session.analyze_batch(requests)
     rows = []
     for bench, report in zip(TABLE2_BENCHMARKS, reports):
         row = _row(bench, report)
@@ -95,8 +96,8 @@ def build_table2(jobs: int = 1, cache=None) -> List[Table2Row]:
     return rows
 
 
-def main(jobs: int = 1, cache=None) -> str:
-    rows = build_table2(jobs=jobs, cache=cache)
+def main(jobs: int = 1, cache=None, analyzer=None) -> str:
+    rows = build_table2(jobs=jobs, cache=cache, analyzer=analyzer)
     text_rows = [
         [
             r.benchmark,
@@ -126,4 +127,5 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     add_driver_args(parser)
     args = parser.parse_args()
-    print(main(jobs=args.jobs, cache=driver_cache(args)))
+    with driver_analyzer(args) as _analyzer:
+        print(main(analyzer=_analyzer))

@@ -14,9 +14,9 @@ import argparse
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..batch import AnalysisRequest, run_batch
+from ..batch import AnalysisRequest
 from ..programs import TABLE3_BENCHMARKS, Benchmark
-from .common import add_driver_args, driver_cache, fmt, render_table
+from .common import add_driver_args, driver_analyzer, fmt, render_table, table_analyzer
 
 __all__ = ["Table3Row", "build_table3", "main"]
 
@@ -35,11 +35,12 @@ class Table3Row:
 
 
 def build_table3(
-    benchmarks: Optional[List[Benchmark]] = None, jobs: int = 1, cache=None
+    benchmarks: Optional[List[Benchmark]] = None, jobs: int = 1, cache=None, analyzer=None
 ) -> List[Table3Row]:
     benches = list(benchmarks or TABLE3_BENCHMARKS)
     requests = [AnalysisRequest(benchmark=bench.name) for bench in benches]
-    reports = run_batch(requests, jobs=jobs, cache=cache)
+    with table_analyzer(analyzer, jobs=jobs, cache=cache) as session:
+        reports = session.analyze_batch(requests)
     rows = []
     for bench, report in zip(benches, reports):
         rows.append(
@@ -58,8 +59,8 @@ def build_table3(
     return rows
 
 
-def main(jobs: int = 1, cache=None) -> str:
-    rows = build_table3(jobs=jobs, cache=cache)
+def main(jobs: int = 1, cache=None, analyzer=None) -> str:
+    rows = build_table3(jobs=jobs, cache=cache, analyzer=analyzer)
     text_rows = [
         [
             r.benchmark,
@@ -82,4 +83,5 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     add_driver_args(parser)
     args = parser.parse_args()
-    print(main(jobs=args.jobs, cache=driver_cache(args)))
+    with driver_analyzer(args) as _analyzer:
+        print(main(analyzer=_analyzer))

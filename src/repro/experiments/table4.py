@@ -20,7 +20,14 @@ from typing import List, Optional
 
 from ..batch import AnalysisReport, AnalysisRequest, run_batch
 from ..programs import TABLE3_BENCHMARKS, Benchmark
-from .common import BoundsRow, add_driver_args, driver_cache, fmt, render_table
+from .common import (
+    BoundsRow,
+    add_driver_args,
+    driver_analyzer,
+    fmt,
+    render_table,
+    table_analyzer,
+)
 
 __all__ = ["bench_requests", "bench_rows", "build_table4", "main", "rows_from_reports"]
 
@@ -94,15 +101,17 @@ def build_table4(
     benchmarks: Optional[List[Benchmark]] = None,
     jobs: int = 1,
     cache=None,
+    analyzer=None,
 ) -> List[BoundsRow]:
     requests: List[AnalysisRequest] = []
     for bench in benchmarks or TABLE3_BENCHMARKS:
         requests.extend(bench_requests(bench, runs=runs, seed=seed))
-    return rows_from_reports(run_batch(requests, jobs=jobs, cache=cache))
+    with table_analyzer(analyzer, jobs=jobs, cache=cache) as session:
+        return rows_from_reports(session.analyze_batch(requests))
 
 
-def main(runs: int = 1000, seed: int = 0, jobs: int = 1, cache=None) -> str:
-    rows = build_table4(runs=runs, seed=seed, jobs=jobs, cache=cache)
+def main(runs: int = 1000, seed: int = 0, jobs: int = 1, cache=None, analyzer=None) -> str:
+    rows = build_table4(runs=runs, seed=seed, jobs=jobs, cache=cache, analyzer=analyzer)
     text_rows = [
         [
             r.benchmark,
@@ -129,4 +138,5 @@ if __name__ == "__main__":
     parser.add_argument("--seed", type=int, default=0)
     add_driver_args(parser)
     args = parser.parse_args()
-    print(main(runs=args.runs, seed=args.seed, jobs=args.jobs, cache=driver_cache(args)))
+    with driver_analyzer(args) as _analyzer:
+        print(main(runs=args.runs, seed=args.seed, analyzer=_analyzer))

@@ -16,9 +16,16 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional
 
-from ..batch import AnalysisRequest, run_batch
+from ..batch import AnalysisRequest
 from ..programs import TABLE3_BENCHMARKS, Benchmark, probabilistic_variant
-from .common import BoundsRow, add_driver_args, driver_cache, fmt, render_table
+from .common import (
+    BoundsRow,
+    add_driver_args,
+    driver_analyzer,
+    fmt,
+    render_table,
+    table_analyzer,
+)
 from .table4 import bench_requests, rows_from_reports
 
 __all__ = ["probabilistic_variant", "build_table5", "main"]
@@ -40,14 +47,14 @@ def build_table5(
     benchmarks: Optional[List[Benchmark]] = None,
     jobs: int = 1,
     cache=None,
+    analyzer=None,
 ) -> List[BoundsRow]:
-    return rows_from_reports(
-        run_batch(_table5_requests(runs, seed, benchmarks), jobs=jobs, cache=cache)
-    )
+    with table_analyzer(analyzer, jobs=jobs, cache=cache) as session:
+        return rows_from_reports(session.analyze_batch(_table5_requests(runs, seed, benchmarks)))
 
 
-def main(runs: int = 1000, seed: int = 0, jobs: int = 1, cache=None) -> str:
-    rows = build_table5(runs=runs, seed=seed, jobs=jobs, cache=cache)
+def main(runs: int = 1000, seed: int = 0, jobs: int = 1, cache=None, analyzer=None) -> str:
+    rows = build_table5(runs=runs, seed=seed, jobs=jobs, cache=cache, analyzer=analyzer)
     text_rows = [
         [
             r.benchmark,
@@ -72,4 +79,5 @@ if __name__ == "__main__":
     parser.add_argument("--seed", type=int, default=0)
     add_driver_args(parser)
     args = parser.parse_args()
-    print(main(runs=args.runs, seed=args.seed, jobs=args.jobs, cache=driver_cache(args)))
+    with driver_analyzer(args) as _analyzer:
+        print(main(runs=args.runs, seed=args.seed, analyzer=_analyzer))

@@ -11,9 +11,11 @@ without fixing a policy, cf. Table 4's missing rows).
 
 from __future__ import annotations
 
+import warnings as _warnings
+from collections.abc import Mapping as _MappingABC
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..analysis.bounds import CostAnalysisResult, analyze
 from ..invariants import InvariantMap
@@ -94,7 +96,7 @@ class Benchmark:
 
     # -- analysis ---------------------------------------------------------------
 
-    def analyze(
+    def _analyze_resolved(
         self,
         init: Optional[Mapping[str, float]] = None,
         degree: Optional[int] = None,
@@ -102,12 +104,14 @@ class Benchmark:
         check_concentration: bool = False,
         mode: Optional[str] = None,
         max_multiplicands: Optional[int] = None,
+        auto_invariants: bool = True,
     ) -> CostAnalysisResult:
-        """Run the full pipeline on this benchmark.
+        """One concrete pipeline run (the engine's per-degree workhorse).
 
         ``degree``, ``mode`` and ``max_multiplicands`` default to the
-        benchmark's own settings; pass explicit values to override them
-        (the CLI and the batch engine plumb their flags through here).
+        benchmark's own settings.  No degree escalation, no solver
+        context — callers (the batch engine, :meth:`analyze_with`)
+        own those.
         """
         anchor = dict(init if init is not None else self.init)
         return analyze(
@@ -115,9 +119,113 @@ class Benchmark:
             init=anchor,
             invariants=self.invariant_map(anchor),
             degree=degree if degree is not None else self.degree,
+            auto_invariants=auto_invariants,
             mode=mode if mode is not None else self.mode,
             compute_lower=compute_lower,
             check_concentration=check_concentration,
+            max_multiplicands=max_multiplicands,
+        )
+
+    def analyze_with(
+        self, options, *, check_concentration: bool = False
+    ) -> CostAnalysisResult:
+        """Run the pipeline under a :class:`repro.api.AnalysisOptions`.
+
+        Honors the synthesis-relevant subset of the options: the degree
+        plan (``"auto"`` escalates d = 1..``max_degree`` until every
+        requested bound is feasible, exactly like the batch engine),
+        mode, multiplicand cap, invariant policy, init valuation,
+        solver backend and the ``nondet_prob`` coin-flip
+        transformation.  Simulation and timeout settings are
+        engine-level concerns — use :meth:`repro.api.Analyzer.analyze`
+        for those.
+        """
+        from ..core.solvers import use_solver
+
+        bench = self
+        if options.nondet_prob is not None and self.has_nondeterminism:
+            bench = probabilistic_variant(self, prob=options.nondet_prob)
+        # None entries defer to the benchmark's own default degree.
+        degrees = options.degree_plan()
+        result: Optional[CostAnalysisResult] = None
+        with use_solver(options.solver):
+            for degree in degrees:
+                result = bench._analyze_resolved(
+                    init=dict(options.init) if options.init is not None else None,
+                    degree=degree,
+                    compute_lower=options.compute_lower,
+                    check_concentration=check_concentration,
+                    mode=options.mode,
+                    max_multiplicands=options.max_multiplicands,
+                    auto_invariants=options.auto_invariants,
+                )
+                if result.complete_for(options.compute_lower):
+                    break
+        assert result is not None  # the degree plan is never empty
+        return result
+
+    def analyze(
+        self,
+        options=None,
+        *,
+        init: Optional[Mapping[str, float]] = None,
+        degree: Optional[Union[int, str]] = None,
+        compute_lower: Optional[bool] = None,
+        check_concentration: Optional[bool] = None,
+        mode: Optional[str] = None,
+        max_multiplicands: Optional[int] = None,
+    ) -> CostAnalysisResult:
+        """Run the full pipeline on this benchmark.
+
+        The canonical form is ``analyze(options)`` with a
+        :class:`repro.api.AnalysisOptions` (``check_concentration``
+        rides along as a staged-only keyword).  The pre-``repro.api``
+        keyword sprawl (``init=``, ``degree=``, ...) still works for
+        one release but emits a :class:`DeprecationWarning`; a bare
+        ``analyze()`` uses the benchmark's own settings and stays
+        silent.
+        """
+        legacy = {
+            key: value
+            for key, value in {
+                "init": init,
+                "degree": degree,
+                "compute_lower": compute_lower,
+                "mode": mode,
+                "max_multiplicands": max_multiplicands,
+            }.items()
+            if value is not None
+        }
+        if options is not None and isinstance(options, _MappingABC):
+            # Pre-redesign positional call: analyze({"x": 100}).
+            legacy.setdefault("init", dict(options))
+            options = None
+        if options is not None:
+            if legacy:
+                raise TypeError(
+                    "pass either an AnalysisOptions or the legacy keyword "
+                    f"arguments, not both: {sorted(legacy)}"
+                )
+            return self.analyze_with(options, check_concentration=bool(check_concentration))
+        if legacy:
+            _warnings.warn(
+                "Benchmark.analyze(init=..., degree=..., ...) keyword arguments "
+                "are deprecated; pass repro.api.AnalysisOptions via "
+                "analyze(options) or go through repro.api.Analyzer",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if degree == "auto":
+            raise ValueError(
+                "degree='auto' escalation needs a degree ceiling; use "
+                "analyze(AnalysisOptions(degree='auto', max_degree=...))"
+            )
+        return self._analyze_resolved(
+            init=init,
+            degree=degree,  # type: ignore[arg-type]
+            compute_lower=True if compute_lower is None else compute_lower,
+            check_concentration=bool(check_concentration),
+            mode=mode,
             max_multiplicands=max_multiplicands,
         )
 

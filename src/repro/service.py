@@ -1,8 +1,10 @@
 """Long-lived JSON analysis service (``repro serve``).
 
-A stdlib-only HTTP front over the batch engine and the
-content-addressed result cache, so repeated analysis traffic
-short-circuits to cache lookups instead of re-running LP synthesis:
+A stdlib-only HTTP adapter over one shared
+:class:`repro.api.Analyzer` session (which owns the content-addressed
+result cache, the solver backend and the worker pool), so repeated
+analysis traffic short-circuits to cache lookups instead of re-running
+LP synthesis:
 
 ``POST /analyze``
     Body is one :class:`~repro.batch.spec.AnalysisRequest` object
@@ -11,9 +13,14 @@ short-circuits to cache lookups instead of re-running LP synthesis:
     included).  A single request returns its ``AnalysisReport`` JSON —
     byte-identical to what the CLI/engine produce for the same request
     against the same cache; a multi-task body returns
-    ``{"schema": "repro-service/v1", "reports": [...]}``.
+    ``{"schema": "repro-service/v2", "reports": [...]}``.
 ``GET /benchmarks``
     The benchmark registry (names, categories, degrees, anchors).
+``GET /options/defaults``
+    The :class:`repro.api.AnalysisOptions` defaults as JSON — what an
+    omitted field in a POSTed task means.
+``GET /version``
+    repro + schema versions and the registered LP solver backends.
 ``GET /cache/stats``
     Live counters + disk census of the backing store.
 ``GET /healthz``
@@ -41,28 +48,53 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 from urllib.parse import urlparse
 
-from .batch import AnalysisRequest, requests_from_spec, run_batch
+from .api import AnalysisOptions, Analyzer, version_info
+from .batch import AnalysisRequest, requests_from_spec
 
 __all__ = ["AnalysisHTTPServer", "create_server", "run_server", "serve"]
 
-SERVICE_SCHEMA = "repro-service/v1"
+SERVICE_SCHEMA = "repro-service/v2"
 
 
 class AnalysisHTTPServer(ThreadingHTTPServer):
-    """HTTP server carrying the engine configuration for its handlers."""
+    """HTTP server whose handlers share one ``Analyzer`` session."""
 
     daemon_threads = True
 
-    def __init__(self, address, jobs: int = 1, cache=None, verbose: bool = False):
+    def __init__(
+        self,
+        address,
+        jobs: int = 1,
+        cache=None,
+        verbose: bool = False,
+        analyzer: Optional[Analyzer] = None,
+    ):
         super().__init__(address, _Handler)
-        self.jobs = jobs
-        self.cache = cache
+        self._owns_analyzer = analyzer is None
+        if analyzer is None:
+            analyzer = Analyzer(cache=cache, jobs=jobs)
+        self.analyzer = analyzer
         self.verbose = verbose
         self.started = time.time()
 
     @property
+    def jobs(self) -> int:
+        return self.analyzer.jobs
+
+    @property
+    def cache(self):
+        return self.analyzer.cache
+
+    @property
     def port(self) -> int:
         return self.server_address[1]
+
+    def server_close(self) -> None:  # noqa: D102 - stdlib override
+        super().server_close()
+        # Only release a session this server created; a lent Analyzer
+        # (create_server(analyzer=...)) stays usable by its owner.
+        if self._owns_analyzer:
+            self.analyzer.close()
 
 
 def _benchmark_listing() -> List[Dict[str, Any]]:
@@ -164,6 +196,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(
                 200, {"schema": SERVICE_SCHEMA, "count": len(listing), "benchmarks": listing}
             )
+        elif path == "/options/defaults":
+            self._send_json(
+                200, {"schema": SERVICE_SCHEMA, "defaults": AnalysisOptions().to_dict()}
+            )
+        elif path == "/version":
+            payload = version_info()
+            payload["schemas"]["service"] = SERVICE_SCHEMA
+            self._send_json(200, {"schema": SERVICE_SCHEMA, **payload})
         elif path == "/cache/stats":
             cache = self.server.cache
             if cache is None:
@@ -191,11 +231,12 @@ class _Handler(BaseHTTPRequestHandler):
         if not requests:
             self._send_error_json(400, "request expands to no tasks")
             return
-        # --jobs applies to multi-task bodies only: spawning (and
-        # forking) a process pool per single-request POST would cost
-        # far more than the analysis it parallelizes.
-        jobs = self.server.jobs if len(requests) > 1 else 1
-        reports = run_batch(requests, jobs=jobs, cache=self.server.cache)
+        # --jobs applies to multi-task bodies only: fanning a
+        # single-request POST across the pool would cost more than the
+        # analysis it parallelizes.
+        reports = self.server.analyzer.analyze_batch(
+            requests, jobs=None if len(requests) > 1 else 1
+        )
         if single:
             self._send_json(200, reports[0].to_dict())
         else:
@@ -216,12 +257,20 @@ def create_server(
     jobs: int = 1,
     cache=None,
     verbose: bool = False,
+    analyzer: Optional[Analyzer] = None,
 ) -> AnalysisHTTPServer:
     """Bind (but do not run) an analysis server; ``port=0`` picks a
-    free port (read it back from ``server.port``)."""
+    free port (read it back from ``server.port``).
+
+    Pass an :class:`repro.api.Analyzer` to serve an existing session
+    (its cache, solver and pool); ``jobs``/``cache`` are the shorthand
+    that builds one.
+    """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    return AnalysisHTTPServer((host, port), jobs=jobs, cache=cache, verbose=verbose)
+    return AnalysisHTTPServer(
+        (host, port), jobs=jobs, cache=cache, verbose=verbose, analyzer=analyzer
+    )
 
 
 def run_server(server: AnalysisHTTPServer) -> int:
@@ -250,8 +299,11 @@ def serve(
     jobs: int = 1,
     cache=None,
     verbose: bool = True,
+    analyzer: Optional[Analyzer] = None,
 ) -> int:
     """Bind and run the service until interrupted (convenience API)."""
     return run_server(
-        create_server(host=host, port=port, jobs=jobs, cache=cache, verbose=verbose)
+        create_server(
+            host=host, port=port, jobs=jobs, cache=cache, verbose=verbose, analyzer=analyzer
+        )
     )

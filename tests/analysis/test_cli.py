@@ -213,7 +213,7 @@ class TestBatchCommand:
         assert code == 0
         assert "rdwalk" in captured.out and "ber" in captured.out
         payload = json.loads(out_path.read_text())
-        assert payload["schema"] == "repro-batch/v1"
+        assert payload["schema"] == "repro-batch/v2"
         assert payload["failed"] == 0
         assert len(payload["reports"]) == 2
         assert all(r["status"] == "ok" for r in payload["reports"])
@@ -349,3 +349,42 @@ class TestReviewRegressions:
         code = main(["batch", str(spec), "--output", str(tmp_path / "no_dir" / "out.json")])
         assert code == 2
         assert "cannot write" in capsys.readouterr().err
+
+
+class TestSolverFlag:
+    def test_unknown_solver_exits_2_with_suggestion(self, capsys):
+        code = main(["bench", "rdwalk", "--solver", "lingprog"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown solver backend" in err and "linprog" in err
+
+    def test_analyze_unknown_solver_exits_2(self, tmp_path, capsys):
+        program = tmp_path / "p.prob"
+        program.write_text("var x;\nwhile x >= 1 do\n x := x - 1;\n tick(1)\nod\n")
+        code = main(["analyze", str(program), "--init", "x=5", "--solver", "nope"])
+        assert code == 2
+        assert "unknown solver backend" in capsys.readouterr().err
+
+    def test_bench_solver_linprog_matches_default(self, capsys):
+        assert main(["bench", "rdwalk"]) == 0
+        default_out = capsys.readouterr().out
+        assert main(["bench", "rdwalk", "--solver", "linprog"]) == 0
+        linprog_out = capsys.readouterr().out
+        assert default_out == linprog_out  # identical optima, any backend
+
+    def test_batch_solver_recorded_in_report(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps([{"benchmark": "rdwalk"}]))
+        out_path = tmp_path / "out.json"
+        code = main(
+            [
+                "batch", str(spec), "--solver", "linprog",
+                "--output", str(out_path), "--quiet", "--no-cache",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == "repro-batch/v2"
+        assert payload["reports"][0]["solver"] == "linprog"

@@ -1,0 +1,170 @@
+"""Solver-backend registry tests (`repro.core.solvers`)."""
+
+import pytest
+
+from repro.core import lp as lp_module
+from repro.core.lp import LinearProgram
+from repro.core.solvers import (
+    SolveOutcome,
+    available_backends,
+    backend_specs,
+    default_backend_id,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    resolved_solver_id,
+    unregister_backend,
+    use_solver,
+)
+from repro.polynomials import LinForm
+
+
+def _tiny_lp() -> LinearProgram:
+    # min a  s.t.  a + c = 3, c >= 0  -> a = 3 at c = 0... the solver
+    # may push c up; pin with a second row: a - c = 1 -> a = 2, c = 1.
+    lp = LinearProgram()
+    lp.add_unknown("a")
+    lp.add_unknown("c", nonnegative=True)
+    lp.add_equality({"a": 1.0, "c": 1.0}, 3.0)
+    lp.add_equality({"a": 1.0, "c": -1.0}, 1.0)
+    lp.set_objective(LinForm(terms={"a": 1.0}))
+    return lp
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_backends()
+        assert "highs" in names and "linprog" in names
+
+    def test_unknown_name_suggests_nearest(self):
+        with pytest.raises(KeyError, match="linprog"):
+            get_backend("lingprog")
+        with pytest.raises(KeyError, match="highs"):
+            get_backend("hihgs")
+
+    def test_default_is_highs_when_available(self):
+        if get_backend("highs").available():
+            assert default_backend_id() == "highs"
+        else:  # pragma: no cover - stripped SciPy layout
+            assert default_backend_id() == "linprog"
+
+    def test_auto_and_none_resolve_to_default(self):
+        default = default_backend_id()
+        assert resolve_backend(None).id == default
+        assert resolve_backend("auto").id == default
+        assert resolved_solver_id(None) == default
+
+    def test_register_rejects_duplicates_and_reserved_name(self):
+        class Dummy:
+            id = "linprog"
+
+            def available(self):
+                return True
+
+            def solve(self, lp):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(Dummy())
+        Dummy.id = "auto"
+        with pytest.raises(ValueError, match="reserved"):
+            register_backend(Dummy())
+
+    def test_custom_backend_lifecycle(self):
+        calls = []
+
+        class Recording:
+            id = "recording-test"
+
+            def available(self):
+                return True
+
+            def solve(self, lp):
+                calls.append(lp.num_variables)
+                return get_backend("linprog").solve(lp)
+
+        register_backend(Recording())
+        try:
+            assert "recording-test" in available_backends()
+            with use_solver("recording-test"):
+                solution = _tiny_lp().solve()
+            assert calls == [2]
+            assert solution.objective == pytest.approx(2.0)
+        finally:
+            unregister_backend("recording-test")
+        assert "recording-test" not in available_backends()
+
+    def test_unavailable_named_backend_refuses(self):
+        class Broken:
+            id = "broken-test"
+
+            def available(self):
+                return False
+
+            def solve(self, lp):  # pragma: no cover
+                raise NotImplementedError
+
+        register_backend(Broken())
+        try:
+            with pytest.raises(RuntimeError, match="not available"):
+                resolve_backend("broken-test")
+        finally:
+            unregister_backend("broken-test")
+
+    def test_backend_specs_census(self):
+        specs = {spec["id"]: spec for spec in backend_specs()}
+        assert specs["linprog"]["available"] is True
+        assert sum(spec["default"] for spec in specs.values()) == 1
+
+
+class TestSolveEquivalence:
+    def test_backends_agree_on_tiny_lp(self):
+        by_backend = {}
+        for name in ("highs", "linprog"):
+            if not get_backend(name).available():
+                continue  # pragma: no cover
+            solution = _tiny_lp().solve(backend=name)
+            by_backend[name] = (solution.objective, solution["a"], solution["c"])
+        assert len(set(by_backend.values())) == 1
+
+    def test_explicit_backend_beats_context(self):
+        class Exploding:
+            id = "exploding-test"
+
+            def available(self):
+                return True
+
+            def solve(self, lp):  # pragma: no cover - must not run
+                raise AssertionError("context backend used despite explicit argument")
+
+        register_backend(Exploding())
+        try:
+            with use_solver("exploding-test"):
+                solution = _tiny_lp().solve(backend="linprog")
+            assert solution.objective == pytest.approx(2.0)
+        finally:
+            unregister_backend("exploding-test")
+
+    def test_context_restores_previous(self):
+        from repro.core.solvers import active_solver
+
+        assert active_solver() is None
+        with use_solver("linprog"):
+            assert active_solver() == "linprog"
+            with use_solver("highs"):
+                assert active_solver() == "highs"
+            assert active_solver() == "linprog"
+        assert active_solver() is None
+
+    def test_outcome_shape(self):
+        outcome = get_backend("linprog").solve(_tiny_lp())
+        assert isinstance(outcome, SolveOutcome)
+        assert outcome.status == 0
+        assert outcome.fun == pytest.approx(2.0)
+
+
+class TestModuleWiring:
+    def test_lp_module_exports_backends(self):
+        assert lp_module.HighsDirectBackend().id == "highs"
+        assert lp_module.LinprogBackend().id == "linprog"
+        assert lp_module.LinprogBackend().available() is True

@@ -49,7 +49,7 @@ class TestEndpoints:
         status, payload = _get(base, "/healthz")
         assert status == 200
         assert payload["status"] == "ok"
-        assert payload["schema"] == "repro-service/v1"
+        assert payload["schema"] == "repro-service/v2"
         assert payload["cache"] is not None
 
     def test_benchmarks_lists_registry(self, service):
@@ -76,6 +76,38 @@ class TestEndpoints:
             raise AssertionError("expected 404")
         except urllib.error.HTTPError as error:
             assert error.code == 404
+
+
+class TestIntrospectionEndpoints:
+    def test_options_defaults_matches_analysis_options(self, service):
+        from repro.api import AnalysisOptions
+
+        _, _, base = service
+        status, payload = _get(base, "/options/defaults")
+        assert status == 200
+        assert payload["schema"] == "repro-service/v2"
+        assert payload["defaults"] == AnalysisOptions().to_dict()
+
+    def test_options_defaults_round_trip(self, service):
+        from repro.api import AnalysisOptions
+
+        _, _, base = service
+        _, payload = _get(base, "/options/defaults")
+        assert AnalysisOptions.from_dict(payload["defaults"]) == AnalysisOptions()
+
+    def test_version_endpoint(self, service):
+        import repro
+        from repro.api import REPORT_SCHEMA
+
+        _, _, base = service
+        status, payload = _get(base, "/version")
+        assert status == 200
+        assert payload["repro"] == repro.__version__
+        assert payload["schemas"]["report"] == REPORT_SCHEMA
+        assert payload["schemas"]["service"] == "repro-service/v2"
+        backends = {b["id"]: b for b in payload["solver_backends"]}
+        assert "highs" in backends and "linprog" in backends
+        assert sum(b["default"] for b in backends.values()) == 1
 
 
 class TestAnalyze:
@@ -120,7 +152,7 @@ class TestAnalyze:
             base, "/analyze", [{"benchmark": "rdwalk"}, {"benchmark": "ber"}]
         )
         assert status == 200
-        assert payload["schema"] == "repro-service/v1"
+        assert payload["schema"] == "repro-service/v2"
         assert payload["tasks"] == 2 and payload["failed"] == 0
         assert [r["name"] for r in payload["reports"]] == ["rdwalk", "ber"]
 
