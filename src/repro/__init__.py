@@ -29,9 +29,11 @@ Quickstart::
 from .analysis import (
     CostAnalysisResult,
     MartingaleReport,
+    TailBound,
     analyze,
     analyze_runtime,
     check_cost_martingale,
+    derive_tail_bound,
     instrument_runtime,
 )
 from .baseline import baseline_applicable, baseline_upper_bound
@@ -76,7 +78,7 @@ from .semantics import (
 from .syntax import Program, parse_condition, parse_expression, parse_program, replace_nondet
 from .termination import RankingCertificate, certify_concentration, synthesize_rsm
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 # The typed front door; imported last — it composes the layers above.
 from .api import AnalysisOptions, AnalysisReport, AnalysisRequest, Analyzer  # noqa: E402
@@ -112,6 +114,7 @@ __all__ = [
     "ResultCache",
     "SemanticsError",
     "SynthesisError",
+    "TailBound",
     "UnboundedError",
     "UniformDistribution",
     "UniformIntDistribution",
@@ -123,6 +126,7 @@ __all__ = [
     "build_cfg",
     "certify_concentration",
     "check_cost_martingale",
+    "derive_tail_bound",
     "instrument_runtime",
     "classify",
     "expectation",

@@ -3,12 +3,16 @@
 from .bounds import CostAnalysisResult, analyze
 from .martingale import MartingaleReport, check_cost_martingale
 from .runtime import analyze_runtime, instrument_runtime
+from .tails import TailBound, TailProbe, derive_tail_bound
 
 __all__ = [
     "CostAnalysisResult",
     "MartingaleReport",
+    "TailBound",
+    "TailProbe",
     "analyze",
     "analyze_runtime",
     "check_cost_martingale",
+    "derive_tail_bound",
     "instrument_runtime",
 ]

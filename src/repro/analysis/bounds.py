@@ -21,14 +21,14 @@ from typing import Dict, List, Mapping, Optional, Union
 
 from ..core.conditions import AnalysisMode, classify
 from ..core.synthesis import BoundResult, synthesize
-from ..errors import SynthesisError
+from ..errors import InfeasibleError, SynthesisError, UnboundedError
 from ..invariants import InvariantMap, generate_interval_invariants
 from ..semantics.cfg import CFG, build_cfg
 from ..syntax.ast import Program
 from ..syntax.parser import parse_program
 from ..termination import RankingCertificate, certify_concentration
 
-__all__ = ["CostAnalysisResult", "analyze"]
+__all__ = ["CostAnalysisResult", "analyze", "attach_tail_bound", "attach_tail_bound_for"]
 
 
 @dataclass
@@ -42,6 +42,9 @@ class CostAnalysisResult:
     upper: Optional[BoundResult] = None
     lower: Optional[BoundResult] = None
     concentration: Optional[RankingCertificate] = None
+    #: Azuma–Hoeffding concentration bound (``analyze(tails=True)``);
+    #: ``None`` when not requested or unavailable (see ``warnings``).
+    tail: Optional["TailBound"] = None
     warnings: List[str] = field(default_factory=list)
     #: Why ``lower`` is ``None`` although a lower bound was requested:
     #: the regime admits no PLCS bound, or synthesis was infeasible.
@@ -69,6 +72,8 @@ class CostAnalysisResult:
             # A requested-but-missing PLCS bound used to vanish from the
             # report silently; say why it is absent.
             lines.append(f"lower:   skipped ({self.lower_skipped})")
+        if self.tail is not None:
+            lines.extend(self.tail.summary_lines())
         if self.concentration is not None:
             status = "certified" if self.concentration.certifies_concentration else "RSM only"
             lines.append(
@@ -102,6 +107,9 @@ def analyze(
     compute_lower: bool = True,
     max_multiplicands: Optional[int] = None,
     mode: str = "auto",
+    tails: bool = False,
+    tail_horizon: Optional[int] = None,
+    tail_probes: Optional[List[float]] = None,
 ) -> CostAnalysisResult:
     """Run the full expected-cost analysis on ``program``.
 
@@ -133,6 +141,14 @@ def analyze(
         conditions fail is recorded as a warning, not an error — this
         mirrors how the paper's experiments treat e.g. the nested-loop
         benchmark.
+    tails:
+        Also derive an Azuma–Hoeffding concentration bound
+        ``P[cost >= E + t, T <= n] <= exp(-t^2/(2 c^2 n))`` from the
+        upper certificate (:mod:`repro.analysis.tails`).  ``tail_horizon``
+        is the step horizon ``n`` (default 1e6, the interpreter's
+        truncation default) and ``tail_probes`` the offsets ``t`` to
+        pre-evaluate.  Unavailability (no constant difference bound at
+        any tried degree) is a warning, not an error.
     """
     if isinstance(program, str):
         program = parse_program(program)
@@ -247,4 +263,75 @@ def analyze(
                 f"PLCS not attempted: regime {mode_info.name!r} admits no lower bound"
             )
 
+    if tails:
+        attach_tail_bound(
+            result,
+            horizon=tail_horizon,
+            probes=tail_probes,
+            max_multiplicands=max_multiplicands,
+        )
+
     return result
+
+
+def attach_tail_bound(
+    result: CostAnalysisResult,
+    horizon: Optional[int] = None,
+    probes: Optional[List[float]] = None,
+    max_multiplicands: Optional[int] = None,
+) -> None:
+    """Derive the Azuma–Hoeffding tail bound and attach it to ``result``.
+
+    Unavailability (no upper certificate, or no constant
+    step-difference bound at any tried degree) becomes a warning, not
+    an error.  Degree-escalation callers (the engine, ``analyze_with``,
+    ``Analyzer.synthesize``) call this once on the *final* result
+    rather than paying the auxiliary LP at every discarded degree.
+    """
+    from .tails import derive_tail_bound
+
+    if result.upper is None:
+        result.warnings.append("tail bound unavailable: no upper bound was synthesized")
+        return
+    try:
+        result.tail = derive_tail_bound(
+            result,
+            horizon=horizon,
+            probes=probes,
+            max_multiplicands=max_multiplicands,
+        )
+    except (InfeasibleError, UnboundedError, SynthesisError) as exc:
+        result.warnings.append(
+            f"tail bound unavailable: no constant step-difference bound ({exc})"
+        )
+        return
+    if result.tail.refit:
+        result.warnings.append(
+            f"tail bound derived from a degree-1 refit certificate "
+            f"(anchor {result.tail.expected:.6g}): the reported degree-"
+            f"{result.upper.degree} certificate has no constant "
+            "step-difference bound"
+        )
+
+
+def attach_tail_bound_for(result: CostAnalysisResult, settings) -> None:
+    """:func:`attach_tail_bound` driven by a settings record.
+
+    ``settings`` is anything carrying ``tails`` / ``tail_horizon`` /
+    ``tail_probes`` / ``max_multiplicands`` — an
+    :class:`~repro.api.AnalysisOptions` or an
+    :class:`~repro.batch.spec.AnalysisRequest` (the fields are
+    name-aligned by design).  The single shared entry point for every
+    degree-escalation caller, so tail handling cannot drift between the
+    engine, the staged facade and ``Benchmark.analyze_with``.  No-op
+    unless ``settings.tails`` is set.
+    """
+    if not settings.tails:
+        return
+    probes = settings.tail_probes
+    attach_tail_bound(
+        result,
+        horizon=settings.tail_horizon,
+        probes=list(probes) if probes else None,
+        max_multiplicands=settings.max_multiplicands,
+    )

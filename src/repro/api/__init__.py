@@ -18,8 +18,9 @@ thin adapter over the three names this package exports first:
     expose the pipeline stage by stage.
 :class:`AnalysisRequest` / :class:`AnalysisReport`
     The JSON work unit and the canonical result record (schema
-    ``repro-report/v2``; :func:`report_to_v1` and the lenient
-    :meth:`AnalysisReport.from_dict` bridge v1 consumers/producers).
+    ``repro-report/v3``; :func:`report_to_v1`/:func:`report_to_v2` and
+    the lenient :meth:`AnalysisReport.from_dict` bridge v1/v2
+    consumers and producers).
 
 Quick start::
 
@@ -43,6 +44,7 @@ from typing import Any, Dict, Mapping
 from ..batch.spec import (
     REPORT_SCHEMA,
     REPORT_SCHEMA_V1,
+    REPORT_SCHEMA_V2,
     AnalysisReport,
     AnalysisRequest,
     load_spec,
@@ -70,6 +72,7 @@ __all__ = [
     "Analyzer",
     "REPORT_SCHEMA",
     "REPORT_SCHEMA_V1",
+    "REPORT_SCHEMA_V2",
     "ResultCache",
     "SolveOutcome",
     "SolverBackend",
@@ -81,6 +84,7 @@ __all__ = [
     "register_backend",
     "report_from_dict",
     "report_to_v1",
+    "report_to_v2",
     "request_fingerprint",
     "request_key",
     "requests_from_spec",
@@ -96,8 +100,14 @@ def report_to_v1(report: AnalysisReport) -> Dict[str, Any]:
     return report.to_v1_dict()
 
 
+def report_to_v2(report: AnalysisReport) -> Dict[str, Any]:
+    """``report`` as a pre-tail-bound (``repro-report/v2``) dict —
+    bitwise what a v2 writer produced for the same analysis."""
+    return report.to_v2_dict()
+
+
 def report_from_dict(data: Mapping[str, Any]) -> AnalysisReport:
-    """Read a v2 *or* v1 report dict (the v1 reader shim)."""
+    """Read a v3, v2 *or* v1 report dict (the lenient reader shim)."""
     return AnalysisReport.from_dict(data)
 
 
@@ -110,7 +120,7 @@ def version_info() -> Dict[str, Any]:
         "repro": __version__,
         "schemas": {
             "report": REPORT_SCHEMA,
-            "report_compat": [REPORT_SCHEMA_V1],
+            "report_compat": [REPORT_SCHEMA_V1, REPORT_SCHEMA_V2],
             "cache_entry": ENTRY_SCHEMA,
         },
         "solver_backends": backend_specs(),

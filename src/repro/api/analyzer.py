@@ -28,7 +28,7 @@ import threading
 from pathlib import Path
 from typing import Any, Callable, List, Mapping, Optional, Sequence, Union
 
-from ..analysis.bounds import CostAnalysisResult
+from ..analysis.bounds import CostAnalysisResult, attach_tail_bound_for
 from ..batch.engine import _cached_execute, run_batch
 from ..batch.spec import AnalysisReport, AnalysisRequest
 from ..invariants import InvariantMap, generate_interval_invariants
@@ -371,7 +371,9 @@ class Analyzer:
                 )
                 if result.complete_for(opts.compute_lower):
                     break
-        assert result is not None  # the degree plan is never empty
+            assert result is not None  # the degree plan is never empty
+            # Once, on the final result only (see analyze_with).
+            attach_tail_bound_for(result, opts)
         return result
 
     def __repr__(self) -> str:

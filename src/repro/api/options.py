@@ -73,6 +73,16 @@ class AnalysisOptions:
     timeout_s: Optional[float] = None
     #: Free-form caller tag, echoed on the report (not fingerprinted).
     tag: Optional[str] = None
+    #: Also derive an Azuma–Hoeffding concentration (tail) bound
+    #: ``P[cost >= E + t, T <= n] <= exp(-t^2/(2 c^2 n))`` from the
+    #: upper certificate (:mod:`repro.analysis.tails`).
+    tails: bool = False
+    #: Step horizon ``n`` of the tail guarantee; ``None`` uses the
+    #: interpreter's default truncation (1e6 steps).
+    tail_horizon: Optional[int] = None
+    #: Offsets ``t`` to pre-evaluate the tail bound at; ``None`` picks
+    #: multiples of the natural scale ``c * sqrt(horizon)``.
+    tail_probes: Optional[list] = None
 
     def __post_init__(self) -> None:
         # Normalize the mapping fields to plain, correctly-typed dicts
@@ -92,6 +102,11 @@ class AnalysisOptions:
                 )
             except (TypeError, ValueError):
                 raise ValueError(f"init values must be numbers, got {self.init!r}") from None
+        if self.tail_probes is not None:
+            try:
+                object.__setattr__(self, "tail_probes", [float(t) for t in self.tail_probes])
+            except (TypeError, ValueError):
+                raise ValueError(f"tail_probes must be numbers, got {self.tail_probes!r}") from None
         self._validate()
 
     def _validate(self) -> None:
@@ -114,6 +129,16 @@ class AnalysisOptions:
             raise ValueError(f"simulate_max_steps must be >= 1, got {self.simulate_max_steps}")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if not isinstance(self.tails, bool):
+            raise ValueError(f"tails must be a bool, got {self.tails!r}")
+        if self.tail_horizon is not None:
+            if not isinstance(self.tail_horizon, int) or isinstance(self.tail_horizon, bool) or self.tail_horizon < 1:
+                raise ValueError(f"tail_horizon must be an int >= 1, got {self.tail_horizon!r}")
+        if self.tail_probes is not None:
+            if not self.tail_probes:
+                raise ValueError("tail_probes must be a non-empty list of positive offsets")
+            if any(t <= 0 for t in self.tail_probes):
+                raise ValueError(f"tail_probes must be positive, got {self.tail_probes!r}")
 
     # -- layering -------------------------------------------------------
 
@@ -150,7 +175,11 @@ class AnalysisOptions:
         out: Dict[str, Any] = {}
         for f in fields(self):
             value = getattr(self, f.name)
-            out[f.name] = dict(value) if isinstance(value, dict) else value
+            if isinstance(value, dict):
+                value = dict(value)
+            elif isinstance(value, list):
+                value = list(value)
+            out[f.name] = value
         return out
 
     @classmethod
@@ -215,6 +244,9 @@ class AnalysisOptions:
             simulate_nondet=self.simulate_nondet,
             timeout_s=self.timeout_s,
             tag=self.tag,
+            tails=self.tails,
+            tail_horizon=self.tail_horizon,
+            tail_probes=list(self.tail_probes) if self.tail_probes is not None else None,
         )
         request.validate()
         return request
@@ -240,4 +272,7 @@ class AnalysisOptions:
             simulate_nondet=request.simulate_nondet,
             timeout_s=request.timeout_s,
             tag=request.tag,
+            tails=request.tails,
+            tail_horizon=request.tail_horizon,
+            tail_probes=list(request.tail_probes) if request.tail_probes is not None else None,
         )

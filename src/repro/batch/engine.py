@@ -32,8 +32,9 @@ import time
 from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..analysis.bounds import CostAnalysisResult
+from ..analysis.bounds import CostAnalysisResult, attach_tail_bound_for
 from ..core.solvers import resolved_solver_id, use_solver
+from ..deadline import DeadlineExceeded, deadline_scope
 from ..errors import ReproError
 from ..programs import Benchmark, get_benchmark, probabilistic_variant
 from ..semantics import simulate
@@ -47,21 +48,31 @@ class BatchTimeout(Exception):
 
 
 @contextmanager
-def _task_alarm(seconds: Optional[float]):
-    """Arm a real-time interval timer for the current task.
+def _task_budget(seconds: Optional[float]):
+    """Enforce a per-task wall-clock budget in the current thread.
 
-    Only available on the main thread of a process with POSIX signals
-    (true for CLI use and for pool workers); elsewhere the budget is
-    silently unenforced rather than wrong.
+    Two mechanisms layer:
+
+    * a real-time ``SIGALRM`` interval timer — preemptive, but only
+      deliverable on the main thread of a process (CLI runs and pool
+      workers);
+    * the cooperative deadline of :mod:`repro.deadline` — armed
+      unconditionally, checked at the synthesis/simulation checkpoints,
+      and therefore effective on ``repro serve`` handler threads too,
+      where the signal path used to leave ``timeout_s`` silently
+      unenforced.
+
+    Either mechanism firing surfaces as ``status="timeout"``.
     """
-    usable = (
+    signal_usable = (
         seconds is not None
         and seconds > 0
         and hasattr(signal, "setitimer")
         and threading.current_thread() is threading.main_thread()
     )
-    if not usable:
-        yield
+    if not signal_usable:
+        with deadline_scope(seconds):
+            yield
         return
 
     def _on_alarm(signum, frame):
@@ -70,7 +81,8 @@ def _task_alarm(seconds: Optional[float]):
     previous = signal.signal(signal.SIGALRM, _on_alarm)
     signal.setitimer(signal.ITIMER_REAL, seconds)
     try:
-        yield
+        with deadline_scope(seconds):
+            yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
@@ -137,6 +149,8 @@ def _fill_bounds(report: AnalysisReport, result: CostAnalysisResult) -> None:
         report.lower_bound = str(result.lower.bound.round(5))
         report.lower_runtime = result.lower.runtime
         report.policy_enumerated = result.lower.policy_enumerated
+    if result.tail is not None:
+        report.tail = result.tail.to_dict()
 
 
 def execute_request(request: AnalysisRequest) -> AnalysisReport:
@@ -152,7 +166,7 @@ def execute_request(request: AnalysisRequest) -> AnalysisReport:
     start = time.perf_counter()
     report = AnalysisReport(name=request.display_name, status="ok", tag=request.tag)
     try:
-        with _task_alarm(request.timeout_s):
+        with _task_budget(request.timeout_s):
             # Resolve the LP backend up front: an unknown/unavailable
             # solver is a structured error before any synthesis work,
             # and the *resolved* id is what the report (and the cache
@@ -179,7 +193,10 @@ def execute_request(request: AnalysisRequest) -> AnalysisReport:
                     report.degree = degree
                     if _is_complete(request, result):
                         break
-            assert result is not None  # degree plan is never empty
+                assert result is not None  # degree plan is never empty
+                # Tail bound once, on the degree the report actually
+                # carries (not per escalation step).
+                attach_tail_bound_for(result, request)
             report.analysis_runtime = time.perf_counter() - start
             _fill_bounds(report, result)
             if request.degree == "auto" and not _is_complete(request, result):
@@ -202,17 +219,24 @@ def execute_request(request: AnalysisRequest) -> AnalysisReport:
                         seed=request.simulate_seed,
                         max_steps=request.simulate_max_steps,
                     )
-                    report.sim_mean = stats.mean
-                    report.sim_std = stats.std
+                    # Truncated runs are excluded from mean/std (their
+                    # partial cost would bias Monte-Carlo soundness
+                    # checks low); with no terminated runs at all there
+                    # is no mean to report.
+                    if stats.terminated_runs > 0:
+                        report.sim_mean = stats.mean
+                        report.sim_std = stats.std
                     report.sim_truncated = stats.truncated
                     report.sim_termination_rate = stats.termination_rate
                     if stats.truncated:
                         report.warnings.append(
                             f"{stats.truncated} of {stats.runs} simulated runs were "
-                            f"truncated at {request.simulate_max_steps} steps; "
-                            "sim mean/std underestimate the true cost"
+                            f"truncated at {request.simulate_max_steps} steps and "
+                            "excluded from sim mean/std (mean partial cost "
+                            f"{stats.truncated_mean:g}); raise simulate_max_steps "
+                            "to cover them"
                         )
-    except BatchTimeout:
+    except (BatchTimeout, DeadlineExceeded):
         report.status = "timeout"
         report.error = f"TimeoutError: task exceeded {request.timeout_s:g}s budget"
     except (ReproError, ValueError, KeyError, RuntimeError, OverflowError, ZeroDivisionError) as exc:

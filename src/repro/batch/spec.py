@@ -29,6 +29,7 @@ __all__ = [
     "AnalysisRequest",
     "REPORT_SCHEMA",
     "REPORT_SCHEMA_V1",
+    "REPORT_SCHEMA_V2",
     "load_spec",
     "requests_from_spec",
 ]
@@ -36,15 +37,23 @@ __all__ = [
 #: Degree ceiling for ``degree="auto"`` escalation unless overridden.
 DEFAULT_MAX_DEGREE = 4
 
-#: Canonical report schema.  v2 added ``lower_skipped`` (why no PLCS
-#: lower bound was produced) and ``solver`` (the resolved LP backend).
-REPORT_SCHEMA = "repro-report/v2"
+#: Canonical report schema.  v3 added ``tail`` (the Azuma–Hoeffding
+#: concentration bound of ``repro.analysis.tails``); v2 added
+#: ``lower_skipped`` (why no PLCS lower bound was produced) and
+#: ``solver`` (the resolved LP backend).
+REPORT_SCHEMA = "repro-report/v3"
 #: The pre-``repro.api`` shape; :meth:`AnalysisReport.from_dict` reads
-#: both, :meth:`AnalysisReport.to_v1_dict` writes it.
+#: every schema, :meth:`AnalysisReport.to_v1_dict` writes this one.
 REPORT_SCHEMA_V1 = "repro-report/v1"
+#: The pre-tail-bound shape; :meth:`AnalysisReport.from_dict` is
+#: lenient (a v2 dict simply has no ``tail``), and
+#: :meth:`AnalysisReport.to_v2_dict` writes it.
+REPORT_SCHEMA_V2 = "repro-report/v2"
 
 #: Fields present in v2 report dicts but not v1 ones.
 _REPORT_V2_FIELDS = ("lower_skipped", "solver")
+#: Fields present in v3 report dicts but not v2 ones.
+_REPORT_V3_FIELDS = ("tail",)
 
 #: Suites a spec task may name.  ``table5`` is the Table 3 set with
 #: nondeterminism replaced by a fair coin (the paper's Table 5 setup).
@@ -104,9 +113,21 @@ class AnalysisRequest:
     simulate_nondet: bool = False
     #: Per-task wall-clock budget in seconds; exceeding it yields a
     #: report with ``status="timeout"`` instead of killing the batch.
+    #: Enforced via SIGALRM on main threads and via the cooperative
+    #: deadline of :mod:`repro.deadline` everywhere else (service
+    #: handler threads included).
     timeout_s: Optional[float] = None
     #: Free-form caller tag, echoed on the report.
     tag: Optional[str] = None
+    #: Derive an Azuma–Hoeffding concentration bound from the upper
+    #: certificate (``repro.analysis.tails``); part of the cache
+    #: fingerprint together with the horizon and probes.
+    tails: bool = False
+    #: Step horizon ``n`` of the tail guarantee (default 1e6).
+    tail_horizon: Optional[int] = None
+    #: Offsets ``t`` to pre-evaluate the tail bound at (default:
+    #: multiples of ``c * sqrt(horizon)``).
+    tail_probes: Optional[List[float]] = None
 
     @property
     def display_name(self) -> str:
@@ -131,6 +152,20 @@ class AnalysisRequest:
             raise ValueError(f"simulate_runs must be positive, got {self.simulate_runs}")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if not isinstance(self.tails, bool):
+            raise ValueError(f"tails must be a bool, got {self.tails!r}")
+        if self.tail_horizon is not None:
+            if (
+                not isinstance(self.tail_horizon, int)
+                or isinstance(self.tail_horizon, bool)
+                or self.tail_horizon < 1
+            ):
+                raise ValueError(f"tail_horizon must be an int >= 1, got {self.tail_horizon!r}")
+        if self.tail_probes is not None:
+            if not self.tail_probes or any(t <= 0 for t in self.tail_probes):
+                raise ValueError(
+                    f"tail_probes must be a non-empty list of positive offsets, got {self.tail_probes!r}"
+                )
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -192,6 +227,13 @@ class AnalysisRequest:
                 ) from None
         if payload.get("init") is not None:
             payload["init"] = {var: float(value) for var, value in payload["init"].items()}
+        if payload.get("tail_probes") is not None:
+            try:
+                payload["tail_probes"] = [float(t) for t in payload["tail_probes"]]
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"tail_probes must be numbers, got {payload['tail_probes']!r}"
+                ) from None
         return cls(**payload)
 
 
@@ -241,6 +283,12 @@ class AnalysisReport:
     lower_skipped: Optional[str] = None
     #: Resolved LP solver backend id the bounds were synthesized with.
     solver: Optional[str] = None
+    # -- v3 fields (``repro-report/v3``) --------------------------------
+    #: Azuma–Hoeffding concentration bound derived from the upper
+    #: certificate (``repro.analysis.TailBound.to_dict()`` shape:
+    #: ``method``/``c``/``horizon``/``expected``/``degree``/``refit``/
+    #: ``probes``); ``None`` when not requested or unavailable.
+    tail: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -252,26 +300,36 @@ class AnalysisReport:
     def to_v1_dict(self) -> Dict[str, Any]:
         """The report as a pre-``repro.api`` (v1) dict.
 
-        Drops the v2-only fields; everything else — key order included —
-        is bitwise what a v1 writer produced, so v1 consumers (and the
-        golden-table comparisons) keep working unchanged.
+        Drops the v2- and v3-only fields; everything else — key order
+        included — is bitwise what a v1 writer produced, so v1
+        consumers (and the golden-table comparisons) keep working
+        unchanged.
         """
         payload = asdict(self)
-        for fieldname in _REPORT_V2_FIELDS:
+        for fieldname in _REPORT_V2_FIELDS + _REPORT_V3_FIELDS:
+            payload.pop(fieldname, None)
+        return payload
+
+    def to_v2_dict(self) -> Dict[str, Any]:
+        """The report as a pre-tail-bound (v2) dict — bitwise what a v2
+        writer produced for the same analysis."""
+        payload = asdict(self)
+        for fieldname in _REPORT_V3_FIELDS:
             payload.pop(fieldname, None)
         return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AnalysisReport":
-        """Read a v2 *or* v1 report dict (the v1 shim: missing v2
-        fields default).  An embedded ``schema`` marker is accepted and
-        checked; unknown fields are rejected rather than dropped."""
+        """Read a v3, v2 *or* v1 report dict (lenient reader: fields a
+        previous schema lacks simply default).  An embedded ``schema``
+        marker is accepted and checked; unknown fields are rejected
+        rather than dropped."""
         payload = dict(data)
         schema = payload.pop("schema", None)
-        if schema is not None and schema not in (REPORT_SCHEMA, REPORT_SCHEMA_V1):
+        if schema is not None and schema not in (REPORT_SCHEMA, REPORT_SCHEMA_V1, REPORT_SCHEMA_V2):
             raise ValueError(
-                f"unsupported report schema {schema!r}; "
-                f"expected {REPORT_SCHEMA!r} or {REPORT_SCHEMA_V1!r}"
+                f"unsupported report schema {schema!r}; expected {REPORT_SCHEMA!r}, "
+                f"{REPORT_SCHEMA_V2!r} or {REPORT_SCHEMA_V1!r}"
             )
         unknown = set(payload) - set(cls.__dataclass_fields__)
         if unknown:

@@ -96,9 +96,11 @@ __all__ = [
 ]
 
 #: On-disk entry schema; bumping it invalidates every existing entry.
+#: v3: reports are ``repro-report/v3`` shaped (tail bounds) and
+#: fingerprints carry the tail-analysis settings.
 #: v2: reports are ``repro-report/v2`` shaped and fingerprints carry
 #: the resolved solver backend id + invariant policy.
-ENTRY_SCHEMA = "repro-cache/v2"
+ENTRY_SCHEMA = "repro-cache/v3"
 
 
 def cache_salt() -> str:
@@ -224,17 +226,23 @@ def canonical_program(program: Program) -> Dict[str, Any]:
 #: against the same benchmark pay the parse exactly once per process.
 #: Bounded: a long-lived ``repro serve`` fed many distinct inline
 #: sources must not grow without limit (registry traffic uses ~25 keys).
+#: Guarded by a lock: concurrent service handler threads fingerprint
+#: simultaneously, and the len-check / clear / insert sequence is a
+#: read-modify-write that must not interleave.
 _CANONICAL_PROGRAM_MEMO: Dict[str, str] = {}
 _CANONICAL_PROGRAM_MEMO_MAX = 1024
+_CANONICAL_PROGRAM_MEMO_LOCK = threading.Lock()
 
 
 def _canonical_program_text(bench) -> str:
-    text = _CANONICAL_PROGRAM_MEMO.get(bench.source)
+    with _CANONICAL_PROGRAM_MEMO_LOCK:
+        text = _CANONICAL_PROGRAM_MEMO.get(bench.source)
     if text is None:
         text = json.dumps(canonical_program(bench.program), sort_keys=True, separators=(",", ":"))
-        if len(_CANONICAL_PROGRAM_MEMO) >= _CANONICAL_PROGRAM_MEMO_MAX:
-            _CANONICAL_PROGRAM_MEMO.clear()
-        _CANONICAL_PROGRAM_MEMO[bench.source] = text
+        with _CANONICAL_PROGRAM_MEMO_LOCK:
+            if len(_CANONICAL_PROGRAM_MEMO) >= _CANONICAL_PROGRAM_MEMO_MAX:
+                _CANONICAL_PROGRAM_MEMO.clear()
+            _CANONICAL_PROGRAM_MEMO[bench.source] = text
     return text
 
 
@@ -280,6 +288,15 @@ def request_fingerprint(request) -> Dict[str, Any]:
             "nondet": bool(request.simulate_nondet),
         }
 
+    tails: Optional[Dict[str, Any]] = None
+    if request.tails:
+        tails = {
+            "horizon": int(request.tail_horizon) if request.tail_horizon is not None else None,
+            "probes": [float(t) for t in request.tail_probes]
+            if request.tail_probes is not None
+            else None,
+        }
+
     return {
         "salt": cache_salt(),
         "program": _canonical_program_text(bench),
@@ -295,6 +312,7 @@ def request_fingerprint(request) -> Dict[str, Any]:
         # solver, while "highs" and "linprog" must never alias.
         "solver": resolved_solver_id(request.solver),
         "simulate": simulate,
+        "tails": tails,
     }
 
 

@@ -7,6 +7,7 @@ Usage::
                                  [--mode auto|signed|nonnegative]
                                  [--max-multiplicands K] [--solver NAME]
                                  [--concentration] [--no-lower]
+                                 [--tails] [--tail-horizon N] [--tail-probes T1,T2]
     python -m repro simulate FILE --init x=100 [--runs 1000] [--seed 0]
                                   [--max-steps 1000000]
     python -m repro cfg FILE
@@ -181,6 +182,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         label_id, cond = _parse_invariant_spec(spec)
         invariants[label_id] = cond
 
+    tail_probes = None
+    if args.tail_probes:
+        try:
+            tail_probes = [float(chunk) for chunk in args.tail_probes.split(",") if chunk.strip()]
+        except ValueError:
+            raise CLIError(
+                f"invalid --tail-probes value {args.tail_probes!r}; expected t1,t2,..."
+            ) from None
     options = AnalysisOptions(
         degree=degree,
         max_degree=args.max_degree,
@@ -190,6 +199,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         solver=_validate_solver(args.solver),
         invariants=invariants or None,
         init=init,
+        tails=args.tails,
+        tail_horizon=args.tail_horizon,
+        tail_probes=tail_probes,
     )
     # The staged facade analyzes the parsed AST directly — exact float
     # literals, no cache/pool — and owns the auto-degree escalation.
@@ -223,16 +235,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     cfg = build_cfg(program)
     stats = simulate(cfg, init, runs=args.runs, seed=args.seed, max_steps=args.max_steps)
     print(f"runs:             {stats.runs}")
-    print(f"mean cost:        {stats.mean:.6g}")
-    print(f"std:              {stats.std:.6g}")
-    print(f"min / max:        {stats.min:.6g} / {stats.max:.6g}")
+    if stats.terminated_runs > 0:
+        print(f"mean cost:        {stats.mean:.6g}")
+        print(f"std:              {stats.std:.6g}")
+        print(f"min / max:        {stats.min:.6g} / {stats.max:.6g}")
+    else:
+        print("mean cost:        n/a (no run terminated)")
     print(f"mean steps:       {stats.mean_steps:.6g}")
     print(f"termination rate: {stats.termination_rate:.3f}")
     if stats.truncated:
         print(
             f"warning: {stats.truncated} of {stats.runs} runs were truncated at "
-            f"{args.max_steps} steps; mean/std underestimate the true cost "
-            "(raise --max-steps)"
+            f"{args.max_steps} steps and excluded from mean/std; their mean "
+            f"partial cost was {stats.truncated_mean:.6g} (raise --max-steps)"
         )
     return 0
 
@@ -345,6 +360,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for request in requests:
             if request.timeout_s is None:
                 request.timeout_s = args.timeout
+    if args.tails:
+        for request in requests:
+            request.tails = True
     _validate_solver(args.solver)
     if args.output:
         # Fail fast on an unwritable report location rather than after
@@ -455,6 +473,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-multiplicands", type=int, default=None, help="Handelman multiplicand cap K"
     )
     p_analyze.add_argument("--concentration", action="store_true", help="also synthesize an RSM")
+    p_analyze.add_argument(
+        "--tails",
+        action="store_true",
+        help="derive an Azuma-Hoeffding tail bound P[cost >= E + t] from the upper certificate",
+    )
+    p_analyze.add_argument(
+        "--tail-horizon",
+        type=int,
+        default=None,
+        metavar="N",
+        help="step horizon n of the tail guarantee (default: 1000000)",
+    )
+    p_analyze.add_argument(
+        "--tail-probes",
+        default=None,
+        metavar="T1,T2",
+        help="comma-separated offsets t to evaluate the tail bound at",
+    )
     p_analyze.add_argument("--no-lower", action="store_true", help="skip the PLCS lower bound")
     p_analyze.add_argument(
         "--solver", default=None, help="LP solver backend (e.g. highs, linprog; default: auto)"
@@ -503,6 +539,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--jobs", type=int, default=1, help="worker processes")
     p_batch.add_argument(
         "--timeout", type=float, default=None, help="default per-task budget in seconds"
+    )
+    p_batch.add_argument(
+        "--tails",
+        action="store_true",
+        help="derive an Azuma-Hoeffding tail bound for every task",
     )
     p_batch.add_argument("--output", help="write the full JSON report here")
     p_batch.add_argument("--quiet", action="store_true", help="no per-task progress on stderr")

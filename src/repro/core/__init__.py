@@ -22,13 +22,16 @@ from .solvers import (
 )
 from .preexpectation import (
     PreCase,
+    StepCase,
     pre_expectation_cases,
     pre_expectation_table,
     pre_expectation_value,
+    step_difference_cases,
 )
 from .synthesis import (
     BoundResult,
     SynthesisOptions,
+    difference_bound,
     synthesize,
     synthesize_plcs,
     synthesize_pucs,
@@ -44,6 +47,7 @@ __all__ = [
     "PreCase",
     "SolveOutcome",
     "SolverBackend",
+    "StepCase",
     "SynthesisOptions",
     "Template",
     "available_backends",
@@ -57,11 +61,13 @@ __all__ = [
     "check_bounded_updates",
     "check_nonnegative_costs",
     "classify",
+    "difference_bound",
     "make_template",
     "monoid_products",
     "pre_expectation_cases",
     "pre_expectation_table",
     "pre_expectation_value",
+    "step_difference_cases",
     "synthesize",
     "synthesize_plcs",
     "synthesize_pucs",

@@ -21,6 +21,7 @@ use).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
@@ -38,7 +39,7 @@ from ..semantics.cfg import (
 )
 from ..syntax.ast import Atom
 
-__all__ = ["PreCase", "pre_expectation_cases", "pre_expectation_value"]
+__all__ = ["PreCase", "StepCase", "pre_expectation_cases", "pre_expectation_value", "step_difference_cases"]
 
 
 @dataclass
@@ -93,6 +94,87 @@ def pre_expectation_cases(cfg: CFG, h: Mapping[int, Polynomial], label: Label) -
         return [
             PreCase(poly=h[label.succ_then], choice=0),
             PreCase(poly=h[label.succ_else], choice=1),
+        ]
+    raise CFGError(f"unknown label kind {label.kind!r}")
+
+
+@dataclass
+class StepCase:
+    """One *realized* one-step outcome at a label (no expectation).
+
+    Where :class:`PreCase` averages over sampling variables (what the
+    martingale conditions need), a step case keeps the post-step value
+    ``h(l', v')`` as a polynomial in the current state *and* the raw
+    sampling variables — what an almost-sure (Azuma-style) difference
+    bound needs.  ``support`` carries the linear constraints bounding
+    each sampling variable to its distribution support, ready to join a
+    Handelman ``Gamma``.
+    """
+
+    #: ``cost + h(l', v') - h(l, v)`` for this outcome.
+    diff: Polynomial
+    guard: List[Atom] = field(default_factory=list)
+    #: Support constraints ``r - lo >= 0``, ``hi - r >= 0`` for every
+    #: sampling variable the outcome mentions.
+    support: List[Polynomial] = field(default_factory=list)
+
+
+def step_difference_cases(cfg: CFG, h: Mapping[int, Polynomial], label: Label) -> List[StepCase]:
+    """All realized one-step differences of ``cost-so-far + h`` at ``label``.
+
+    Every possible single transition out of ``label`` contributes one
+    case: each branch/probabilistic/nondeterministic successor, and for
+    assignments the substituted (pre-expectation-*free*) post-state.
+    Bounding ``|diff| <= c`` over every case on the label's invariant
+    bounds the stepwise differences of the cost supermartingale
+    ``X_n = accumulated cost + h(l_n, v_n)`` almost surely, which is
+    exactly the premise of the Azuma–Hoeffding tail bound.
+
+    Raises :class:`~repro.errors.UnboundedError` when an assignment
+    samples from a distribution with unbounded support — no constant
+    almost-sure difference bound can exist then.
+    """
+    from ..errors import UnboundedError
+
+    if isinstance(label, TerminalLabel):
+        return []
+    here = h[label.id]
+    if isinstance(label, AssignLabel):
+        realized = h[label.succ].substitute(label.var, label.expr)
+        support: List[Polynomial] = []
+        for var in sorted(realized.variables()):
+            dist = cfg.rvars.get(var)
+            if dist is None:
+                continue
+            lo, hi = dist.support_bounds()
+            if not (math.isfinite(lo) and math.isfinite(hi)):
+                raise UnboundedError(
+                    f"sampling variable {var!r} has unbounded support; "
+                    "no almost-sure step-difference bound exists"
+                )
+            support.append(Polynomial.variable(var) - lo)
+            support.append(Polynomial.constant(hi) - Polynomial.variable(var))
+        return [StepCase(diff=realized - here, support=support)]
+    if isinstance(label, TickLabel):
+        return [StepCase(diff=label.cost + h[label.succ] - here)]
+    if isinstance(label, ProbLabel):
+        if label.succ_then == label.succ_else:
+            return [StepCase(diff=h[label.succ_then] - here)]
+        return [
+            StepCase(diff=h[label.succ_then] - here),
+            StepCase(diff=h[label.succ_else] - here),
+        ]
+    if isinstance(label, BranchLabel):
+        cases: List[StepCase] = []
+        for conj in label.cond.to_dnf():
+            cases.append(StepCase(diff=h[label.succ_true] - here, guard=[a.relaxed() for a in conj]))
+        for conj in label.cond.negate().to_dnf():
+            cases.append(StepCase(diff=h[label.succ_false] - here, guard=[a.relaxed() for a in conj]))
+        return cases
+    if isinstance(label, NondetLabel):
+        return [
+            StepCase(diff=h[label.succ_then] - here),
+            StepCase(diff=h[label.succ_else] - here),
         ]
     raise CFGError(f"unknown label kind {label.kind!r}")
 

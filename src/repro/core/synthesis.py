@@ -42,16 +42,24 @@ from dataclasses import dataclass, field
 from itertools import product as iter_product
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
+from ..deadline import check_deadline
 from ..errors import InfeasibleError, SynthesisError, UnboundedError
 from ..invariants import InvariantMap
 from ..polynomials import LinForm, Polynomial
 from ..semantics.cfg import CFG, NondetLabel, TerminalLabel
 from .handelman import LinearEquality, certificate_equalities
 from .lp import LinearProgram
-from .preexpectation import PreCase, pre_expectation_cases
+from .preexpectation import PreCase, pre_expectation_cases, step_difference_cases
 from .templates import Template, make_template
 
-__all__ = ["BoundResult", "SynthesisOptions", "synthesize", "synthesize_pucs", "synthesize_plcs"]
+__all__ = [
+    "BoundResult",
+    "SynthesisOptions",
+    "difference_bound",
+    "synthesize",
+    "synthesize_pucs",
+    "synthesize_plcs",
+]
 
 #: Enumerating nondeterministic policies for PLCS is exponential in the
 #: number of nondeterministic labels; above this many we fall back to
@@ -232,6 +240,10 @@ class _PreparedSynthesis:
         for tag, site_name, target, gammas in _constraint_sites(
             cfg, self.template, cases_by_label, invariants, kind, options.nonnegative
         ):
+            # Cooperative per-site timeout checkpoint: certificate
+            # extraction dominates preparation time, and SIGALRM budgets
+            # don't fire on service handler threads.
+            check_deadline()
             if tag is not None and restrict_to is not None:
                 label_id, choice = tag
                 if choice != restrict_to.get(label_id, 0):
@@ -251,6 +263,7 @@ class _PreparedSynthesis:
         self.prepare_seconds = time.perf_counter() - start
 
     def solve(self, init: Mapping[str, float], nondet_choices: Mapping[int, int]) -> BoundResult:
+        check_deadline()  # per-policy checkpoint for threaded budgets
         start = time.perf_counter()
         cfg, options = self.cfg, self.options
 
@@ -385,6 +398,68 @@ def synthesize(
             "no PLCS found under any nondeterministic policy; " + "; ".join(failures)
         )
     return best
+
+
+def difference_bound(
+    cfg: CFG,
+    invariants: InvariantMap,
+    h: Mapping[int, Polynomial],
+    max_multiplicands: Optional[int] = None,
+) -> float:
+    """Smallest certified almost-sure step-difference bound ``c`` of the
+    cost supermartingale ``X_n = accumulated cost + h(l_n, v_n)``.
+
+    An auxiliary LP over the same Handelman monoid products as the
+    synthesis itself: for every realized one-step outcome ``diff``
+    (:func:`~repro.core.preexpectation.step_difference_cases`) on every
+    polyhedron of the label's invariant, both ``c - diff >= 0`` and
+    ``c + diff >= 0`` are certified, and ``c >= 0`` is minimized.
+    ``h`` must be numeric (a synthesized certificate, not a template).
+
+    Raises :class:`InfeasibleError` when no constant bound exists —
+    e.g. a quadratic certificate whose gradient is unbounded on the
+    invariant, or a variable-dependent tick cost over an unbounded
+    region — and :class:`UnboundedError` for unbounded sampling
+    support.  Tail-bound callers treat both as "no Azuma bound at this
+    degree" and may retry with a lower-degree certificate.
+    """
+    lp = LinearProgram()
+    c_name = "tail_c"
+    lp.add_unknown(c_name, nonnegative=True)
+    c_poly = Polynomial.constant(LinForm.unknown(c_name))
+
+    sites = 0
+    for label in cfg:
+        if isinstance(label, TerminalLabel):
+            continue
+        region = invariants.get(label.id)
+        for case_index, case in enumerate(step_difference_cases(cfg, h, label)):
+            check_deadline()
+            if case.diff.is_zero():
+                continue  # a self-loop-free no-op step never moves X
+            for d_index, polyhedron in enumerate(region):
+                gammas = polyhedron.constraints + [atom.poly for atom in case.guard] + case.support
+                for sign, target in (("up", c_poly - case.diff), ("dn", c_poly + case.diff)):
+                    cap = max_multiplicands
+                    if cap is None:
+                        cap = max(target.degree(), 1)
+                    equalities, multipliers = certificate_equalities(
+                        target, gammas, cap, f"diff_{label.id}_{case_index}_{d_index}_{sign}"
+                    )
+                    for name in multipliers:
+                        lp.add_unknown(name, nonnegative=True)
+                    for coeffs, rhs in equalities:
+                        lp.add_equality(coeffs, rhs)
+                    sites += 1
+
+    if sites == 0:
+        return 0.0
+    lp.set_objective(LinForm.unknown(c_name), maximize=False)
+    solution = lp.solve()
+    value = solution.values.get(c_name, solution.objective)
+    if math.isnan(value):
+        raise SynthesisError("difference-bound LP returned a NaN objective")
+    return max(0.0, float(value))
 
 
 def synthesize_pucs(

@@ -5,6 +5,8 @@
 * ``python -m repro.experiments.table4`` — Table 4 (numeric bounds + simulation)
 * ``python -m repro.experiments.table5`` — Table 5 (nondet replaced by prob(0.5))
 * ``python -m repro.experiments.figures`` — Figures 15-24 (bound/simulation curves)
+* ``python -m repro.experiments.table_tails`` — Azuma tail bounds vs. empirical
+  interpreter tail frequencies (new workload, not in the paper)
 """
 
 from .common import BoundsRow, ascii_plot, fmt, fmt_poly, render_table
@@ -13,12 +15,15 @@ from .table2 import Table2Row, build_table2
 from .table3 import Table3Row, build_table3
 from .table4 import build_table4
 from .table5 import build_table5, probabilistic_variant
+from .table_tails import TailCheck, TailRow, build_table_tails
 
 __all__ = [
     "BoundsRow",
     "FigureSeries",
     "Table2Row",
     "Table3Row",
+    "TailCheck",
+    "TailRow",
     "ascii_plot",
     "build_all_figures",
     "build_figure",
@@ -26,6 +31,7 @@ __all__ = [
     "build_table3",
     "build_table4",
     "build_table5",
+    "build_table_tails",
     "fmt",
     "fmt_poly",
     "probabilistic_variant",

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
-from ..analysis.bounds import CostAnalysisResult, analyze
+from ..analysis.bounds import CostAnalysisResult, analyze, attach_tail_bound_for
 from ..invariants import InvariantMap
 from ..semantics.cfg import CFG, build_cfg
 from ..syntax.ast import Program
@@ -161,7 +161,11 @@ class Benchmark:
                 )
                 if result.complete_for(options.compute_lower):
                     break
-        assert result is not None  # the degree plan is never empty
+            assert result is not None  # the degree plan is never empty
+            # Once, on the final result only — the auxiliary LP (and a
+            # possible degree-1 refit) must not run per discarded
+            # escalation degree.
+            attach_tail_bound_for(result, options)
         return result
 
     def analyze(

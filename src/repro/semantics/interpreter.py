@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from ..deadline import active_deadline, check_deadline
 from ..errors import SemanticsError
 from .cfg import (
     CFG,
@@ -47,7 +48,16 @@ class RunResult:
 
 @dataclass
 class SimulationStats:
-    """Aggregate cost statistics over many runs (cf. Tables 4-5)."""
+    """Aggregate cost statistics over many runs (cf. Tables 4-5).
+
+    ``mean``/``std``/``min``/``max`` (and ``costs``) cover *terminated*
+    runs only: a run cut off at ``max_steps`` has merely a partial
+    accumulated cost, and folding it into the mean used to silently
+    bias Monte-Carlo soundness checks low.  Truncated runs are counted
+    in ``truncated`` and their partial costs reported separately
+    (``truncated_mean``/``truncated_costs``); with no terminated runs
+    at all the statistics are ``nan``.
+    """
 
     runs: int
     mean: float
@@ -56,17 +66,27 @@ class SimulationStats:
     max: float
     mean_steps: float
     termination_rate: float
-    #: Runs cut off at ``max_steps`` before reaching ``l_out``.  Their
-    #: *partial* accumulated cost still enters ``mean``/``std``, so a
-    #: nonzero count means the statistics underestimate the true cost.
+    #: Runs cut off at ``max_steps`` before reaching ``l_out``; their
+    #: partial costs are *excluded* from ``mean``/``std``/``costs``.
     truncated: int = 0
+    #: Mean *partial* accumulated cost of the truncated runs (``None``
+    #: when every run terminated) — a lower bound on what those runs
+    #: would have cost, reported for diagnostics only.
+    truncated_mean: Optional[float] = None
+    #: Total costs of the terminated runs.
     costs: List[float] = field(repr=False, default_factory=list)
+    #: Partial costs of the truncated runs.
+    truncated_costs: List[float] = field(repr=False, default_factory=list)
+
+    @property
+    def terminated_runs(self) -> int:
+        return self.runs - self.truncated
 
     def stderr(self) -> float:
-        """Standard error of the mean."""
-        if self.runs <= 1:
+        """Standard error of the mean (over terminated runs)."""
+        if self.terminated_runs <= 1:
             return float("inf")
-        return self.std / math.sqrt(self.runs)
+        return self.std / math.sqrt(self.terminated_runs)
 
     def confidence_interval(self, z: float = 2.576) -> Tuple[float, float]:
         """Normal-approximation CI for the mean (default 99%)."""
@@ -113,8 +133,14 @@ def run(
     current = cfg.entry
     total_cost = 0.0
     steps = 0
+    # Periodic cooperative-timeout checkpoint (threaded budgets): only
+    # armed sessions pay the per-step flag test, and a single long run
+    # cannot outlive its task's deadline by more than ~16k steps.
+    deadline_armed = active_deadline() is not None
 
     while steps < max_steps:
+        if deadline_armed and (steps & 16383) == 0:
+            check_deadline()
         label = cfg.labels[current]
         if isinstance(label, TerminalLabel):
             if trajectory is not None:
@@ -167,24 +193,34 @@ def simulate(
         raise ValueError("number of runs must be positive")
     rng = random.Random(seed)
     costs: List[float] = []
+    truncated_costs: List[float] = []
     total_steps = 0
-    terminated = 0
     for _ in range(runs):
+        check_deadline()  # cooperative per-run timeout checkpoint
         result = run(cfg, init, scheduler=scheduler, rng=rng, max_steps=max_steps)
-        costs.append(result.total_cost)
+        if result.terminated:
+            costs.append(result.total_cost)
+        else:
+            truncated_costs.append(result.total_cost)
         total_steps += result.steps
-        terminated += int(result.terminated)
 
-    mean = sum(costs) / runs
-    var = sum((c - mean) ** 2 for c in costs) / (runs - 1) if runs > 1 else 0.0
+    terminated = len(costs)
+    if terminated:
+        mean = sum(costs) / terminated
+        var = sum((c - mean) ** 2 for c in costs) / (terminated - 1) if terminated > 1 else 0.0
+        std, lo, hi = math.sqrt(var), min(costs), max(costs)
+    else:
+        mean = std = lo = hi = float("nan")
     return SimulationStats(
         runs=runs,
         mean=mean,
-        std=math.sqrt(var),
-        min=min(costs),
-        max=max(costs),
+        std=std,
+        min=lo,
+        max=hi,
         mean_steps=total_steps / runs,
         termination_rate=terminated / runs,
         truncated=runs - terminated,
+        truncated_mean=(sum(truncated_costs) / len(truncated_costs)) if truncated_costs else None,
         costs=costs,
+        truncated_costs=truncated_costs,
     )

@@ -34,9 +34,12 @@ request fields), 404/405 for bad routes.
 
 ``ThreadingHTTPServer`` handles each connection on its own thread; the
 shared :class:`~repro.cache.ResultCache` is thread-safe and the engine
-is re-entrant (per-task SIGALRM budgets are main-thread-only and
-therefore inactive here — use the cache plus modest request sizes to
-keep handlers snappy).
+is re-entrant.  Per-task ``timeout_s`` budgets *are* enforced on
+handler threads: SIGALRM is main-thread-only, so the engine arms the
+cooperative deadline of :mod:`repro.deadline`, checked at the
+synthesis/simulation checkpoints — a blown budget surfaces as a
+``status: "timeout"`` report exactly as in batch runs (the overshoot
+is bounded by the longest uninterruptible LP step, not by the task).
 """
 
 from __future__ import annotations

@@ -18,6 +18,7 @@ API_ALL = [
     "Analyzer",
     "REPORT_SCHEMA",
     "REPORT_SCHEMA_V1",
+    "REPORT_SCHEMA_V2",
     "ResultCache",
     "SolveOutcome",
     "SolverBackend",
@@ -29,6 +30,7 @@ API_ALL = [
     "register_backend",
     "report_from_dict",
     "report_to_v1",
+    "report_to_v2",
     "request_fingerprint",
     "request_key",
     "requests_from_spec",
@@ -56,6 +58,9 @@ OPTIONS_FIELDS = [
     "simulate_nondet",
     "timeout_s",
     "tag",
+    "tails",
+    "tail_horizon",
+    "tail_probes",
 ]
 
 #: Golden `AnalysisReport` field list; the v1 prefix (everything before
@@ -85,6 +90,7 @@ REPORT_FIELDS = [
     "tag",
     "lower_skipped",
     "solver",
+    "tail",
 ]
 
 
@@ -107,8 +113,9 @@ def test_report_field_snapshot():
 
 
 def test_report_schema_versions():
-    assert api.REPORT_SCHEMA == "repro-report/v2"
+    assert api.REPORT_SCHEMA == "repro-report/v3"
     assert api.REPORT_SCHEMA_V1 == "repro-report/v1"
+    assert api.REPORT_SCHEMA_V2 == "repro-report/v2"
 
 
 def test_top_level_reexports():

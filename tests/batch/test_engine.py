@@ -95,6 +95,55 @@ class TestExecuteRequest:
         assert "0.05" in report.error
         assert report.runtime < 5.0
 
+    def test_timeout_enforced_off_main_thread(self):
+        """SIGALRM can't fire on a worker thread; the cooperative
+        deadline must still surface status="timeout" there (the
+        `repro serve` handler-thread regression)."""
+        import threading
+
+        outcome = {}
+
+        def work():
+            outcome["report"] = execute_request(
+                AnalysisRequest(
+                    source="var x;\nwhile x >= 0 do\n x := x + 1;\n tick(1)\nod",
+                    name="spinner",
+                    init={"x": 0.0},
+                    degree=1,
+                    compute_lower=False,
+                    simulate_runs=1000,
+                    simulate_max_steps=100_000_000,
+                    timeout_s=0.05,
+                )
+            )
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join(timeout=30)
+        report = outcome["report"]
+        assert report.status == "timeout"
+        assert "0.05" in report.error
+        assert report.runtime < 5.0
+
+    def test_tails_attached_to_report(self):
+        report = execute_request(
+            AnalysisRequest(benchmark="rdwalk", degree=1, tails=True, tail_horizon=1000)
+        )
+        assert report.ok
+        assert report.tail is not None
+        assert report.tail["method"] == "azuma-hoeffding"
+        assert report.tail["horizon"] == 1000
+        assert report.tail["c"] > 0
+        assert report.tail["probes"] and all(
+            0 < probe["bound"] <= 1 for probe in report.tail["probes"]
+        )
+
+    def test_tails_unavailable_is_warning_not_error(self):
+        report = execute_request(AnalysisRequest(benchmark="pol04", tails=True))
+        assert report.ok
+        assert report.tail is None
+        assert any("tail bound unavailable" in w for w in report.warnings)
+
     def test_simulation_fields(self):
         report = execute_request(
             AnalysisRequest(benchmark="rdwalk", simulate_runs=150, simulate_seed=3)

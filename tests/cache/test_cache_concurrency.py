@@ -1,0 +1,115 @@
+"""Concurrency audit of the ResultCache in-process counters.
+
+The HTTP service shares one :class:`repro.cache.ResultCache` across
+``ThreadingHTTPServer`` handler threads, so every hit/miss/store
+counter update must be a locked read-modify-write: lost updates would
+make ``cache.stats()`` drift from the true event counts.  These tests
+hammer the store from many threads and demand *exact* totals.
+"""
+
+import threading
+
+from repro.batch import AnalysisReport
+from repro.cache import ResultCache
+
+THREADS = 16
+ROUNDS = 200
+
+
+def _report(name="t"):
+    return AnalysisReport(name=name, status="ok", init={"x": 1.0})
+
+
+def _run_threads(worker):
+    barrier = threading.Barrier(THREADS)
+
+    def wrapped(index):
+        barrier.wait()  # maximize interleaving
+        worker(index)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestCounterExactness:
+    def test_misses_are_exact_under_contention(self, tmp_path):
+        cache = ResultCache(tmp_path / "store")
+
+        def worker(index):
+            for round_ in range(ROUNDS):
+                assert cache.lookup(f"missing-{index}-{round_}") is None
+
+        _run_threads(worker)
+        stats = cache.stats()
+        assert stats.misses == THREADS * ROUNDS
+        assert stats.hits == 0
+        assert stats.stores == 0
+
+    def test_hits_are_exact_under_contention(self, tmp_path):
+        cache = ResultCache(tmp_path / "store")
+        keys = [f"{'%02x' % i}key" for i in range(8)]
+        for key in keys:
+            assert cache.store(key, _report())
+
+        def worker(index):
+            for round_ in range(ROUNDS):
+                assert cache.lookup(keys[(index + round_) % len(keys)]) is not None
+
+        _run_threads(worker)
+        stats = cache.stats()
+        assert stats.hits == THREADS * ROUNDS
+        assert stats.misses == 0
+        assert stats.stores == len(keys)
+
+    def test_mixed_hammer_totals_add_up(self, tmp_path):
+        """Interleaved lookups and stores: every lookup counts exactly
+        once as hit or miss, every successful store exactly once."""
+        cache = ResultCache(tmp_path / "store", max_memory_entries=4)
+        lookups_per_thread = ROUNDS
+        stores_per_thread = ROUNDS // 4
+
+        def worker(index):
+            for round_ in range(stores_per_thread):
+                assert cache.store(f"shared-{round_}", _report())
+            for round_ in range(lookups_per_thread):
+                cache.lookup(f"shared-{round_ % (2 * stores_per_thread)}")
+
+        _run_threads(worker)
+        stats = cache.stats()
+        assert stats.hits + stats.misses == THREADS * lookups_per_thread
+        assert stats.stores == THREADS * stores_per_thread
+        # Everything that was ever stored must be a hit now (disk
+        # persists even after LRU eviction); the "never stored" half of
+        # the key space accounts for every miss.
+        assert stats.memory_entries <= 4
+
+    def test_record_folding_is_exact(self, tmp_path):
+        """The pool-worker accounting path (`record`) is a locked RMW."""
+        cache = ResultCache(tmp_path / "store")
+
+        def worker(index):
+            for round_ in range(ROUNDS):
+                cache.record(hit=round_ % 2 == 0, stored=round_ % 4 == 0)
+
+        _run_threads(worker)
+        stats = cache.stats()
+        assert stats.hits == THREADS * (ROUNDS // 2)
+        assert stats.misses == THREADS * (ROUNDS // 2)
+        assert stats.stores == THREADS * (ROUNDS // 4)
+
+    def test_canonical_program_memo_is_thread_safe(self):
+        """Concurrent fingerprinting across threads must agree (the
+        bounded memo's len-check/clear/insert is a guarded RMW)."""
+        from repro.batch import AnalysisRequest
+        from repro.cache import request_key
+
+        keys = [None] * THREADS
+
+        def worker(index):
+            keys[index] = request_key(AnalysisRequest(benchmark="rdwalk", tails=True))
+
+        _run_threads(worker)
+        assert len(set(keys)) == 1

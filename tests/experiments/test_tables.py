@@ -132,3 +132,37 @@ class TestJobsParity:
         par = build_table5(runs=25, benchmarks=benches, jobs=2)
         key = lambda r: (r.benchmark, r.upper_value, r.lower_value, r.sim_mean, r.sim_std)
         assert [key(r) for r in par] == [key(r) for r in seq]
+
+
+class TestTableTails:
+    """The tail-bound validation driver (new workload)."""
+
+    def test_rows_are_sound_and_complete(self):
+        from repro.experiments import build_table_tails
+
+        suite = [("rdwalk", None), ("bitcoin_mining", 0.5)]
+        rows = build_table_tails(runs=200, horizon=800, seed=0, suite=suite)
+        assert [row.benchmark for row in rows] == ["rdwalk", "bitcoin_mining_prob"]
+        for row in rows:
+            assert row.unavailable is None, row.unavailable
+            assert row.c > 0 and row.horizon == 800
+            assert row.checks and row.sound
+            # Bounds decrease as the probed offset grows.
+            bounds = [check.bound for check in row.checks]
+            assert bounds == sorted(bounds, reverse=True)
+
+    def test_unavailable_benchmark_reports_reason(self):
+        from repro.experiments import build_table_tails
+
+        rows = build_table_tails(runs=10, horizon=100, suite=[("pol04", None)])
+        (row,) = rows
+        assert row.unavailable is not None
+        assert "tail bound unavailable" in row.unavailable
+        assert not row.checks
+
+    def test_main_renders_summary_line(self):
+        from repro.experiments.table_tails import main
+
+        text = main(runs=50, horizon=400)
+        assert "Tail bounds" in text
+        assert "all empirical tails within bounds" in text

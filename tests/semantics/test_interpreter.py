@@ -1,6 +1,7 @@
 """Interpreter tests: exact costs on deterministic programs, statistics
 on probabilistic ones, scheduler interaction."""
 
+import math
 import random
 
 import pytest
@@ -170,17 +171,49 @@ class TestTruncation:
         cfg = make("var x; while x >= 0 do x := x + 1; tick(1) od")
         stats = simulate(cfg, {"x": 0}, runs=7, seed=0, max_steps=30)
         assert stats.truncated == 7
+        assert stats.terminated_runs == 0
         assert stats.termination_rate == 0.0
-        # Partial costs still enter the statistics (documented skew).
-        assert stats.mean == pytest.approx(10.0)
+        # Partial costs are *excluded* from the statistics: with no
+        # terminated run there is no mean, only the diagnostic
+        # truncated-run partial mean.
+        assert math.isnan(stats.mean)
+        assert math.isnan(stats.std)
+        assert stats.costs == []
+        assert stats.truncated_mean == pytest.approx(10.0)
+        assert len(stats.truncated_costs) == 7
 
     def test_terminating_program_has_no_truncated_runs(self):
         cfg = make("var i; while i >= 1 do tick(i); i := i - 1 od")
         stats = simulate(cfg, {"i": 3}, runs=5, seed=0)
         assert stats.truncated == 0
         assert stats.termination_rate == 1.0
+        assert stats.truncated_mean is None
+        assert stats.truncated_costs == []
 
     def test_mixed_truncation_consistent_with_rate(self, figure2_cfg):
         stats = simulate(figure2_cfg, {"x": 4, "y": 0}, runs=40, seed=1, max_steps=30)
         assert stats.truncated == round((1.0 - stats.termination_rate) * stats.runs)
         assert 0 < stats.truncated < stats.runs
+        # mean/std cover only the terminated runs now.
+        assert len(stats.costs) == stats.terminated_runs
+        assert len(stats.truncated_costs) == stats.truncated
+        assert stats.mean == pytest.approx(sum(stats.costs) / stats.terminated_runs)
+        assert stats.truncated_mean == pytest.approx(
+            sum(stats.truncated_costs) / stats.truncated
+        )
+
+    def test_truncated_partial_costs_do_not_enter_mean(self):
+        """Regression for the old downward bias: a truncated run's
+        partial cost is a strict undercount of its true cost, and the
+        pre-fix estimator folded it into the mean anyway.  The new
+        statistics must be computable from the terminated costs alone."""
+        cfg = make("var x; while x >= 1 do x := x + (1, -1) : (0.25, 0.75); tick(1) od")
+        stats = simulate(cfg, {"x": 10}, runs=200, seed=3, max_steps=75)
+        assert 0 < stats.truncated < stats.runs
+        biased = (sum(stats.costs) + sum(stats.truncated_costs)) / stats.runs
+        assert stats.mean == pytest.approx(sum(stats.costs) / len(stats.costs))
+        assert stats.mean != pytest.approx(biased)
+        # Every truncated partial cost undercounts a run that was still
+        # going at the horizon (cost = iterations so far, one tick per
+        # three CFG steps).
+        assert all(cost <= 75 for cost in stats.truncated_costs)

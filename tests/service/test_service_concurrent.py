@@ -1,0 +1,126 @@
+"""Concurrent `repro serve` traffic: identical bytes, exact counters,
+enforced timeouts.
+
+`ThreadingHTTPServer` runs every request on its own handler thread, so
+this file pins the three properties that only show up under real
+concurrency: warm responses are byte-identical across parallel POSTs,
+the shared cache's hit/miss counters stay exact, and `timeout_s` is
+enforced off the main thread (via the cooperative deadline — SIGALRM
+cannot fire on handler threads).
+"""
+
+import concurrent.futures
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.cache import ResultCache
+from repro.service import create_server
+
+PARALLEL = 8
+
+
+@pytest.fixture()
+def service(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    server = create_server(host="127.0.0.1", port=0, jobs=1, cache=cache)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, cache, f"http://127.0.0.1:{server.port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _post_bytes(base, payload):
+    request = urllib.request.Request(
+        base + "/analyze",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return response.status, response.read()
+
+
+def _fanout(base, payloads):
+    with concurrent.futures.ThreadPoolExecutor(max_workers=len(payloads)) as pool:
+        return list(pool.map(lambda p: _post_bytes(base, p), payloads))
+
+
+class TestConcurrentAnalyze:
+    def test_warm_parallel_posts_are_byte_identical(self, service):
+        _, cache, base = service
+        task = {"benchmark": "rdwalk", "degree": 1, "tails": True, "tail_horizon": 1000}
+        status, first = _post_bytes(base, task)  # cold: one miss + store
+        assert status == 200
+        results = _fanout(base, [task] * PARALLEL)
+        assert all(status == 200 for status, _ in results)
+        bodies = {body for _, body in results}
+        assert bodies == {first}  # every warm response is bitwise the cold one
+        report = json.loads(first)
+        assert report["status"] == "ok" and report["tail"]["horizon"] == 1000
+        stats = cache.stats()
+        assert stats.misses == 1 and stats.stores == 1
+        assert stats.hits == PARALLEL
+
+    def test_counters_stay_exact_across_mixed_parallel_waves(self, service):
+        _, cache, base = service
+        tasks = [
+            {"benchmark": name, "degree": 1}
+            for name in ("rdwalk", "ber", "bin", "prdwalk")
+        ]
+        # Cold wave: every distinct task misses exactly once.
+        results = _fanout(base, tasks)
+        assert all(status == 200 for status, _ in results)
+        stats = cache.stats()
+        assert stats.misses == len(tasks)
+        assert stats.hits == 0
+        # Two warm waves: every lookup is a hit, nothing new stored.
+        for _ in range(2):
+            results = _fanout(base, tasks)
+            assert all(status == 200 for status, _ in results)
+        stats = cache.stats()
+        assert stats.misses == len(tasks)
+        assert stats.hits == 2 * len(tasks)
+        assert stats.stores == len(tasks)
+        assert stats.hits + stats.misses == 3 * len(tasks)
+
+    def test_identical_cold_posts_race_without_losing_counts(self, service):
+        """N identical cold POSTs race on one key: each consults the
+        store exactly once, so hits + misses == N regardless of who
+        wins the store race."""
+        _, cache, base = service
+        task = {"benchmark": "C4B_t13", "degree": 1}
+        results = _fanout(base, [task] * PARALLEL)
+        assert all(status == 200 for status, _ in results)
+        stats = cache.stats()
+        assert stats.hits + stats.misses == PARALLEL
+        assert stats.misses >= 1
+        assert stats.stores == stats.misses  # every miss executed + stored
+
+    def test_timeout_enforced_on_handler_threads(self, service):
+        """`timeout_s` must produce status="timeout" even though the
+        handler thread can never receive SIGALRM."""
+        _, _, base = service
+        task = {"benchmark": "queuing_network", "timeout_s": 0.001}
+        status, body = _post_bytes(base, task)
+        assert status == 200
+        report = json.loads(body)
+        assert report["status"] == "timeout"
+        assert "0.001" in report["error"]
+
+    def test_parallel_mixed_timeout_and_ok(self, service):
+        """A blown budget on one handler thread never bleeds into the
+        other concurrent requests (deadlines are thread-local)."""
+        _, _, base = service
+        tasks = [
+            {"benchmark": "queuing_network", "timeout_s": 0.001},
+            {"benchmark": "rdwalk", "degree": 1},
+        ] * 3
+        results = _fanout(base, tasks)
+        reports = [json.loads(body) for _, body in results]
+        statuses = [report["status"] for report in reports]
+        assert statuses == ["timeout", "ok"] * 3
