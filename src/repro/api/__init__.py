@@ -18,9 +18,14 @@ thin adapter over the three names this package exports first:
     expose the pipeline stage by stage.
 :class:`AnalysisRequest` / :class:`AnalysisReport`
     The JSON work unit and the canonical result record (schema
-    ``repro-report/v3``; :func:`report_to_v1`/:func:`report_to_v2` and
-    the lenient :meth:`AnalysisReport.from_dict` bridge v1/v2
-    consumers and producers).
+    ``repro-report/v4``; :func:`report_to_v1`/:func:`report_to_v2`/
+    :func:`report_to_v3` and the lenient
+    :meth:`AnalysisReport.from_dict` bridge older consumers and
+    producers).
+
+Resilience knobs surface here too: :class:`RetryPolicy` (from
+:mod:`repro.resilience`) rides on ``AnalysisOptions.retry`` and
+governs crash-retry of pool workers that die mid-task.
 
 Quick start::
 
@@ -45,12 +50,14 @@ from ..batch.spec import (
     REPORT_SCHEMA,
     REPORT_SCHEMA_V1,
     REPORT_SCHEMA_V2,
+    REPORT_SCHEMA_V3,
     AnalysisReport,
     AnalysisRequest,
     load_spec,
     requests_from_spec,
 )
 from ..cache import ResultCache, request_fingerprint, request_key
+from ..resilience import RetryPolicy
 from ..core.solvers import (
     SolveOutcome,
     SolverBackend,
@@ -73,7 +80,9 @@ __all__ = [
     "REPORT_SCHEMA",
     "REPORT_SCHEMA_V1",
     "REPORT_SCHEMA_V2",
+    "REPORT_SCHEMA_V3",
     "ResultCache",
+    "RetryPolicy",
     "SolveOutcome",
     "SolverBackend",
     "available_backends",
@@ -85,6 +94,7 @@ __all__ = [
     "report_from_dict",
     "report_to_v1",
     "report_to_v2",
+    "report_to_v3",
     "request_fingerprint",
     "request_key",
     "requests_from_spec",
@@ -106,8 +116,14 @@ def report_to_v2(report: AnalysisReport) -> Dict[str, Any]:
     return report.to_v2_dict()
 
 
+def report_to_v3(report: AnalysisReport) -> Dict[str, Any]:
+    """``report`` as a pre-resilience (``repro-report/v3``) dict —
+    bitwise what a v3 writer produced for the same analysis."""
+    return report.to_v3_dict()
+
+
 def report_from_dict(data: Mapping[str, Any]) -> AnalysisReport:
-    """Read a v3, v2 *or* v1 report dict (the lenient reader shim)."""
+    """Read a v4, v3, v2 *or* v1 report dict (the lenient reader shim)."""
     return AnalysisReport.from_dict(data)
 
 
@@ -120,7 +136,7 @@ def version_info() -> Dict[str, Any]:
         "repro": __version__,
         "schemas": {
             "report": REPORT_SCHEMA,
-            "report_compat": [REPORT_SCHEMA_V1, REPORT_SCHEMA_V2],
+            "report_compat": [REPORT_SCHEMA_V1, REPORT_SCHEMA_V2, REPORT_SCHEMA_V3],
             "cache_entry": ENTRY_SCHEMA,
         },
         "solver_backends": backend_specs(),

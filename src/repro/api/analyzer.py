@@ -129,9 +129,9 @@ class Analyzer:
             if self._closed:
                 raise RuntimeError("Analyzer is closed")
             if self._pool is None:
-                import multiprocessing
+                from ..resilience import ResilientPool
 
-                self._pool = multiprocessing.Pool(processes=self._jobs)
+                self._pool = ResilientPool(processes=self._jobs)
             return self._pool
 
     def close(self) -> None:
@@ -206,6 +206,28 @@ class Analyzer:
 
         return request_key(self.request(program, options, **overrides))
 
+    def request_cache_key(self, request: AnalysisRequest) -> Optional[str]:
+        """The session-level cache key for an engine request — session
+        solver filled in, exactly as :meth:`analyze_batch` would run it
+        — or ``None`` when the session has no cache or the request is
+        unresolvable (unknown benchmark, parse error).  The HTTP
+        service keys its single-flight request coalescing on this.
+        """
+        if self._cache is None:
+            return None
+        if request.solver is None and self._options.solver is not None:
+            from dataclasses import replace as _dc_replace
+
+            request = _dc_replace(request, solver=self._options.solver)
+        return self._cache.request_key(request)
+
+    def cached_report(self, key: str, request: AnalysisRequest) -> Optional[AnalysisReport]:
+        """Session-cache lookup only — no execution.  Counts a hit or a
+        miss on the session cache like any other consult."""
+        if self._cache is None:
+            return None
+        return self._cache.lookup_for(key, request)
+
     # -- full pipeline ---------------------------------------------------
 
     def analyze(
@@ -269,7 +291,14 @@ class Analyzer:
         effective_jobs = self._jobs if jobs is None else jobs
         pool = self._session_pool() if jobs is None else None
         return run_batch(
-            resolved, jobs=effective_jobs, progress=progress, cache=self._cache, pool=pool
+            resolved,
+            jobs=effective_jobs,
+            progress=progress,
+            cache=self._cache,
+            pool=pool,
+            # Session-level crash-retry default; per-request ``retry``
+            # fields still win inside the engine.
+            retry=self._options.retry,
         )
 
     # -- staged pipeline -------------------------------------------------

@@ -22,6 +22,7 @@ from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Mapping, Optional, Union
 
 from ..batch.spec import DEFAULT_MAX_DEGREE, AnalysisRequest
+from ..resilience import RetryPolicy
 
 __all__ = ["AnalysisOptions"]
 
@@ -83,6 +84,12 @@ class AnalysisOptions:
     #: Offsets ``t`` to pre-evaluate the tail bound at; ``None`` picks
     #: multiples of the natural scale ``c * sqrt(horizon)``.
     tail_probes: Optional[list] = None
+    #: Crash-retry budget for pool workers that die mid-task
+    #: (:class:`repro.resilience.RetryPolicy`, or its ``to_dict``
+    #: mapping — coerced); ``None`` uses the engine default (one retry
+    #: with jittered backoff).  A scheduling knob like ``timeout_s``:
+    #: never part of the cache fingerprint.
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         # Normalize the mapping fields to plain, correctly-typed dicts
@@ -107,6 +114,8 @@ class AnalysisOptions:
                 object.__setattr__(self, "tail_probes", [float(t) for t in self.tail_probes])
             except (TypeError, ValueError):
                 raise ValueError(f"tail_probes must be numbers, got {self.tail_probes!r}") from None
+        if self.retry is not None:
+            object.__setattr__(self, "retry", RetryPolicy.coerce(self.retry))
         self._validate()
 
     def _validate(self) -> None:
@@ -175,7 +184,9 @@ class AnalysisOptions:
         out: Dict[str, Any] = {}
         for f in fields(self):
             value = getattr(self, f.name)
-            if isinstance(value, dict):
+            if isinstance(value, RetryPolicy):
+                value = value.to_dict()
+            elif isinstance(value, dict):
                 value = dict(value)
             elif isinstance(value, list):
                 value = list(value)
@@ -247,6 +258,7 @@ class AnalysisOptions:
             tails=self.tails,
             tail_horizon=self.tail_horizon,
             tail_probes=list(self.tail_probes) if self.tail_probes is not None else None,
+            retry=self.retry.to_dict() if self.retry is not None else None,
         )
         request.validate()
         return request
@@ -275,4 +287,5 @@ class AnalysisOptions:
             tails=request.tails,
             tail_horizon=request.tail_horizon,
             tail_probes=list(request.tail_probes) if request.tail_probes is not None else None,
+            retry=request.retry,
         )

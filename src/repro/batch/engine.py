@@ -1,13 +1,17 @@
 """Process-pool batch-analysis engine.
 
 :func:`run_batch` fans a list of :class:`AnalysisRequest` tasks across
-worker processes (``jobs > 1``) or runs them in-process (``jobs == 1``,
-the default — byte-identical results, no pool overhead).  Every task is
-isolated: an exception becomes a ``status="error"`` report, a blown
-per-task budget becomes ``status="timeout"``, and neither takes the
-rest of the batch down.  Reports come back in request order regardless
-of completion order, so ``--jobs N`` never changes the output, only the
-wall clock.
+worker processes (``jobs > 1``, via the crash-safe
+:class:`repro.resilience.ResilientPool`) or runs them in-process
+(``jobs == 1``, the default — byte-identical results, no pool
+overhead).  Every task is isolated: an exception becomes a
+``status="error"`` report, a blown per-task budget becomes
+``status="timeout"``, and a worker death (SIGKILL, segfault) respawns
+the worker and requeues the victim under its retry budget — becoming
+``status="crashed"`` only once that budget is exhausted.  Nothing takes
+the rest of the batch down.  Reports come back in request order
+regardless of completion order, so ``--jobs N`` never changes the
+output, only the wall clock.
 
 Adaptive degree escalation (``degree="auto"``) mirrors how the paper's
 evaluation picks template degrees: try d = 1, 2, ... ``max_degree`` and
@@ -25,7 +29,6 @@ run and vice versa; a warm re-run performs zero LP solves.
 
 from __future__ import annotations
 
-import multiprocessing
 import signal
 import threading
 import time
@@ -37,6 +40,7 @@ from ..core.solvers import resolved_solver_id, use_solver
 from ..deadline import DeadlineExceeded, deadline_scope
 from ..errors import ReproError
 from ..programs import Benchmark, get_benchmark, probabilistic_variant
+from ..resilience import DEFAULT_RETRY_POLICY, PoolTask, ResilientPool, RetryPolicy, faults
 from ..semantics import simulate
 from .spec import AnalysisReport, AnalysisRequest
 
@@ -153,7 +157,7 @@ def _fill_bounds(report: AnalysisReport, result: CostAnalysisResult) -> None:
         report.tail = result.tail.to_dict()
 
 
-def execute_request(request: AnalysisRequest) -> AnalysisReport:
+def execute_request(request: AnalysisRequest, attempt: int = 1) -> AnalysisReport:
     """Run one task in the current process and capture the outcome.
 
     Never raises for analysis-level failures: parse errors, infeasible
@@ -161,12 +165,20 @@ def execute_request(request: AnalysisRequest) -> AnalysisReport:
     reports.  (Programming errors in the request object itself — e.g.
     neither ``benchmark`` nor ``source`` — still raise ``ValueError``
     from :meth:`AnalysisRequest.validate` before any work starts.)
+
+    ``attempt`` is the 1-based execution count the resilient pool
+    passes on crash retries; it feeds the deterministic fault-injection
+    hook and nothing else — the analysis itself is attempt-invariant.
     """
     request.validate()
     start = time.perf_counter()
     report = AnalysisReport(name=request.display_name, status="ok", tag=request.tag)
     try:
         with _task_budget(request.timeout_s):
+            # Deterministic chaos hook (no-op unless REPRO_FAULTS is
+            # set): may SIGKILL this worker, sleep, or raise an
+            # InjectedFaultError that surfaces as a normal error report.
+            faults.on_task_attempt(request.display_name, attempt)
             # Resolve the LP backend up front: an unknown/unavailable
             # solver is a structured error before any synthesis work,
             # and the *resolved* id is what the report (and the cache
@@ -252,7 +264,7 @@ def execute_request(request: AnalysisRequest) -> AnalysisReport:
 
 
 def _cached_execute(
-    request: AnalysisRequest, cache
+    request: AnalysisRequest, cache, attempt: int = 1
 ) -> Tuple[AnalysisReport, Optional[bool], bool]:
     """Run one task through the content-addressed store.
 
@@ -269,14 +281,14 @@ def _cached_execute(
     ``tag``) are re-derived for the incoming request.
     """
     if cache is None:
-        return execute_request(request), None, False
+        return execute_request(request, attempt), None, False
     key = cache.request_key(request)
     if key is None:
-        return execute_request(request), None, False
+        return execute_request(request, attempt), None, False
     report = cache.lookup_for(key, request)
     if report is not None:
         return report, True, False
-    report = execute_request(request)
+    report = execute_request(request, attempt)
     stored = report.status == "ok" and cache.store(key, report)
     return report, False, stored
 
@@ -303,15 +315,19 @@ def _worker_cache(config: Optional[Dict]):
 
 
 def _pool_worker(
-    payload: Tuple[int, Dict, Optional[Dict]]
+    payload: Tuple[int, Dict, Optional[Dict]], attempt: int = 1
 ) -> Tuple[int, Dict, Optional[bool], bool]:
-    """Module-level so it pickles under both fork and spawn contexts."""
+    """Module-level so it pickles under both fork and spawn contexts.
+
+    ``attempt`` arrives from the resilient pool on crash retries; the
+    legacy ``multiprocessing.Pool`` path calls with the default.
+    """
     index, request_dict, cache_config = payload
     hit: Optional[bool] = None
     stored = False
     try:
         report, hit, stored = _cached_execute(
-            AnalysisRequest.from_dict(request_dict), _worker_cache(cache_config)
+            AnalysisRequest.from_dict(request_dict), _worker_cache(cache_config), attempt
         )
     except Exception as exc:  # defensive: never poison the pool
         report = AnalysisReport(
@@ -322,27 +338,48 @@ def _pool_worker(
     return index, report.to_dict(), hit, stored
 
 
+def _crashed_report(request: AnalysisRequest, outcome) -> AnalysisReport:
+    """Synthesize the terminal report for a retry-exhausted crash."""
+    return AnalysisReport(
+        name=request.display_name,
+        status="crashed",
+        tag=request.tag,
+        error=f"WorkerCrashError: {outcome.detail}",
+        runtime=outcome.runtime,
+        attempts=outcome.attempts,
+    )
+
+
 def run_batch(
     requests: Sequence[AnalysisRequest],
     jobs: int = 1,
     progress: Optional[Callable[[AnalysisReport], None]] = None,
     cache=None,
     pool=None,
+    retry: Optional[RetryPolicy] = None,
 ) -> List[AnalysisReport]:
     """Execute ``requests`` and return reports in request order.
 
     ``jobs == 1`` (default) runs in-process; ``jobs > 1`` fans out over
-    a ``multiprocessing.Pool``.  ``progress`` is invoked once per
-    finished task, in *completion* order (the returned list is always
-    in request order).  ``cache`` (a :class:`repro.cache.ResultCache`)
+    a :class:`repro.resilience.ResilientPool` — a worker SIGKILLed or
+    segfaulted mid-task is respawned and its task requeued under the
+    effective :class:`RetryPolicy` (per-request ``retry`` field, else
+    the ``retry`` argument, else one retry with jittered backoff);
+    budget exhaustion yields a ``status="crashed"`` report instead of
+    hanging or poisoning the batch.  Reports carry ``attempts``, and
+    the returned list stays in request order regardless of crashes.
+
+    ``progress`` is invoked once per finished task, in *completion*
+    order.  ``cache`` (a :class:`repro.cache.ResultCache`)
     short-circuits previously solved tasks; with a pool, workers clone
     it over the same root and the parent instance aggregates their
     hit/miss counts, so ``cache.stats()`` reflects the whole batch.
 
-    ``pool`` lends an already-running ``multiprocessing.Pool`` (e.g.
-    the one a :class:`repro.api.Analyzer` session owns): the batch
-    fans out on it, ``jobs`` is ignored, and the pool is left running
-    for the caller to reuse or close.
+    ``pool`` lends an already-running :class:`ResilientPool` (e.g. the
+    one a :class:`repro.api.Analyzer` session owns): the batch fans out
+    on it, ``jobs`` is ignored, and the pool is left running for the
+    caller to reuse or close.  A legacy ``multiprocessing.Pool`` is
+    still accepted and used as before (no crash safety).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -361,14 +398,13 @@ def run_batch(
         return reports
 
     cache_config = cache.worker_config() if cache is not None else None
-    payloads = [
-        (index, request.to_dict(), cache_config) for index, request in enumerate(requests)
-    ]
     ordered: List[Optional[AnalysisReport]] = [None] * len(requests)
-    own_pool = pool is None
-    if own_pool:
-        pool = multiprocessing.Pool(processes=min(jobs, len(requests)))
-    try:
+
+    if pool is not None and not isinstance(pool, ResilientPool):
+        # Lent multiprocessing.Pool: the pre-resilience fan-out path.
+        payloads = [
+            (index, request.to_dict(), cache_config) for index, request in enumerate(requests)
+        ]
         for index, report_dict, hit, stored in pool.imap_unordered(_pool_worker, payloads):
             report = AnalysisReport.from_dict(report_dict)
             ordered[index] = report
@@ -379,9 +415,44 @@ def run_batch(
                 cache.record(hit, stored=stored)
             if progress is not None:
                 progress(report)
+        assert all(report is not None for report in ordered)
+        return ordered  # type: ignore[return-value]
+
+    fallback = retry if retry is not None else DEFAULT_RETRY_POLICY
+    tasks = [
+        PoolTask(
+            task_id=index,
+            payload=(index, request.to_dict(), cache_config),
+            retry=request.retry_policy() if request.retry is not None else fallback,
+            name=request.display_name,
+        )
+        for index, request in enumerate(requests)
+    ]
+
+    def _on_result(outcome) -> None:
+        request = requests[outcome.task_id]
+        if outcome.crashed:
+            report = _crashed_report(request, outcome)
+        else:
+            _, report_dict, hit, stored = outcome.value
+            report = AnalysisReport.from_dict(report_dict)
+            # Attempt accounting lives with the parent: the worker that
+            # finally succeeded only ever saw its own attempt, and
+            # cached entries must stay at attempts=1.
+            report.attempts = outcome.attempts
+            if cache is not None and hit is not None:
+                cache.record(hit, stored=stored)
+        ordered[outcome.task_id] = report
+        if progress is not None:
+            progress(report)
+
+    own_pool = pool is None
+    if own_pool:
+        pool = ResilientPool(processes=min(jobs, len(requests)))
+    try:
+        pool.run(tasks, on_result=_on_result)
     finally:
         if own_pool:
             pool.terminate()
-            pool.join()
     assert all(report is not None for report in ordered)
     return ordered  # type: ignore[return-value]

@@ -30,6 +30,7 @@ __all__ = [
     "REPORT_SCHEMA",
     "REPORT_SCHEMA_V1",
     "REPORT_SCHEMA_V2",
+    "REPORT_SCHEMA_V3",
     "load_spec",
     "requests_from_spec",
 ]
@@ -37,11 +38,13 @@ __all__ = [
 #: Degree ceiling for ``degree="auto"`` escalation unless overridden.
 DEFAULT_MAX_DEGREE = 4
 
-#: Canonical report schema.  v3 added ``tail`` (the Azuma–Hoeffding
-#: concentration bound of ``repro.analysis.tails``); v2 added
-#: ``lower_skipped`` (why no PLCS lower bound was produced) and
-#: ``solver`` (the resolved LP backend).
-REPORT_SCHEMA = "repro-report/v3"
+#: Canonical report schema.  v4 added ``attempts`` (executions consumed
+#: under the crash-retry budget of :mod:`repro.resilience`) and the
+#: ``status="crashed"`` terminal state; v3 added ``tail`` (the
+#: Azuma–Hoeffding concentration bound of ``repro.analysis.tails``);
+#: v2 added ``lower_skipped`` (why no PLCS lower bound was produced)
+#: and ``solver`` (the resolved LP backend).
+REPORT_SCHEMA = "repro-report/v4"
 #: The pre-``repro.api`` shape; :meth:`AnalysisReport.from_dict` reads
 #: every schema, :meth:`AnalysisReport.to_v1_dict` writes this one.
 REPORT_SCHEMA_V1 = "repro-report/v1"
@@ -49,11 +52,16 @@ REPORT_SCHEMA_V1 = "repro-report/v1"
 #: lenient (a v2 dict simply has no ``tail``), and
 #: :meth:`AnalysisReport.to_v2_dict` writes it.
 REPORT_SCHEMA_V2 = "repro-report/v2"
+#: The pre-resilience shape (no ``attempts``);
+#: :meth:`AnalysisReport.to_v3_dict` writes it.
+REPORT_SCHEMA_V3 = "repro-report/v3"
 
 #: Fields present in v2 report dicts but not v1 ones.
 _REPORT_V2_FIELDS = ("lower_skipped", "solver")
 #: Fields present in v3 report dicts but not v2 ones.
 _REPORT_V3_FIELDS = ("tail",)
+#: Fields present in v4 report dicts but not v3 ones.
+_REPORT_V4_FIELDS = ("attempts",)
 
 #: Suites a spec task may name.  ``table5`` is the Table 3 set with
 #: nondeterminism replaced by a fair coin (the paper's Table 5 setup).
@@ -117,6 +125,13 @@ class AnalysisRequest:
     #: deadline of :mod:`repro.deadline` everywhere else (service
     #: handler threads included).
     timeout_s: Optional[float] = None
+    #: Crash-retry budget as a JSON-plain
+    #: :meth:`repro.resilience.RetryPolicy.to_dict` mapping; ``None``
+    #: uses the engine default (one retry).  Applies to *worker deaths*
+    #: only — deterministic errors and timeouts are never retried —
+    #: and, like ``timeout_s``, is a scheduling knob, not part of the
+    #: cache fingerprint.
+    retry: Optional[Dict[str, Any]] = None
     #: Free-form caller tag, echoed on the report.
     tag: Optional[str] = None
     #: Derive an Azuma–Hoeffding concentration bound from the upper
@@ -166,6 +181,21 @@ class AnalysisRequest:
                 raise ValueError(
                     f"tail_probes must be a non-empty list of positive offsets, got {self.tail_probes!r}"
                 )
+        if self.retry is not None:
+            from ..resilience import RetryPolicy
+
+            if not isinstance(self.retry, Mapping):
+                raise ValueError(f"retry must be a policy mapping, got {self.retry!r}")
+            RetryPolicy.from_dict(self.retry)  # raises ValueError when ill-formed
+
+    def retry_policy(self):
+        """The request's :class:`repro.resilience.RetryPolicy`, or the
+        engine default when the field is unset."""
+        from ..resilience import DEFAULT_RETRY_POLICY, RetryPolicy
+
+        if self.retry is None:
+            return DEFAULT_RETRY_POLICY
+        return RetryPolicy.from_dict(self.retry)
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -243,7 +273,10 @@ class AnalysisReport:
 
     ``status`` is ``"ok"`` (analysis ran; individual bounds may still
     be missing — see ``warnings``), ``"error"`` (an exception, captured
-    in ``error``) or ``"timeout"`` (the per-task budget expired).
+    in ``error``), ``"timeout"`` (the per-task budget expired) or
+    ``"crashed"`` (the worker process died — SIGKILL, segfault — on
+    every attempt the :class:`repro.resilience.RetryPolicy` budget
+    allowed; ``error`` carries the death detail).
     """
 
     name: str
@@ -289,6 +322,12 @@ class AnalysisReport:
     #: ``method``/``c``/``horizon``/``expected``/``degree``/``refit``/
     #: ``probes``); ``None`` when not requested or unavailable.
     tail: Optional[Dict[str, Any]] = None
+    # -- v4 fields (``repro-report/v4``) --------------------------------
+    #: Executions this task consumed, crash-requeued attempts included.
+    #: ``1`` everywhere worker deaths are impossible (in-process runs,
+    #: cache hits); ``> 1`` only when the resilient pool retried the
+    #: task after its worker died.
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -306,7 +345,7 @@ class AnalysisReport:
         unchanged.
         """
         payload = asdict(self)
-        for fieldname in _REPORT_V2_FIELDS + _REPORT_V3_FIELDS:
+        for fieldname in _REPORT_V2_FIELDS + _REPORT_V3_FIELDS + _REPORT_V4_FIELDS:
             payload.pop(fieldname, None)
         return payload
 
@@ -314,22 +353,35 @@ class AnalysisReport:
         """The report as a pre-tail-bound (v2) dict — bitwise what a v2
         writer produced for the same analysis."""
         payload = asdict(self)
-        for fieldname in _REPORT_V3_FIELDS:
+        for fieldname in _REPORT_V3_FIELDS + _REPORT_V4_FIELDS:
+            payload.pop(fieldname, None)
+        return payload
+
+    def to_v3_dict(self) -> Dict[str, Any]:
+        """The report as a pre-resilience (v3) dict — bitwise what a v3
+        writer produced for the same analysis (no ``attempts``)."""
+        payload = asdict(self)
+        for fieldname in _REPORT_V4_FIELDS:
             payload.pop(fieldname, None)
         return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AnalysisReport":
-        """Read a v3, v2 *or* v1 report dict (lenient reader: fields a
-        previous schema lacks simply default).  An embedded ``schema``
+        """Read a v4, v3, v2 *or* v1 report dict (lenient reader: fields
+        a previous schema lacks simply default).  An embedded ``schema``
         marker is accepted and checked; unknown fields are rejected
         rather than dropped."""
         payload = dict(data)
         schema = payload.pop("schema", None)
-        if schema is not None and schema not in (REPORT_SCHEMA, REPORT_SCHEMA_V1, REPORT_SCHEMA_V2):
+        if schema is not None and schema not in (
+            REPORT_SCHEMA,
+            REPORT_SCHEMA_V1,
+            REPORT_SCHEMA_V2,
+            REPORT_SCHEMA_V3,
+        ):
             raise ValueError(
                 f"unsupported report schema {schema!r}; expected {REPORT_SCHEMA!r}, "
-                f"{REPORT_SCHEMA_V2!r} or {REPORT_SCHEMA_V1!r}"
+                f"{REPORT_SCHEMA_V3!r}, {REPORT_SCHEMA_V2!r} or {REPORT_SCHEMA_V1!r}"
             )
         unknown = set(payload) - set(cls.__dataclass_fields__)
         if unknown:

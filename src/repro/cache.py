@@ -19,8 +19,8 @@ raw source text — so whitespace, comments and formatting never split
 the cache.  Floats are serialized with full ``repr`` precision; the
 pretty-printer's ``%g`` display formatting is deliberately not part of
 the key.  Request fields that only affect presentation or scheduling
-(``name``, ``tag``, ``timeout_s``) are excluded; a cache hit re-echoes
-them from the incoming request.
+(``name``, ``tag``, ``timeout_s``, ``retry``) are excluded; a cache hit
+re-echoes the presentation ones from the incoming request.
 
 Every fingerprint embeds :func:`cache_salt` — the entry-schema version,
 the ``repro`` version and the SciPy version — so a code or solver
@@ -96,11 +96,14 @@ __all__ = [
 ]
 
 #: On-disk entry schema; bumping it invalidates every existing entry.
+#: v4: reports are ``repro-report/v4`` shaped (``attempts``) — cached
+#: entries always carry ``attempts=1``; crash-retry accounting belongs
+#: to the run that solved, never to later hits.
 #: v3: reports are ``repro-report/v3`` shaped (tail bounds) and
 #: fingerprints carry the tail-analysis settings.
 #: v2: reports are ``repro-report/v2`` shaped and fingerprints carry
 #: the resolved solver backend id + invariant policy.
-ENTRY_SCHEMA = "repro-cache/v3"
+ENTRY_SCHEMA = "repro-cache/v4"
 
 
 def cache_salt() -> str:
@@ -395,12 +398,27 @@ class ResultCache:
             text = self._read_disk(key)
             if text is not None:
                 self._remember(key, text)
+        report = None
+        if text is not None:
+            try:
+                report = AnalysisReport.from_dict(json.loads(text))
+            except ValueError:
+                # Valid JSON that is not a readable report (hand-mangled
+                # entry, or an incompatible future writer sharing the
+                # root): self-heal exactly like a torn entry — forget,
+                # delete, recount as a miss.
+                with self._lock:
+                    self._memory.pop(key, None)
+                try:
+                    self._path(key).unlink()
+                except OSError:
+                    pass
         with self._lock:
-            if text is None:
+            if report is None:
                 self._misses += 1
                 return None
             self._hits += 1
-        return AnalysisReport.from_dict(json.loads(text))
+        return report
 
     def store(self, key: str, report) -> bool:
         """Persist ``report`` under ``key`` (atomic). Never raises —
@@ -433,6 +451,9 @@ class ResultCache:
                 raise
         except OSError:
             return False
+        from .resilience import faults
+
+        faults.on_cache_store(report.name, self._path(key))
         self._remember(key, text)
         with self._lock:
             self._stores += 1

@@ -363,6 +363,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.tails:
         for request in requests:
             request.tails = True
+    if args.retries is not None:
+        if args.retries < 0:
+            raise CLIError(f"invalid --retries value {args.retries}; must be >= 0")
+        # --retries N = N retries after the first run, spec tasks win.
+        for request in requests:
+            if request.retry is None:
+                request.retry = {"max_attempts": args.retries + 1}
     _validate_solver(args.solver)
     if args.output:
         # Fail fast on an unwritable report location rather than after
@@ -408,12 +415,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise CLIError(f"invalid --jobs value {args.jobs}; must be >= 1")
     if not 0 <= args.port <= 65535:
         raise CLIError(f"invalid --port value {args.port}; must be in [0, 65535]")
+    if args.max_inflight < 1:
+        raise CLIError(f"invalid --max-inflight value {args.max_inflight}; must be >= 1")
+    if args.drain_timeout <= 0:
+        raise CLIError(f"invalid --drain-timeout value {args.drain_timeout}; must be > 0")
     cache = _make_cache(args, default_on=True)
     analyzer = Analyzer(cache=cache, jobs=args.jobs, solver=_validate_solver(args.solver))
     try:
         try:
             server = create_server(
-                host=args.host, port=args.port, analyzer=analyzer, verbose=True
+                host=args.host,
+                port=args.port,
+                analyzer=analyzer,
+                verbose=True,
+                max_inflight=args.max_inflight,
+                drain_timeout_s=args.drain_timeout,
             )
         except OSError as exc:
             # Only bind failures get the friendly exit-2 treatment; a
@@ -545,6 +561,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="derive an Azuma-Hoeffding tail bound for every task",
     )
+    p_batch.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="crash retries per task after a worker death (default: 1; 0 disables)",
+    )
     p_batch.add_argument("--output", help="write the full JSON report here")
     p_batch.add_argument("--quiet", action="store_true", help="no per-task progress on stderr")
     p_batch.add_argument(
@@ -574,6 +596,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver",
         default=None,
         help="LP solver backend for requests that don't pin one (e.g. highs, linprog)",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        help="concurrent POSTs executed before shedding with 429 (default: 32)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a SIGTERM/Ctrl-C shutdown waits for in-flight requests",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

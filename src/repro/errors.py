@@ -81,3 +81,17 @@ class UnboundedError(SynthesisError):
 class UnsupportedProgramError(SynthesisError):
     """The program falls outside the soundness envelope of the chosen
     analysis mode (e.g. negative costs passed to the [74] baseline)."""
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker died (e.g. SIGKILL/segfault) while running a task
+    and the task's retry budget is exhausted.  Surfaced on batch
+    reports as ``status="crashed"`` rather than raised, so one bad
+    task never takes down its siblings."""
+
+
+class InjectedFaultError(ReproError):
+    """Raised by the :mod:`repro.resilience.faults` test hook when a
+    ``fail`` rule matches a task attempt.  Only ever seen with the
+    ``REPRO_FAULTS`` environment hook active; reported as a normal
+    ``status="error"`` result."""

@@ -1,0 +1,51 @@
+"""``repro.resilience`` — the failure-handling substrate.
+
+The analysis core is deterministic; the *machinery around it* — worker
+processes, HTTP handlers, the on-disk cache — lives in a world of
+SIGKILLed children, saturated services and torn files.  This package
+concentrates everything the reproduction does about that world:
+
+:class:`RetryPolicy`
+    How many attempts a task gets after its worker dies, and the
+    exponential-backoff-plus-jitter schedule between them.  Rides on
+    :class:`repro.api.AnalysisOptions` / per-request ``retry``.
+:class:`ResilientPool`
+    A crash-safe process pool: one pipe per worker, so the parent knows
+    *exactly* which task a dead worker was holding — it respawns the
+    worker and requeues the victim under its retry budget instead of
+    hanging (``multiprocessing.Pool``) or poisoning every sibling
+    (``concurrent.futures``' ``BrokenProcessPool``).
+:class:`AdmissionController` / :class:`SingleFlight`
+    Service-side backpressure: a bounded in-flight gate (saturation is
+    a fast 429 + ``Retry-After``, not an unbounded thread pile-up) and
+    request coalescing by cache fingerprint (N racing identical POSTs
+    cost one LP solve).
+:class:`FaultPlan` (:mod:`repro.resilience.faults`)
+    A seeded, deterministic fault injector — kill a worker mid-task,
+    delay or fail a named task, corrupt a cache entry — activated only
+    via the ``REPRO_FAULTS`` env hook, so the chaos suites in
+    ``tests/resilience/`` can *prove* the machinery above works.
+
+See ``docs/resilience.md`` for the knobs and semantics.
+"""
+
+from __future__ import annotations
+
+from .admission import AdmissionController, SingleFlight
+from .faults import FaultPlan, FaultSpec, active_plan, install_plan
+from .pool import PoolTask, ResilientPool, TaskOutcome
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "AdmissionController",
+    "DEFAULT_RETRY_POLICY",
+    "FaultPlan",
+    "FaultSpec",
+    "PoolTask",
+    "ResilientPool",
+    "RetryPolicy",
+    "SingleFlight",
+    "TaskOutcome",
+    "active_plan",
+    "install_plan",
+]

@@ -1,0 +1,267 @@
+"""Deterministic fault injection (``REPRO_FAULTS`` test hook).
+
+A :class:`FaultPlan` is a seeded list of :class:`FaultSpec` rules the
+execution layer consults at well-defined hook points:
+
+``on_task_attempt(task, attempt)``
+    Called by the engine as a task attempt starts.  A matching rule may
+    **kill** the hosting worker process mid-task (``SIGKILL`` — only
+    inside pool workers, never the host process), **delay** the attempt
+    (``seconds``), or **fail** it with an :class:`InjectedFaultError`
+    (surfaced as a normal ``status="error"`` report).
+``on_cache_store(name, path)``
+    Called by :class:`repro.cache.ResultCache` after an entry lands on
+    disk.  A matching ``corrupt-entry`` rule truncates the file,
+    simulating a torn write for the self-heal path.
+
+Rules match the task's *display name* with shell globs (``"rdwalk"``,
+``"table5_*"``, ``"*"``) and, optionally, a list of ``attempts`` they
+apply to (default: every attempt) and a ``probability`` drawn
+deterministically from ``hash(seed, task, attempt)`` — no global RNG,
+so a plan replays bit-for-bit across runs and across pool workers that
+share no state.
+
+Activation is strictly opt-in: the ``REPRO_FAULTS`` environment
+variable holds either inline JSON or a path to a JSON file; pool
+workers inherit it, so one setting faults a whole fleet.  Tests may
+also :func:`install_plan` directly in-process.  With the variable
+unset (production), every hook is a no-op costing one dict lookup.
+
+Plan JSON::
+
+    {"seed": 7, "faults": [
+        {"op": "kill",  "task": "rdwalk", "attempts": [1]},
+        {"op": "delay", "task": "slow_*", "seconds": 0.5},
+        {"op": "fail",  "task": "flaky",  "probability": 0.5},
+        {"op": "corrupt-entry", "task": "*"}
+    ]}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import InjectedFaultError
+
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "install_plan",
+    "mark_worker_process",
+    "on_cache_store",
+    "on_task_attempt",
+]
+
+#: The activation hook: inline JSON, or a path to a JSON plan file.
+ENV_VAR = "REPRO_FAULTS"
+
+_OPS = ("kill", "delay", "fail", "corrupt-entry")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule of a :class:`FaultPlan`."""
+
+    #: What to inject: ``"kill"`` (SIGKILL the pool worker),
+    #: ``"delay"`` (sleep ``seconds``), ``"fail"`` (raise
+    #: :class:`InjectedFaultError`) or ``"corrupt-entry"`` (truncate
+    #: the just-stored cache entry file).
+    op: str
+    #: Shell glob matched against the task display name (for
+    #: ``corrupt-entry``: the stored report's name).
+    task: str = "*"
+    #: Attempt numbers the rule applies to; ``None`` = every attempt.
+    #: ``{"attempts": [1]}`` is the canonical "die once, succeed on
+    #: retry" crash rule.
+    attempts: Optional[Tuple[int, ...]] = None
+    #: Sleep length for ``op == "delay"``.
+    seconds: float = 0.0
+    #: Firing probability, drawn deterministically per (task, attempt).
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown fault op {self.op!r}; known: {_OPS}")
+        if self.attempts is not None:
+            object.__setattr__(self, "attempts", tuple(int(a) for a in self.attempts))
+            if any(a < 1 for a in self.attempts):  # type: ignore[union-attr]
+                raise ValueError(f"attempts must be >= 1, got {self.attempts!r}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability!r}")
+
+    def matches(self, task: str, attempt: int, seed: int) -> bool:
+        if not fnmatchcase(task, self.task):
+            return False
+        if self.attempts is not None and attempt not in self.attempts:
+            return False
+        if self.probability >= 1.0:
+            return True
+        digest = hashlib.sha256(
+            f"{seed}:{self.op}:{task}:{attempt}".encode("utf-8")
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2**64
+        return draw < self.probability
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"op": self.op, "task": self.task}
+        if self.attempts is not None:
+            out["attempts"] = list(self.attempts)
+        if self.op == "delay":
+            out["seconds"] = self.seconds
+        if self.probability < 1.0:
+            out["probability"] = self.probability
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault field(s): {sorted(unknown)}")
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered set of injection rules."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "faults",
+            tuple(
+                spec if isinstance(spec, FaultSpec) else FaultSpec.from_dict(spec)
+                for spec in self.faults
+            ),
+        )
+
+    def select(self, op: str, task: str, attempt: int = 1) -> Optional[FaultSpec]:
+        """The first matching rule with this ``op``, or ``None``."""
+        for spec in self.faults:
+            if spec.op == op and spec.matches(task, attempt, self.seed):
+                return spec
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "faults": [spec.to_dict() for spec in self.faults]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        known = {"faults", "seed"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault-plan field(s): {sorted(unknown)}")
+        specs = data.get("faults") or ()
+        if not isinstance(specs, Sequence) or isinstance(specs, (str, bytes)):
+            raise ValueError(f"'faults' must be a list of rules, got {type(specs).__name__}")
+        return cls(faults=tuple(specs), seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(f"fault plan must be a JSON object, got {type(data).__name__}")
+        return cls.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Activation
+# ---------------------------------------------------------------------------
+
+#: Parsed-plan memo keyed by the raw env value, so the per-task hook
+#: costs one ``os.environ`` read + dict probe when faults are active
+#: and a single failed env lookup when they are not.
+_PLAN_MEMO: Dict[str, Optional[FaultPlan]] = {}
+
+#: A plan installed in-process (tests); overrides the environment.
+_INSTALLED: List[Optional[FaultPlan]] = [None]
+
+#: True only in batch pool worker processes — the one place a "kill"
+#: fault is allowed to fire (killing the CLI/service host would be a
+#: self-inflicted outage, not an injected worker crash).
+_IN_WORKER = False
+
+
+def mark_worker_process() -> None:
+    """Flag the current process as a pool worker (kill faults armed)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def install_plan(plan: Optional[FaultPlan]) -> None:
+    """Force ``plan`` for this process (``None`` restores env lookup).
+
+    Pool workers do not see an installed plan unless they fork after
+    this call; cross-process tests should set :data:`ENV_VAR` instead.
+    """
+    _INSTALLED[0] = plan
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan in force, or ``None`` (the common, zero-cost case)."""
+    if _INSTALLED[0] is not None:
+        return _INSTALLED[0]
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return None
+    if raw not in _PLAN_MEMO:
+        try:
+            text = raw
+            if not raw.lstrip().startswith("{"):
+                text = Path(raw).read_text()
+            _PLAN_MEMO[raw] = FaultPlan.from_json(text)
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"invalid {ENV_VAR} fault plan: {exc}") from None
+    return _PLAN_MEMO[raw]
+
+
+# ---------------------------------------------------------------------------
+# Hook points
+# ---------------------------------------------------------------------------
+
+
+def on_task_attempt(task: str, attempt: int = 1) -> None:
+    """Engine hook: may kill (workers only), delay, or fail the attempt."""
+    plan = active_plan()
+    if plan is None:
+        return
+    if _IN_WORKER and plan.select("kill", task, attempt) is not None:
+        os.kill(os.getpid(), signal.SIGKILL)
+    spec = plan.select("delay", task, attempt)
+    if spec is not None and spec.seconds > 0:
+        time.sleep(spec.seconds)
+    if plan.select("fail", task, attempt) is not None:
+        raise InjectedFaultError(f"injected failure for task {task!r} (attempt {attempt})")
+
+
+def on_cache_store(name: str, path: Union[str, os.PathLike]) -> None:
+    """Cache hook: may truncate the just-written entry (torn write)."""
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.select("corrupt-entry", name) is None:
+        return
+    try:
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(max(1, size // 2))
+    except OSError:  # pragma: no cover - racing cleanup is fine
+        pass

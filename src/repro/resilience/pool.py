@@ -1,0 +1,361 @@
+"""A crash-safe process pool with per-victim requeue.
+
+``multiprocessing.Pool.imap_unordered`` hangs forever when a worker is
+SIGKILLed mid-task (the result simply never arrives), and
+``concurrent.futures`` answers the same event with ``BrokenProcessPool``
+— every sibling task in flight fails collectively.  Neither is
+acceptable for a batch engine whose contract is "one bad task never
+takes the rest down", so this module owns its workers directly:
+
+* one ``multiprocessing.Pipe`` per worker, parent-side dispatch — the
+  parent always knows *exactly* which ``(task, attempt)`` a worker is
+  holding, because it put it there;
+* worker death is an event, not a timeout: the kernel closes the dead
+  child's pipe end, ``connection.wait`` wakes, and ``recv`` raises
+  ``EOFError`` — the parent joins the corpse, **respawns a fresh
+  worker**, and requeues the victim task under its
+  :class:`~repro.resilience.retry.RetryPolicy` (exponential backoff +
+  deterministic jitter), or reports it crashed once the budget is
+  exhausted;
+* completed results stream back in completion order with the attempt
+  count attached, so callers can preserve request order and surface
+  ``attempts`` on reports.
+
+The pool is persistent (an :class:`repro.api.Analyzer` session keeps
+one across batches) and ``run`` is serialized with an internal lock:
+concurrent batches on one pool queue rather than interleave — the
+service's admission controller bounds how many even try.
+
+Known limitation, inherited from every pipe-based pool: a worker
+killed *while serializing a result* can leave a partial pickle; the
+parent treats any receive failure as a worker death, so the task is
+retried rather than lost.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = ["PoolTask", "ResilientPool", "TaskOutcome"]
+
+
+@dataclass
+class PoolTask:
+    """One unit of pool work: an opaque payload + its retry budget."""
+
+    task_id: Any
+    payload: Any
+    retry: RetryPolicy = DEFAULT_RETRY_POLICY
+    #: Display name, used for jitter derivation and crash messages.
+    name: str = ""
+
+
+@dataclass
+class TaskOutcome:
+    """What became of one :class:`PoolTask`.
+
+    Either ``value`` (the worker function's return value) or
+    ``crashed=True`` with a human-readable ``detail``; ``attempts``
+    counts every execution consumed, crashes included.
+    """
+
+    task_id: Any
+    value: Any = None
+    crashed: bool = False
+    attempts: int = 1
+    detail: str = ""
+    #: Parent-measured wall clock from first dispatch to resolution.
+    runtime: float = 0.0
+
+
+def _worker_main(conn, fn: Callable[[Any, int], Any]) -> None:
+    """Worker loop: recv ``(payload, attempt)``, send the outcome.
+
+    SIGINT is ignored so a Ctrl-C on the host drains through the
+    parent's graceful path instead of stack-tracing every child.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    from . import faults
+
+    faults.mark_worker_process()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        payload, attempt = message
+        try:
+            result: Tuple[str, Any] = ("done", fn(payload, attempt))
+        except Exception as exc:  # defensive: fn is expected not to raise
+            result = ("raised", f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(result)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class _Worker:
+    __slots__ = ("process", "conn", "task", "attempt", "dispatched_at")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.task: Optional[PoolTask] = None
+        self.attempt = 0
+        self.dispatched_at = 0.0
+
+
+class ResilientPool:
+    """Crash-safe worker pool; see the module docstring for semantics.
+
+    ``worker`` is the module-level function each child runs per task,
+    ``fn(payload, attempt) -> value``; it defaults to the batch
+    engine's task runner.  Workers are spawned lazily on first use and
+    persist across :meth:`run` calls until :meth:`terminate`.
+    """
+
+    def __init__(self, processes: int, worker: Optional[Callable[[Any, int], Any]] = None):
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        if worker is None:
+            from ..batch.engine import _pool_worker as worker  # type: ignore[assignment]
+        self._processes = processes
+        self._worker_fn = worker
+        self._workers: List[_Worker] = []
+        self._run_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._closed = False
+        #: Monotonic counter: crash/respawn events, exposed for tests
+        #: and the service's health endpoint.
+        self.crashes = 0
+        self.respawns = 0
+
+    @property
+    def processes(self) -> int:
+        return self._processes
+
+    # -- worker lifecycle -----------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = multiprocessing.Pipe()
+        process = multiprocessing.Process(
+            target=_worker_main, args=(child_conn, self._worker_fn), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process, parent_conn)
+
+    def _ensure_workers(self) -> None:
+        if self._closed:
+            raise RuntimeError("ResilientPool is terminated")
+        while len(self._workers) < self._processes:
+            self._workers.append(self._spawn())
+
+    def _discard(self, worker: _Worker) -> str:
+        """Reap a dead worker; returns a human-readable death detail."""
+        worker.process.join(timeout=1.0)
+        exitcode = worker.process.exitcode
+        if exitcode is None:  # pipe broke but the process lingers
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+            exitcode = worker.process.exitcode
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        self._workers.remove(worker)
+        if exitcode is not None and exitcode < 0:
+            try:
+                signame = signal.Signals(-exitcode).name
+            except ValueError:
+                signame = f"signal {-exitcode}"
+            return f"worker pid {worker.process.pid} died ({signame})"
+        return f"worker pid {worker.process.pid} died (exit code {exitcode})"
+
+    def _dispatch(self, worker: _Worker, task: PoolTask, attempt: int) -> bool:
+        if not worker.process.is_alive():
+            return False
+        try:
+            worker.conn.send((task.payload, attempt))
+        except (BrokenPipeError, OSError):
+            return False
+        worker.task = task
+        worker.attempt = attempt
+        worker.dispatched_at = time.monotonic()
+        return True
+
+    # -- the scheduler ---------------------------------------------------
+
+    def run(
+        self,
+        tasks: Sequence[PoolTask],
+        on_result: Optional[Callable[[TaskOutcome], None]] = None,
+    ) -> Dict[Any, TaskOutcome]:
+        """Execute every task; outcomes keyed by ``task_id``.
+
+        ``on_result`` fires once per resolved task in *completion*
+        order (crash-exhausted tasks included).  Worker deaths respawn
+        and requeue transparently; only retry-budget exhaustion
+        surfaces, as a ``crashed`` outcome.
+        """
+        with self._run_lock:
+            return self._run_locked(list(tasks), on_result)
+
+    def _run_locked(self, tasks, on_result):
+        self._ensure_workers()
+        seq = itertools.count()
+        #: (ready_at, tiebreak, task, attempt) — min-heap on ready time.
+        pending: List[Tuple[float, int, PoolTask, int]] = [
+            (0.0, next(seq), task, 1) for task in tasks
+        ]
+        heapq.heapify(pending)
+        first_dispatch: Dict[int, float] = {}
+        outcomes: Dict[Any, TaskOutcome] = {}
+        remaining = len(tasks)
+
+        def _resolve(outcome: TaskOutcome) -> None:
+            nonlocal remaining
+            outcomes[outcome.task_id] = outcome
+            remaining -= 1
+            if on_result is not None:
+                on_result(outcome)
+
+        def _requeue_or_crash(task: PoolTask, attempt: int, detail: str) -> None:
+            self.crashes += 1
+            if task.retry.allows(attempt):
+                ready_at = time.monotonic() + task.retry.delay_for(attempt, task.name)
+                heapq.heappush(pending, (ready_at, next(seq), task, attempt + 1))
+            else:
+                elapsed = time.monotonic() - first_dispatch.get(id(task), time.monotonic())
+                _resolve(
+                    TaskOutcome(
+                        task_id=task.task_id,
+                        crashed=True,
+                        attempts=attempt,
+                        detail=f"{detail} after {attempt} attempt(s)",
+                        runtime=elapsed,
+                    )
+                )
+
+        while remaining > 0:
+            if self._closed:
+                raise RuntimeError("ResilientPool terminated mid-run")
+            now = time.monotonic()
+            idle = [w for w in self._workers if w.task is None]
+            while pending and pending[0][0] <= now and idle:
+                _, _, task, attempt = heapq.heappop(pending)
+                worker = idle.pop()
+                first_dispatch.setdefault(id(task), now)
+                if not self._dispatch(worker, task, attempt):
+                    # Died while idle: reap, respawn, put the task back.
+                    self._discard(worker)
+                    self.respawns += 1
+                    self._ensure_workers()
+                    idle = [w for w in self._workers if w.task is None]
+                    heapq.heappush(pending, (now, next(seq), task, attempt))
+
+            busy = [w for w in self._workers if w.task is not None]
+            if not busy:
+                if not pending:  # pragma: no cover - defensive
+                    raise RuntimeError("resilient pool scheduler stalled")
+                time.sleep(min(0.05, max(0.0, pending[0][0] - time.monotonic())))
+                continue
+
+            timeout = None
+            if pending and len(busy) < len(self._workers):
+                timeout = max(0.0, pending[0][0] - time.monotonic())
+            ready = connection.wait([w.conn for w in busy], timeout=timeout)
+            by_conn = {w.conn: w for w in busy}
+            for conn in ready:
+                worker = by_conn[conn]
+                task, attempt = worker.task, worker.attempt
+                try:
+                    kind, value = worker.conn.recv()
+                except Exception:
+                    # The pipe died with the worker: respawn + requeue.
+                    detail = self._discard(worker)
+                    if remaining > 0:
+                        self._ensure_workers()
+                        self.respawns += 1
+                    _requeue_or_crash(task, attempt, detail)
+                    continue
+                worker.task = None
+                if kind == "done":
+                    elapsed = time.monotonic() - first_dispatch[id(task)]
+                    _resolve(
+                        TaskOutcome(
+                            task_id=task.task_id,
+                            value=value,
+                            attempts=attempt,
+                            runtime=elapsed,
+                        )
+                    )
+                else:  # the worker function itself raised: retry like a crash
+                    _requeue_or_crash(task, attempt, f"worker task raised {value}")
+        return outcomes
+
+    # -- shutdown --------------------------------------------------------
+
+    def close(self) -> None:
+        """Graceful stop: sentinel every idle worker, then reap."""
+        with self._state_lock:
+            self._closed = True
+            for worker in self._workers:
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+            for worker in self._workers:
+                worker.process.join(timeout=2.0)
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=1.0)
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+            self._workers.clear()
+
+    def terminate(self) -> None:
+        """Hard stop: SIGTERM every worker immediately."""
+        with self._state_lock:
+            self._closed = True
+            for worker in self._workers:
+                if worker.process.is_alive():
+                    worker.process.terminate()
+            for worker in self._workers:
+                worker.process.join(timeout=2.0)
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+            self._workers.clear()
+
+    def join(self) -> None:
+        """Kept for ``multiprocessing.Pool`` call-site symmetry."""
+
+    def __enter__(self) -> "ResilientPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.terminate()
+
+    def __repr__(self) -> str:
+        return (
+            f"ResilientPool(processes={self._processes}, workers={len(self._workers)}, "
+            f"crashes={self.crashes}, respawns={self.respawns})"
+        )

@@ -1,0 +1,120 @@
+"""Retry budgets and backoff schedules for crash-requeued tasks.
+
+A :class:`RetryPolicy` answers two questions the crash-safe pool asks
+when a worker dies mid-task: *does the victim task get another
+attempt?* (``max_attempts`` bounds the total, first run included) and
+*how long until it is redispatched?* (exponential backoff with
+deterministic jitter, so a systematically crashing task cannot hammer
+the pool in a tight respawn loop while honest work queues behind it).
+
+Jitter is derived from a seeded hash of ``(seed, task, attempt)`` —
+not from global randomness — so a given plan replays identically:
+chaos-suite runs that inject the same crashes observe the same
+schedule, which is what makes "byte-identical reports under induced
+faults" a testable property rather than a hope.
+
+Retries apply to *worker deaths only*.  A task that merely errors
+(parse failure, infeasible LP) is deterministic and re-executing it
+would return the same structured report; a timeout already consumed
+its budget.  Both keep their usual statuses and one attempt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping, Optional, Union
+
+__all__ = ["DEFAULT_RETRY_POLICY", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Crash-retry budget + exponential backoff/jitter schedule.
+
+    All fields are JSON-plain; instances are frozen and hashable so
+    they can ride on frozen :class:`repro.api.AnalysisOptions`.
+    """
+
+    #: Total attempts a task may consume, the first run included.
+    #: ``1`` disables crash retries entirely.
+    max_attempts: int = 2
+    #: Backoff before the second attempt, in seconds.
+    backoff_s: float = 0.05
+    #: Growth factor: attempt ``k`` (k >= 2) waits
+    #: ``backoff_s * multiplier**(k - 2)`` before jitter.
+    multiplier: float = 2.0
+    #: Backoff ceiling in seconds (applied before jitter).
+    max_backoff_s: float = 2.0
+    #: Jitter fraction in [0, 1]: the delay is scaled by a
+    #: deterministic factor drawn from ``[1, 1 + jitter]``.
+    jitter: float = 0.5
+    #: Seed for the deterministic jitter draw.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.max_attempts, int)
+            or isinstance(self.max_attempts, bool)
+            or self.max_attempts < 1
+        ):
+            raise ValueError(f"max_attempts must be an int >= 1, got {self.max_attempts!r}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s!r}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier!r}")
+        if self.max_backoff_s < 0:
+            raise ValueError(f"max_backoff_s must be >= 0, got {self.max_backoff_s!r}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter!r}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError(f"seed must be an int, got {self.seed!r}")
+
+    # -- schedule -------------------------------------------------------
+
+    def allows(self, attempt: int) -> bool:
+        """May a task that just finished ``attempt`` run again?"""
+        return attempt < self.max_attempts
+
+    def delay_for(self, attempt: int, task: str = "") -> float:
+        """Seconds to hold the victim of ``attempt`` before requeueing.
+
+        Deterministic: the jitter factor is a hash of
+        ``(seed, task, attempt)``, so replaying the same fault plan
+        replays the same schedule.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        base = min(self.backoff_s * self.multiplier ** (attempt - 1), self.max_backoff_s)
+        if base == 0 or self.jitter == 0:
+            return base
+        digest = hashlib.sha256(f"{self.seed}:{task}:{attempt}".encode("utf-8")).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64  # in [0, 1)
+        return base * (1.0 + self.jitter * unit)
+
+    # -- JSON -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RetryPolicy":
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown retry field(s): {sorted(unknown)}")
+        return cls(**dict(data))
+
+    @classmethod
+    def coerce(cls, value: Union["RetryPolicy", Mapping[str, Any], None]) -> Optional["RetryPolicy"]:
+        """``None``, a policy, or a JSON mapping — normalized."""
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        raise ValueError(f"retry must be a RetryPolicy or a mapping, got {value!r}")
+
+
+#: What the engine applies when neither the request nor the caller pins
+#: a policy: one crash retry with a short, jittered backoff.
+DEFAULT_RETRY_POLICY = RetryPolicy()

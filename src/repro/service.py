@@ -40,12 +40,31 @@ cooperative deadline of :mod:`repro.deadline`, checked at the
 synthesis/simulation checkpoints — a blown budget surfaces as a
 ``status: "timeout"`` report exactly as in batch runs (the overshoot
 is bounded by the longest uninterruptible LP step, not by the task).
+
+Resilience (see ``docs/resilience.md``):
+
+* **Admission control** — at most ``max_inflight`` POSTs execute
+  concurrently; beyond that the service sheds load *immediately* with
+  ``429`` + a ``Retry-After`` hint instead of piling up handler
+  threads.  GETs are never shed.
+* **Single-flight coalescing** — concurrent identical single-request
+  POSTs (same cache fingerprint) collapse onto one leader's solve; the
+  followers park without consuming an admission slot and answer from
+  the store the leader populated.  N racers, one LP solve, N
+  byte-identical responses, exact hit/miss counters.
+* **Graceful drain** — SIGTERM/Ctrl-C stops accepting work (new POSTs
+  get ``503`` + ``Connection: close``), waits up to the drain deadline
+  for in-flight requests, prints the cache hit/miss summary, and exits
+  ``0``.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import signal
 import sys
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -53,10 +72,16 @@ from urllib.parse import urlparse
 
 from .api import AnalysisOptions, Analyzer, version_info
 from .batch import AnalysisRequest, requests_from_spec
+from .resilience import AdmissionController, SingleFlight
 
 __all__ = ["AnalysisHTTPServer", "create_server", "run_server", "serve"]
 
 SERVICE_SCHEMA = "repro-service/v2"
+
+#: Default ceiling on concurrently executing POSTs.
+DEFAULT_MAX_INFLIGHT = 32
+#: Default seconds the drain path waits for in-flight requests.
+DEFAULT_DRAIN_TIMEOUT_S = 10.0
 
 
 class AnalysisHTTPServer(ThreadingHTTPServer):
@@ -71,6 +96,8 @@ class AnalysisHTTPServer(ThreadingHTTPServer):
         cache=None,
         verbose: bool = False,
         analyzer: Optional[Analyzer] = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
     ):
         super().__init__(address, _Handler)
         self._owns_analyzer = analyzer is None
@@ -79,6 +106,16 @@ class AnalysisHTTPServer(ThreadingHTTPServer):
         self.analyzer = analyzer
         self.verbose = verbose
         self.started = time.time()
+        self.admission = AdmissionController(max_inflight)
+        self.single_flight = SingleFlight()
+        self.drain_timeout_s = drain_timeout_s
+        self.draining = threading.Event()
+        # Request-level in-flight accounting, distinct from admission
+        # slots: coalesced followers hold no slot but must still be
+        # awaited by the drain path; idle keep-alive connections hold
+        # neither and must NOT block it.
+        self._req_cond = threading.Condition()
+        self._req_inflight = 0
 
     @property
     def jobs(self) -> int:
@@ -91,6 +128,49 @@ class AnalysisHTTPServer(ThreadingHTTPServer):
     @property
     def port(self) -> int:
         return self.server_address[1]
+
+    # -- drain ----------------------------------------------------------
+
+    def request_started(self) -> None:
+        with self._req_cond:
+            self._req_inflight += 1
+
+    def request_finished(self) -> None:
+        with self._req_cond:
+            self._req_inflight -= 1
+            self._req_cond.notify_all()
+
+    @property
+    def requests_inflight(self) -> int:
+        with self._req_cond:
+            return self._req_inflight
+
+    def begin_drain(self) -> None:
+        """Stop accepting *work*; safe to call from a signal handler.
+
+        The accept loop must keep running while requests are still in
+        flight — a connection arriving mid-drain deserves an explicit
+        503, not a silent hang in the kernel backlog.  So draining is
+        flag-first: handlers start refusing work immediately, and a
+        helper thread calls ``shutdown()`` only once every in-flight
+        request finished (or the drain deadline expired).  The helper
+        thread also sidesteps the classic deadlock of calling
+        ``shutdown()`` from the ``serve_forever`` thread itself.
+        """
+        if self.draining.is_set():
+            return
+        self.draining.set()
+
+        def _stop_accepting() -> None:
+            self.wait_drained(self.drain_timeout_s)
+            self.shutdown()
+
+        threading.Thread(target=_stop_accepting, daemon=True).start()
+
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Block until every in-flight request finished (or timeout)."""
+        with self._req_cond:
+            return self._req_cond.wait_for(lambda: self._req_inflight == 0, timeout=timeout)
 
     def server_close(self) -> None:  # noqa: D102 - stdlib override
         super().server_close()
@@ -144,13 +224,47 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing -------------------------------------------------------
 
-    def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Mapping[str, Any],
+        extra_headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
         body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if extra_headers:
+            for name, value in extra_headers.items():
+                self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_throttled(self) -> None:
+        """429 + Retry-After: the admission gate is full."""
+        admission = self.server.admission
+        self.close_connection = True
+        self._send_json(
+            429,
+            {
+                "error": "server is at capacity; retry later",
+                "inflight": admission.inflight,
+                "max_inflight": admission.limit,
+            },
+            extra_headers={
+                "Retry-After": str(int(math.ceil(admission.retry_after_s))),
+                "Connection": "close",
+            },
+        )
+
+    def _send_draining(self) -> None:
+        """503 + Connection: close — the server is shutting down."""
+        self.close_connection = True
+        self._send_json(
+            503,
+            {"error": "service is draining; not accepting new work"},
+            extra_headers={"Connection": "close"},
+        )
 
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
@@ -178,6 +292,13 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes ---------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        self.server.request_started()
+        try:
+            self._do_get()
+        finally:
+            self.server.request_finished()
+
+    def _do_get(self) -> None:
         path = urlparse(self.path).path.rstrip("/") or "/"
         if path == "/healthz":
             from . import __version__
@@ -186,12 +307,16 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(
                 200,
                 {
-                    "status": "ok",
+                    "status": "draining" if self.server.draining.is_set() else "ok",
                     "schema": SERVICE_SCHEMA,
                     "version": __version__,
                     "jobs": self.server.jobs,
                     "cache": str(cache.root) if cache is not None else None,
                     "uptime_s": round(time.time() - self.server.started, 3),
+                    "inflight": self.server.admission.inflight,
+                    "max_inflight": self.server.admission.limit,
+                    "rejected": self.server.admission.rejected,
+                    "coalesced": self.server.single_flight.coalesced,
                 },
             )
         elif path == "/benchmarks":
@@ -219,9 +344,19 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"unknown path {path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        self.server.request_started()
+        try:
+            self._do_post()
+        finally:
+            self.server.request_finished()
+
+    def _do_post(self) -> None:
         path = urlparse(self.path).path.rstrip("/")
         if path != "/analyze":
             self._send_error_json(404, f"unknown path {path!r}; POST /analyze")
+            return
+        if self.server.draining.is_set():
+            self._send_draining()
             return
         body = self._read_body()
         if body is None:
@@ -234,12 +369,25 @@ class _Handler(BaseHTTPRequestHandler):
         if not requests:
             self._send_error_json(400, "request expands to no tasks")
             return
-        # --jobs applies to multi-task bodies only: fanning a
-        # single-request POST across the pool would cost more than the
-        # analysis it parallelizes.
-        reports = self.server.analyzer.analyze_batch(
-            requests, jobs=None if len(requests) > 1 else 1
-        )
+        if single:
+            # Single-request POSTs coalesce by cache fingerprint: N
+            # concurrent identical racers cost one LP solve.
+            key = self.server.analyzer.request_cache_key(requests[0])
+            if key is not None:
+                self._analyze_coalesced(requests[0], key)
+                return
+        if not self.server.admission.try_acquire():
+            self._send_throttled()
+            return
+        try:
+            # --jobs applies to multi-task bodies only: fanning a
+            # single-request POST across the pool would cost more than
+            # the analysis it parallelizes.
+            reports = self.server.analyzer.analyze_batch(
+                requests, jobs=None if len(requests) > 1 else 1
+            )
+        finally:
+            self.server.admission.release()
         if single:
             self._send_json(200, reports[0].to_dict())
         else:
@@ -253,6 +401,52 @@ class _Handler(BaseHTTPRequestHandler):
                 },
             )
 
+    def _analyze_coalesced(self, request: AnalysisRequest, key: str) -> None:
+        """Run one cacheable request with single-flight coalescing.
+
+        The leader takes an admission slot and solves; followers park
+        slot-free on the flight, then answer from the cache entry the
+        leader stored (an ordinary hit — counters stay exact: 1 miss +
+        N-1 hits for N cold racers).  A follower that still misses
+        (the leader errored, or its report was uncacheable) takes the
+        normal admitted path itself.
+        """
+        flight, leader = self.server.single_flight.join(key)
+        if leader:
+            if not self.server.admission.try_acquire():
+                # Propagate the shed to every racer: they would only
+                # pile onto the same saturated gate.
+                self.server.single_flight.finish(flight, "throttled")
+                self._send_throttled()
+                return
+            outcome = "error"
+            try:
+                reports = self.server.analyzer.analyze_batch([request], jobs=1)
+                outcome = "done"
+            finally:
+                self.server.admission.release()
+                self.server.single_flight.finish(flight, outcome)
+            self._send_json(200, reports[0].to_dict())
+            return
+        self.server.single_flight.wait(flight)
+        if flight.outcome == "throttled":
+            self._send_throttled()
+            return
+        report = self.server.analyzer.cached_report(key, request)
+        if report is not None:
+            self._send_json(200, report.to_dict())
+            return
+        # Leader failed to populate the store (error report, cache
+        # write failure): run it ourselves, under admission.
+        if not self.server.admission.try_acquire():
+            self._send_throttled()
+            return
+        try:
+            reports = self.server.analyzer.analyze_batch([request], jobs=1)
+        finally:
+            self.server.admission.release()
+        self._send_json(200, reports[0].to_dict())
+
 
 def create_server(
     host: str = "127.0.0.1",
@@ -261,23 +455,51 @@ def create_server(
     cache=None,
     verbose: bool = False,
     analyzer: Optional[Analyzer] = None,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
 ) -> AnalysisHTTPServer:
     """Bind (but do not run) an analysis server; ``port=0`` picks a
     free port (read it back from ``server.port``).
 
     Pass an :class:`repro.api.Analyzer` to serve an existing session
     (its cache, solver and pool); ``jobs``/``cache`` are the shorthand
-    that builds one.
+    that builds one.  ``max_inflight`` bounds concurrently executing
+    POSTs (the rest are shed with 429); ``drain_timeout_s`` is how long
+    a SIGTERM/Ctrl-C shutdown waits for in-flight requests.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     return AnalysisHTTPServer(
-        (host, port), jobs=jobs, cache=cache, verbose=verbose, analyzer=analyzer
+        (host, port),
+        jobs=jobs,
+        cache=cache,
+        verbose=verbose,
+        analyzer=analyzer,
+        max_inflight=max_inflight,
+        drain_timeout_s=drain_timeout_s,
+    )
+
+
+def _print_cache_summary(server: AnalysisHTTPServer) -> None:
+    cache = server.cache
+    if cache is None:
+        return
+    print(
+        f"repro serve: cache: {cache.hits} hits, {cache.misses} misses ({cache.root})",
+        file=sys.stderr,
     )
 
 
 def run_server(server: AnalysisHTTPServer) -> int:
-    """Run an already-bound server until interrupted."""
+    """Run an already-bound server until SIGTERM/SIGINT, then drain.
+
+    A first signal stops the accept loop and waits up to
+    ``server.drain_timeout_s`` for in-flight requests (new POSTs get
+    503 meanwhile); the cache hit/miss summary is printed and the exit
+    code is 0 on a clean shutdown.  Signal handlers are installed only
+    when running on the main thread (tests drive ``serve_forever``
+    from daemon threads and handle shutdown themselves).
+    """
     host = server.server_address[0]
     where = f"http://{host}:{server.port}"
     cache = server.cache
@@ -287,12 +509,35 @@ def run_server(server: AnalysisHTTPServer) -> int:
         file=sys.stderr,
     )
     print(f"try: curl -s {where}/healthz", file=sys.stderr)
+
+    def _on_signal(signum, frame):
+        name = signal.Signals(signum).name
+        print(f"repro serve: {name} received, draining", file=sys.stderr)
+        server.begin_drain()
+
+    previous: List[Tuple[int, Any]] = []
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous.append((signum, signal.signal(signum, _on_signal)))
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("repro serve: shutting down", file=sys.stderr)
+        # Only reachable when no SIGINT handler was installed (non-main
+        # thread embedding); still drain before closing.
+        print("repro serve: interrupt received, draining", file=sys.stderr)
+        server.draining.set()
     finally:
+        if not server.wait_drained(server.drain_timeout_s):
+            print(
+                f"repro serve: drain deadline ({server.drain_timeout_s:g}s) expired with "
+                f"{server.requests_inflight} request(s) still in flight",
+                file=sys.stderr,
+            )
         server.server_close()
+        _print_cache_summary(server)
+        print("repro serve: shutdown complete", file=sys.stderr)
+        for signum, handler in previous:
+            signal.signal(signum, handler)
     return 0
 
 
@@ -303,10 +548,19 @@ def serve(
     cache=None,
     verbose: bool = True,
     analyzer: Optional[Analyzer] = None,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
 ) -> int:
     """Bind and run the service until interrupted (convenience API)."""
     return run_server(
         create_server(
-            host=host, port=port, jobs=jobs, cache=cache, verbose=verbose, analyzer=analyzer
+            host=host,
+            port=port,
+            jobs=jobs,
+            cache=cache,
+            verbose=verbose,
+            analyzer=analyzer,
+            max_inflight=max_inflight,
+            drain_timeout_s=drain_timeout_s,
         )
     )

@@ -19,7 +19,9 @@ API_ALL = [
     "REPORT_SCHEMA",
     "REPORT_SCHEMA_V1",
     "REPORT_SCHEMA_V2",
+    "REPORT_SCHEMA_V3",
     "ResultCache",
+    "RetryPolicy",
     "SolveOutcome",
     "SolverBackend",
     "available_backends",
@@ -31,6 +33,7 @@ API_ALL = [
     "report_from_dict",
     "report_to_v1",
     "report_to_v2",
+    "report_to_v3",
     "request_fingerprint",
     "request_key",
     "requests_from_spec",
@@ -61,6 +64,7 @@ OPTIONS_FIELDS = [
     "tails",
     "tail_horizon",
     "tail_probes",
+    "retry",
 ]
 
 #: Golden `AnalysisReport` field list; the v1 prefix (everything before
@@ -91,6 +95,7 @@ REPORT_FIELDS = [
     "lower_skipped",
     "solver",
     "tail",
+    "attempts",
 ]
 
 
@@ -113,9 +118,10 @@ def test_report_field_snapshot():
 
 
 def test_report_schema_versions():
-    assert api.REPORT_SCHEMA == "repro-report/v3"
+    assert api.REPORT_SCHEMA == "repro-report/v4"
     assert api.REPORT_SCHEMA_V1 == "repro-report/v1"
     assert api.REPORT_SCHEMA_V2 == "repro-report/v2"
+    assert api.REPORT_SCHEMA_V3 == "repro-report/v3"
 
 
 def test_top_level_reexports():

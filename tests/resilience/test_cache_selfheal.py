@@ -1,0 +1,98 @@
+"""Torn cache entries: detected, deleted, recounted as misses."""
+
+import json
+
+import pytest
+
+from repro.batch.spec import AnalysisReport
+from repro.cache import ResultCache
+from repro.resilience import FaultPlan, FaultSpec, faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.install_plan(None)
+    yield
+    faults.install_plan(None)
+
+
+def _report(name="torn"):
+    return AnalysisReport(name=name, status="ok", upper_value=42.0, degree=2)
+
+
+KEY = "0" * 16
+
+
+class TestTornEntries:
+    def test_truncated_entry_self_heals_as_miss(self, tmp_path):
+        writer = ResultCache(root=tmp_path)
+        assert writer.store(KEY, _report())
+        path = tmp_path / f"{KEY}.json"
+        size = path.stat().st_size
+        path.write_bytes(path.read_bytes()[: size // 2])  # torn write
+
+        # A fresh instance (no memory copy) must hit the torn file.
+        reader = ResultCache(root=tmp_path)
+        assert reader.lookup(KEY) is None
+        assert reader.misses == 1
+        assert reader.hits == 0
+        assert not path.exists()  # healed: deleted, next store is clean
+
+        # And the heal is complete: a re-store round-trips again.
+        assert reader.store(KEY, _report())
+        fresh = ResultCache(root=tmp_path)
+        revived = fresh.lookup(KEY)
+        assert revived is not None
+        assert revived.upper_value == 42.0
+
+    def test_valid_json_invalid_report_also_heals(self, tmp_path):
+        writer = ResultCache(root=tmp_path)
+        assert writer.store(KEY, _report())
+        path = tmp_path / f"{KEY}.json"
+        entry = json.loads(path.read_text())
+        entry["report"] = {"schema": "repro-report/v9", "name": "x", "status": "ok"}
+        path.write_text(json.dumps(entry))
+
+        reader = ResultCache(root=tmp_path)
+        assert reader.lookup(KEY) is None
+        assert reader.misses == 1
+        assert not path.exists()
+
+    def test_memory_copy_still_serves_after_disk_corruption(self, tmp_path):
+        # The in-memory LRU holds the good serialization the writer
+        # produced; only *cold* readers see the torn file.
+        cache = ResultCache(root=tmp_path)
+        assert cache.store(KEY, _report())
+        path = tmp_path / f"{KEY}.json"
+        path.write_text("{ torn")
+        assert cache.lookup(KEY) is not None
+        assert cache.hits == 1
+
+
+class TestCorruptEntryFault:
+    def test_fault_hook_tears_the_stored_entry(self, tmp_path):
+        faults.install_plan(
+            FaultPlan(faults=(FaultSpec(op="corrupt-entry", task="torn"),))
+        )
+        cache = ResultCache(root=tmp_path)
+        assert cache.store(KEY, _report("torn"))
+        path = tmp_path / f"{KEY}.json"
+        assert path.exists()
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(path.read_text())  # the file really is torn
+
+        faults.install_plan(None)
+        reader = ResultCache(root=tmp_path)
+        assert reader.lookup(KEY) is None  # self-heal path, end to end
+        assert reader.misses == 1
+        assert not path.exists()
+
+    def test_non_matching_store_is_untouched(self, tmp_path):
+        faults.install_plan(
+            FaultPlan(faults=(FaultSpec(op="corrupt-entry", task="torn"),))
+        )
+        cache = ResultCache(root=tmp_path)
+        assert cache.store(KEY, _report("healthy"))
+        reader = ResultCache(root=tmp_path)
+        assert reader.lookup(KEY) is not None

@@ -1,0 +1,136 @@
+"""Chaos suite: induced worker deaths through the real batch engine.
+
+The acceptance property of the resilient pool is *byte-identical
+results under induced faults*: a seeded fault plan that SIGKILLs
+workers mid-task must change nothing about the reports except the new
+``attempts`` field (and wall clock, which no two runs share).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.batch import AnalysisRequest, load_spec, run_batch
+from repro.resilience import FaultPlan, FaultSpec, faults
+
+SPEC_PATH = Path(__file__).resolve().parents[2] / "examples" / "batch_spec.json"
+
+#: Report fields that legitimately differ between two executions.
+WALL_CLOCK_FIELDS = ("runtime", "analysis_runtime", "upper_runtime", "lower_runtime")
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.install_plan(None)
+    yield
+    faults.install_plan(None)
+
+
+def _scrub(report, drop_attempts=True):
+    """A report dict with run-varying fields normalized away."""
+    data = report.to_dict()
+    for field in WALL_CLOCK_FIELDS:
+        data.pop(field, None)
+    if drop_attempts:
+        data.pop("attempts", None)
+    return data
+
+
+def _requests():
+    return [
+        AnalysisRequest(benchmark="ber"),
+        AnalysisRequest(benchmark="rdwalk"),
+        AnalysisRequest(benchmark="rdbub"),
+    ]
+
+
+class TestWorkerDeathInRunBatch:
+    def test_sigkilled_child_is_requeued_and_order_stable(self, monkeypatch):
+        plan = FaultPlan(faults=(FaultSpec(op="kill", task="rdwalk", attempts=[1]),))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        reports = run_batch(_requests(), jobs=2)
+        assert [r.name for r in reports] == ["ber", "rdwalk", "rdbub"]
+        by_name = {r.name: r for r in reports}
+        assert by_name["rdwalk"].status == "ok"
+        assert by_name["rdwalk"].attempts == 2  # died once, retried
+        assert by_name["ber"].attempts == 1
+        assert by_name["rdbub"].attempts == 1
+
+    def test_results_match_fault_free_run_modulo_attempts(self, monkeypatch):
+        baseline = run_batch(_requests(), jobs=2)
+        plan = FaultPlan(faults=(FaultSpec(op="kill", task="rdwalk", attempts=[1]),))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        chaotic = run_batch(_requests(), jobs=2)
+        assert [_scrub(r) for r in chaotic] == [_scrub(r) for r in baseline]
+
+    def test_exhausted_budget_yields_crashed_report(self, monkeypatch):
+        plan = FaultPlan(faults=(FaultSpec(op="kill", task="rdwalk"),))  # every attempt
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        request = AnalysisRequest(benchmark="rdwalk", retry={"max_attempts": 2})
+        reports = run_batch([AnalysisRequest(benchmark="ber"), request], jobs=2)
+        assert reports[0].ok
+        crashed = reports[1]
+        assert crashed.status == "crashed"
+        assert not crashed.ok
+        assert crashed.attempts == 2
+        assert "WorkerCrashError" in crashed.error
+        assert "died" in crashed.error
+
+    def test_retries_disabled_crashes_on_first_death(self, monkeypatch):
+        plan = FaultPlan(faults=(FaultSpec(op="kill", task="rdwalk", attempts=[1]),))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        request = AnalysisRequest(benchmark="rdwalk", retry={"max_attempts": 1})
+        report = run_batch([request], jobs=2)[0]
+        assert report.status == "crashed"
+        assert report.attempts == 1
+
+    def test_injected_failure_is_an_error_report_not_a_retry(self, monkeypatch):
+        # "fail" models a deterministic in-task exception: same status
+        # as any analysis error, exactly one attempt, no requeue.
+        plan = FaultPlan(faults=(FaultSpec(op="fail", task="rdwalk"),))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        report = run_batch([AnalysisRequest(benchmark="rdwalk")], jobs=2)[0]
+        assert report.status == "error"
+        assert report.attempts == 1
+        assert "InjectedFaultError" in report.error
+
+
+class TestFullSpecChaos:
+    """The ISSUE's headline acceptance run: the whole example spec,
+    one induced worker death per wave, output equal to the fault-free
+    run modulo ``attempts``."""
+
+    def test_example_spec_survives_seeded_kill_plan(self, monkeypatch):
+        spec_requests = load_spec(SPEC_PATH)
+        names = [request.display_name for request in spec_requests]
+        # Kill the worker holding every third task on its first
+        # attempt — a death in each dispatch wave, spread across the
+        # whole run, all deterministic.  Rules match by display name,
+        # so every task *sharing* a victim's name dies once too.
+        victims = set(names[::3])
+        plan = FaultPlan(
+            faults=tuple(
+                FaultSpec(op="kill", task=name, attempts=[1]) for name in sorted(victims)
+            ),
+            seed=7,
+        )
+
+        baseline = run_batch(load_spec(SPEC_PATH), jobs=4)
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        chaotic = run_batch(load_spec(SPEC_PATH), jobs=4)
+
+        # Request order is preserved despite the crashes (report names
+        # may differ from display names, e.g. tagged transformations).
+        assert [r.name for r in chaotic] == [r.name for r in baseline]
+        # Byte-identical modulo attempts (and wall clock): same JSON.
+        scrub = lambda reports: json.dumps([_scrub(r) for r in reports], sort_keys=True)
+        assert scrub(chaotic) == scrub(baseline)
+        # Every victim consumed its retry; everyone else ran once
+        # (faults match the *display* name the engine schedules under).
+        for request, report in zip(spec_requests, chaotic):
+            expected = 2 if request.display_name in victims else 1
+            assert report.attempts == expected, request.display_name
+        assert all(r.attempts == 1 for r in baseline)

@@ -1,0 +1,145 @@
+"""Deterministic fault injection: plan parsing, matching, hook behavior."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import InjectedFaultError
+from repro.resilience import FaultPlan, FaultSpec, faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    """No installed plan, no ``REPRO_FAULTS`` leaking across tests."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.install_plan(None)
+    yield
+    faults.install_plan(None)
+
+
+class TestFaultSpec:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault op"):
+            FaultSpec(op="explode")
+
+    @pytest.mark.parametrize(
+        ("kwargs", "match"),
+        [
+            ({"attempts": [0]}, "attempts"),
+            ({"seconds": -1.0}, "seconds"),
+            ({"probability": 1.5}, "probability"),
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            FaultSpec(op="delay", **kwargs)
+
+    def test_glob_and_attempt_gating(self):
+        spec = FaultSpec(op="kill", task="table5_*", attempts=[1])
+        assert spec.matches("table5_bitcoin", attempt=1, seed=0)
+        assert not spec.matches("table5_bitcoin", attempt=2, seed=0)
+        assert not spec.matches("table2_ber", attempt=1, seed=0)
+
+    def test_probability_draw_is_deterministic(self):
+        spec = FaultSpec(op="fail", task="*", probability=0.5)
+        first = [spec.matches(f"t{i}", 1, seed=3) for i in range(32)]
+        again = [spec.matches(f"t{i}", 1, seed=3) for i in range(32)]
+        assert first == again
+        assert any(first) and not all(first)  # a draw, not a constant
+
+    def test_unknown_dict_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault field"):
+            FaultSpec.from_dict({"op": "kill", "target": "x"})
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(op="kill", task="rdwalk", attempts=[1]),
+                FaultSpec(op="delay", task="slow_*", seconds=0.5),
+            ),
+            seed=7,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_select_returns_first_matching_op(self):
+        plan = FaultPlan(faults=(FaultSpec(op="kill", task="a", attempts=[1]),))
+        assert plan.select("kill", "a", attempt=1) is not None
+        assert plan.select("kill", "a", attempt=2) is None
+        assert plan.select("delay", "a", attempt=1) is None
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            FaultPlan.from_json("[1, 2]")
+
+    def test_unknown_plan_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-plan field"):
+            FaultPlan.from_dict({"seed": 1, "rules": []})
+
+
+class TestActivation:
+    def test_no_plan_by_default(self):
+        assert faults.active_plan() is None
+
+    def test_install_plan_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, '{"seed": 1, "faults": []}')
+        installed = FaultPlan(seed=99)
+        faults.install_plan(installed)
+        assert faults.active_plan() is installed
+
+    def test_env_inline_json(self, monkeypatch):
+        monkeypatch.setenv(
+            faults.ENV_VAR, '{"seed": 5, "faults": [{"op": "kill", "task": "x"}]}'
+        )
+        plan = faults.active_plan()
+        assert plan is not None
+        assert plan.seed == 5
+        assert plan.faults[0].op == "kill"
+
+    def test_env_plan_file(self, monkeypatch, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"seed": 2, "faults": []}))
+        monkeypatch.setenv(faults.ENV_VAR, str(path))
+        plan = faults.active_plan()
+        assert plan is not None
+        assert plan.seed == 2
+
+    def test_invalid_env_plan_raises(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, '{"seed": 1, "bogus": []}')
+        with pytest.raises(ValueError, match="invalid REPRO_FAULTS"):
+            faults.active_plan()
+
+
+class TestHooks:
+    def test_fail_raises_injected_fault(self):
+        faults.install_plan(FaultPlan(faults=(FaultSpec(op="fail", task="flaky"),)))
+        with pytest.raises(InjectedFaultError, match="flaky"):
+            faults.on_task_attempt("flaky", 1)
+        faults.on_task_attempt("steady", 1)  # non-matching: no-op
+
+    def test_kill_is_inert_outside_pool_workers(self):
+        # A kill rule matching the *host* process must never fire — the
+        # hook is gated on the worker-process flag, which this test
+        # process does not set.
+        faults.install_plan(FaultPlan(faults=(FaultSpec(op="kill", task="*"),)))
+        faults.on_task_attempt("anything", 1)  # still alive == pass
+
+    def test_delay_sleeps(self, monkeypatch):
+        slept = []
+        monkeypatch.setattr(faults.time, "sleep", slept.append)
+        faults.install_plan(
+            FaultPlan(faults=(FaultSpec(op="delay", task="slow", seconds=0.25),))
+        )
+        faults.on_task_attempt("slow", 1)
+        assert slept == [0.25]
+
+    def test_corrupt_entry_truncates_matching_file(self, tmp_path):
+        path = tmp_path / "entry.json"
+        path.write_text("x" * 100)
+        faults.install_plan(FaultPlan(faults=(FaultSpec(op="corrupt-entry", task="tor*"),)))
+        faults.on_cache_store("other", path)
+        assert path.stat().st_size == 100  # no match: untouched
+        faults.on_cache_store("torn", path)
+        assert path.stat().st_size == 50

@@ -1,0 +1,135 @@
+"""ResilientPool: worker death is survived, requeued, and bounded.
+
+The worker functions live at module level so forked children resolve
+them; each takes ``(payload, attempt)`` like the engine's pool worker.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.resilience import PoolTask, ResilientPool, RetryPolicy
+
+#: Fast schedule so crash tests don't sit in backoff.
+FAST = RetryPolicy(max_attempts=2, backoff_s=0.01, jitter=0.0)
+
+
+def _double(payload, attempt):
+    return payload * 2
+
+
+def _die_on_first_attempt(payload, attempt):
+    if attempt == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return (payload, attempt)
+
+
+def _die_always(payload, attempt):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _raise_on_first_attempt(payload, attempt):
+    if attempt == 1:
+        raise RuntimeError("flaky dependency")
+    return payload
+
+
+class TestHappyPath:
+    def test_results_keyed_by_task_id(self):
+        tasks = [PoolTask(task_id=i, payload=i, name=f"t{i}") for i in range(8)]
+        with ResilientPool(processes=3, worker=_double) as pool:
+            outcomes = pool.run(tasks)
+        assert set(outcomes) == set(range(8))
+        for i in range(8):
+            assert outcomes[i].value == 2 * i
+            assert outcomes[i].attempts == 1
+            assert not outcomes[i].crashed
+
+    def test_pool_is_reusable_across_runs(self):
+        with ResilientPool(processes=2, worker=_double) as pool:
+            first = pool.run([PoolTask(task_id="a", payload=1)])
+            second = pool.run([PoolTask(task_id="b", payload=2)])
+        assert first["a"].value == 2
+        assert second["b"].value == 4
+
+    def test_on_result_streams_in_completion_order(self):
+        seen = []
+        tasks = [PoolTask(task_id=i, payload=i) for i in range(5)]
+        with ResilientPool(processes=2, worker=_double) as pool:
+            pool.run(tasks, on_result=lambda outcome: seen.append(outcome.task_id))
+        assert sorted(seen) == list(range(5))
+
+    def test_run_after_close_raises(self):
+        pool = ResilientPool(processes=1, worker=_double)
+        pool.close()
+        with pytest.raises(RuntimeError, match="terminated"):
+            pool.run([PoolTask(task_id=0, payload=0)])
+
+
+class TestWorkerDeath:
+    def test_sigkilled_worker_is_respawned_and_task_retried(self):
+        tasks = [
+            PoolTask(task_id=i, payload=i, retry=FAST, name=f"t{i}") for i in range(4)
+        ]
+        # Task 2's worker dies on the first attempt; the retry succeeds.
+        tasks[2] = PoolTask(task_id=2, payload=2, retry=FAST, name="victim")
+        with ResilientPool(processes=2, worker=_die_on_first_attempt) as pool:
+            # Every task dies once under this worker fn, so give each a
+            # budget of 2: the pool must survive a death *per task*.
+            outcomes = pool.run(tasks)
+            assert pool.crashes == 4
+            assert pool.respawns >= 4
+        for i in range(4):
+            assert outcomes[i].value == (i, 2), i
+            assert outcomes[i].attempts == 2
+            assert not outcomes[i].crashed
+
+    def test_budget_exhaustion_reports_crashed(self):
+        task = PoolTask(
+            task_id="doomed",
+            payload=0,
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.01, jitter=0.0),
+            name="doomed",
+        )
+        with ResilientPool(processes=1, worker=_die_always) as pool:
+            outcome = pool.run([task])["doomed"]
+        assert outcome.crashed
+        assert outcome.attempts == 3
+        assert "died" in outcome.detail
+        assert "3 attempt(s)" in outcome.detail
+
+    def test_max_attempts_one_crashes_immediately(self):
+        task = PoolTask(
+            task_id=0, payload=0, retry=RetryPolicy(max_attempts=1), name="one-shot"
+        )
+        with ResilientPool(processes=1, worker=_die_always) as pool:
+            outcome = pool.run([task])[0]
+        assert outcome.crashed
+        assert outcome.attempts == 1
+
+    def test_crash_does_not_poison_siblings(self):
+        # Every worker dies on its first attempt; task 3 has no retry
+        # budget and must crash — but only task 3.  This is exactly the
+        # event that makes concurrent.futures raise BrokenProcessPool
+        # for every sibling in flight.
+        tasks = [
+            PoolTask(task_id=i, payload=i, retry=FAST, name=f"t{i}") for i in range(6)
+        ]
+        tasks[3] = PoolTask(
+            task_id=3, payload=3, retry=RetryPolicy(max_attempts=1), name="t3"
+        )
+        with ResilientPool(processes=2, worker=_die_on_first_attempt) as pool:
+            outcomes = pool.run(tasks)
+        assert outcomes[3].crashed
+        for i in (0, 1, 2, 4, 5):
+            assert not outcomes[i].crashed, i
+            assert outcomes[i].value == (i, 2)
+
+    def test_worker_exception_is_retried_like_a_crash(self):
+        task = PoolTask(task_id=0, payload=41, retry=FAST, name="flaky")
+        with ResilientPool(processes=1, worker=_raise_on_first_attempt) as pool:
+            outcome = pool.run([task])[0]
+        assert not outcome.crashed
+        assert outcome.value == 41
+        assert outcome.attempts == 2

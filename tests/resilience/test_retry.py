@@ -1,0 +1,91 @@
+"""RetryPolicy: budget semantics and the deterministic backoff schedule."""
+
+import pytest
+
+from repro.resilience import DEFAULT_RETRY_POLICY, RetryPolicy
+
+
+class TestBudget:
+    def test_defaults_allow_exactly_one_crash_retry(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 2
+        assert policy.allows(1)
+        assert not policy.allows(2)
+
+    def test_max_attempts_one_disables_retries(self):
+        assert not RetryPolicy(max_attempts=1).allows(1)
+
+    def test_default_policy_is_the_default_construction(self):
+        assert DEFAULT_RETRY_POLICY == RetryPolicy()
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True, "2"])
+    def test_invalid_max_attempts_rejected(self, bad):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=bad)
+
+    @pytest.mark.parametrize(
+        ("field", "value", "match"),
+        [
+            ("backoff_s", -0.1, "backoff_s"),
+            ("multiplier", 0.5, "multiplier"),
+            ("max_backoff_s", -1.0, "max_backoff_s"),
+            ("jitter", 1.5, "jitter"),
+            ("seed", 1.5, "seed"),
+        ],
+    )
+    def test_invalid_schedule_fields_rejected(self, field, value, match):
+        with pytest.raises(ValueError, match=match):
+            RetryPolicy(**{field: value})
+
+
+class TestSchedule:
+    def test_delay_is_deterministic(self):
+        policy = RetryPolicy(seed=7)
+        assert policy.delay_for(1, "rdwalk") == policy.delay_for(1, "rdwalk")
+
+    def test_delay_varies_with_task_and_attempt(self):
+        policy = RetryPolicy(seed=7)
+        delays = {
+            policy.delay_for(1, "a"),
+            policy.delay_for(1, "b"),
+            policy.delay_for(2, "a"),
+        }
+        assert len(delays) == 3
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(backoff_s=1.0, multiplier=1.0, jitter=0.5)
+        for attempt in (1, 2, 3):
+            delay = policy.delay_for(attempt, "t")
+            assert 1.0 <= delay <= 1.5
+
+    def test_zero_jitter_is_exact_exponential(self):
+        policy = RetryPolicy(backoff_s=0.1, multiplier=2.0, max_backoff_s=100.0, jitter=0.0)
+        assert policy.delay_for(1) == pytest.approx(0.1)
+        assert policy.delay_for(2) == pytest.approx(0.2)
+        assert policy.delay_for(3) == pytest.approx(0.4)
+
+    def test_backoff_ceiling_applies_before_jitter(self):
+        policy = RetryPolicy(backoff_s=1.0, multiplier=10.0, max_backoff_s=2.0, jitter=0.0)
+        assert policy.delay_for(5) == pytest.approx(2.0)
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError, match="attempt"):
+            RetryPolicy().delay_for(0)
+
+
+class TestJson:
+    def test_round_trip(self):
+        policy = RetryPolicy(max_attempts=3, backoff_s=0.2, seed=11)
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown retry field"):
+            RetryPolicy.from_dict({"max_attempts": 2, "retries": 3})
+
+    def test_coerce(self):
+        policy = RetryPolicy(max_attempts=4)
+        assert RetryPolicy.coerce(None) is None
+        assert RetryPolicy.coerce(policy) is policy
+        assert RetryPolicy.coerce({"max_attempts": 4}) == policy
+        with pytest.raises(ValueError, match="retry must be"):
+            RetryPolicy.coerce(3)

@@ -1,0 +1,177 @@
+"""Service backpressure: single-flight coalescing, 429 shedding, drain.
+
+Each test builds its own server (function scope): the admission and
+coalescing counters under test are cumulative per server instance.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cache import ResultCache
+from repro.resilience import FaultPlan, FaultSpec, faults
+from repro.service import create_server
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.install_plan(None)
+    yield
+    faults.install_plan(None)
+
+
+@pytest.fixture
+def make_service(tmp_path):
+    """Factory: a running server + its cache, torn down afterwards."""
+    started = []
+
+    def _make(**kwargs):
+        cache = ResultCache(tmp_path / "cache")
+        server = create_server(host="127.0.0.1", port=0, jobs=1, cache=cache, **kwargs)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        started.append((server, thread))
+        return server, cache, f"http://127.0.0.1:{server.port}"
+
+    yield _make
+    for server, thread in started:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _post_raw(base, payload):
+    """POST /analyze, returning ``(status, body bytes, headers)``."""
+    request = urllib.request.Request(
+        base + "/analyze",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), dict(error.headers)
+
+
+def _fanout(base, payloads):
+    """POST all payloads concurrently; results in payload order."""
+    results = [None] * len(payloads)
+
+    def _run(index):
+        results[index] = _post_raw(base, payloads[index])
+
+    threads = [
+        threading.Thread(target=_run, args=(index,)) for index in range(len(payloads))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results
+
+
+class TestSingleFlight:
+    def test_sixteen_cold_racers_one_solve(self, make_service):
+        server, cache, base = make_service()
+        # Hold the leader's solve open long enough that all 15 other
+        # racers join its flight (followers answer from cache and are
+        # never delayed) — without this the coalesced count depends on
+        # how the OS schedules the racing threads.
+        faults.install_plan(
+            FaultPlan(faults=(FaultSpec(op="delay", task="*", seconds=0.5),))
+        )
+        results = _fanout(base, [{"benchmark": "ber"}] * 16)
+
+        assert [status for status, _, _ in results] == [200] * 16
+        bodies = {body for _, body, _ in results}
+        assert len(bodies) == 1  # byte-identical responses
+        # Exactly one LP solve: the leader's miss+store, 15 follower
+        # hits. These counters are timing-independent — a racer that
+        # misses the flight window becomes a new leader whose solve
+        # path *hits* the stored entry — unlike ``coalesced``, which
+        # counts only the racers that joined before the leader
+        # finished and so depends on scheduling under load.
+        assert cache.misses == 1
+        assert cache.hits == 15
+        assert 1 <= server.single_flight.coalesced <= 15
+
+    def test_distinct_requests_are_not_coalesced(self, make_service):
+        server, cache, base = make_service()
+        results = _fanout(base, [{"benchmark": "ber"}, {"benchmark": "rdwalk"}])
+        assert [status for status, _, _ in results] == [200, 200]
+        assert cache.misses == 2
+        assert server.single_flight.coalesced == 0
+
+    def test_healthz_reports_coalesced(self, make_service):
+        server, _, base = make_service()
+        faults.install_plan(
+            FaultPlan(faults=(FaultSpec(op="delay", task="*", seconds=0.5),))
+        )
+        _fanout(base, [{"benchmark": "ber"}] * 4)
+        with urllib.request.urlopen(base + "/healthz", timeout=30) as response:
+            payload = json.loads(response.read())
+        assert 1 <= payload["coalesced"] <= 3
+        assert payload["rejected"] == 0
+        assert payload["max_inflight"] == server.admission.limit
+
+
+class TestAdmissionControl:
+    def test_saturated_service_sheds_with_429(self, make_service):
+        server, _, base = make_service(max_inflight=1)
+        # Hold every in-process solve for long enough that the
+        # concurrent distinct requests overlap on the single slot.
+        faults.install_plan(
+            FaultPlan(faults=(FaultSpec(op="delay", task="*", seconds=0.5),))
+        )
+        payloads = [{"benchmark": name} for name in ("ber", "rdwalk", "rdbub", "prdwalk")]
+        results = _fanout(base, payloads)
+        statuses = sorted(status for status, _, _ in results)
+        assert statuses[0] == 200  # someone got through
+        assert 429 in statuses  # and someone was shed
+        for status, body, headers in results:
+            if status == 429:
+                assert int(headers["Retry-After"]) >= 1
+                assert b"at capacity" in body
+        assert server.admission.rejected == statuses.count(429)
+
+    def test_shed_requests_are_counted_in_healthz(self, make_service):
+        server, _, base = make_service(max_inflight=1)
+        faults.install_plan(
+            FaultPlan(faults=(FaultSpec(op="delay", task="*", seconds=0.5),))
+        )
+        _fanout(base, [{"benchmark": "ber"}, {"benchmark": "rdwalk"}])
+        with urllib.request.urlopen(base + "/healthz", timeout=30) as response:
+            payload = json.loads(response.read())
+        assert payload["rejected"] == server.admission.rejected
+
+
+class TestGracefulDrain:
+    def test_drain_serves_503_then_stops_accepting(self, make_service):
+        server, _, base = make_service()
+        # Hold one request in flight so the accept loop stays up long
+        # enough to observe the drain refusals.
+        server.request_started()
+        try:
+            server.begin_drain()
+            status, body, headers = _post_raw(base, {"benchmark": "ber"})
+            assert status == 503
+            assert headers.get("Connection") == "close"
+            assert b"draining" in body
+            with urllib.request.urlopen(base + "/healthz", timeout=30) as response:
+                payload = json.loads(response.read())
+            assert payload["status"] == "draining"
+        finally:
+            server.request_finished()
+        assert server.wait_drained(5.0)
+
+    def test_begin_drain_is_idempotent(self, make_service):
+        server, _, _ = make_service()
+        server.begin_drain()
+        server.begin_drain()  # second call: no second helper, no error
+        assert server.wait_drained(5.0)
