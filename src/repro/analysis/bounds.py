@@ -17,7 +17,11 @@ This is the function the examples and the experiment harness call.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Union
+from typing import TYPE_CHECKING, List, Mapping, Optional, Union
+
+if TYPE_CHECKING:  # runtime imports would be circular; these are lazy below
+    from ..check.diagnostics import Diagnostic
+    from .tails import TailBound
 
 from ..core.conditions import AnalysisMode, classify
 from ..core.synthesis import BoundResult, synthesize
@@ -50,6 +54,10 @@ class CostAnalysisResult:
     #: the regime admits no PLCS bound, or synthesis was infeasible.
     #: ``None`` when a lower bound exists or none was asked for.
     lower_skipped: Optional[str] = None
+    #: Findings of the static lint pass (``analyze(check=...)``), in
+    #: reading order.  ``None`` means the check did not run; an empty
+    #: list means it ran and the program is clean.
+    diagnostics: Optional[List["Diagnostic"]] = None
 
     @property
     def upper_bound(self):
@@ -110,6 +118,7 @@ def analyze(
     tails: bool = False,
     tail_horizon: Optional[int] = None,
     tail_probes: Optional[List[float]] = None,
+    check: str = "off",
 ) -> CostAnalysisResult:
     """Run the full expected-cost analysis on ``program``.
 
@@ -149,7 +158,17 @@ def analyze(
         truncation default) and ``tail_probes`` the offsets ``t`` to
         pre-evaluate.  Unavailability (no constant difference bound at
         any tried degree) is a warning, not an error.
+    check:
+        Run the static lint pass (:mod:`repro.check`) first.  ``"off"``
+        (default) skips it; ``"warn"`` attaches the findings to
+        ``result.diagnostics`` and proceeds; ``"strict"`` additionally
+        raises :class:`~repro.errors.CheckError` on any error-severity
+        finding *before* any LP work.  Only user-supplied invariants
+        are validated — the auto-generated interval invariants are
+        consistent with the abstract states by construction.
     """
+    if check not in ("off", "warn", "strict"):
+        raise ValueError("check must be 'off', 'warn' or 'strict'")
     if isinstance(program, str):
         program = parse_program(program)
     cfg = build_cfg(program)
@@ -167,6 +186,23 @@ def analyze(
         inv = InvariantMap.from_strings(cfg, dict(invariants))
     else:
         inv = InvariantMap.trivial()
+
+    if check != "off":
+        # Lint against the *user's* invariants, before auto
+        # strengthening mixes in generated intervals.
+        from ..check import check_cfg
+
+        check_result = check_cfg(cfg, init, inv if invariants is not None else None)
+        if check == "strict" and not check_result.ok:
+            from ..errors import CheckError
+
+            codes = ", ".join(sorted({d.code for d in check_result.errors}))
+            raise CheckError(
+                f"rejected by static checks ({codes}): "
+                + "; ".join(d.format() for d in check_result.errors),
+                diagnostics=check_result.diagnostics,
+            )
+
     if auto_invariants:
         # Strengthen only labels the user left unannotated: hand-written
         # invariants are typically tighter, and mixing in anchor-specific
@@ -209,6 +245,8 @@ def analyze(
     mode_info = detected
     result = CostAnalysisResult(program=program, cfg=cfg, invariants=inv, mode=mode_info)
     result.warnings.extend(forced_warnings)
+    if check != "off":
+        result.diagnostics = list(check_result.diagnostics)
 
     if mode_info.name == "unsupported":
         result.warnings.append(

@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..core.synthesis import difference_bound, synthesize
 from ..errors import InfeasibleError, SynthesisError, UnboundedError
+from ..semantics.cfg import AssignLabel
 
 __all__ = ["DEFAULT_TAIL_HORIZON", "TailBound", "TailProbe", "derive_tail_bound"]
 
@@ -169,6 +170,25 @@ def derive_tail_bound(
         raise ValueError(f"tail horizon must be >= 1, got {horizon}")
 
     cfg, invariants = result.cfg, result.invariants
+
+    # Static pre-check (the lint pass reports this as REP006): a
+    # sampling variable with unbounded support can move the process
+    # arbitrarily far in one step, so no almost-sure step-difference
+    # bound exists for *any* certificate — fail before spending the
+    # difference-bound LP and the degree-1 refit LPs on a lost cause.
+    used = set()
+    for label in cfg:
+        if isinstance(label, AssignLabel):
+            used |= label.expr.variables()
+    unbounded = sorted(
+        name for name, dist in cfg.rvars.items() if name in used and not dist.is_bounded()
+    )
+    if unbounded:
+        raise UnboundedError(
+            f"sampling variable(s) {unbounded} have unbounded support; "
+            "no almost-sure step-difference bound exists (REP006)"
+        )
+
     refit = False
     degree = result.upper.degree
     expected = result.upper.value

@@ -18,10 +18,15 @@ thin adapter over the three names this package exports first:
     expose the pipeline stage by stage.
 :class:`AnalysisRequest` / :class:`AnalysisReport`
     The JSON work unit and the canonical result record (schema
-    ``repro-report/v4``; :func:`report_to_v1`/:func:`report_to_v2`/
-    :func:`report_to_v3` and the lenient
-    :meth:`AnalysisReport.from_dict` bridge older consumers and
-    producers).
+    ``repro-report/v5``; :func:`report_to_v1` ... :func:`report_to_v4`
+    and the lenient :meth:`AnalysisReport.from_dict` bridge older
+    consumers and producers).
+
+The static lint pass (:mod:`repro.check`) surfaces here through
+``AnalysisOptions(check="warn"|"strict")`` — findings ride on
+``AnalysisReport.diagnostics``, and strict-mode errors reject the task
+(``status="rejected"``) before any LP work — and through
+:meth:`Analyzer.lint`, which returns the raw :class:`CheckResult`.
 
 Resilience knobs surface here too: :class:`RetryPolicy` (from
 :mod:`repro.resilience`) rides on ``AnalysisOptions.retry`` and
@@ -51,11 +56,13 @@ from ..batch.spec import (
     REPORT_SCHEMA_V1,
     REPORT_SCHEMA_V2,
     REPORT_SCHEMA_V3,
+    REPORT_SCHEMA_V4,
     AnalysisReport,
     AnalysisRequest,
     load_spec,
     requests_from_spec,
 )
+from ..check import CheckResult, Diagnostic
 from ..cache import ResultCache, request_fingerprint, request_key
 from ..resilience import RetryPolicy
 from ..core.solvers import (
@@ -77,10 +84,13 @@ __all__ = [
     "AnalysisReport",
     "AnalysisRequest",
     "Analyzer",
+    "CheckResult",
+    "Diagnostic",
     "REPORT_SCHEMA",
     "REPORT_SCHEMA_V1",
     "REPORT_SCHEMA_V2",
     "REPORT_SCHEMA_V3",
+    "REPORT_SCHEMA_V4",
     "ResultCache",
     "RetryPolicy",
     "SolveOutcome",
@@ -95,6 +105,7 @@ __all__ = [
     "report_to_v1",
     "report_to_v2",
     "report_to_v3",
+    "report_to_v4",
     "request_fingerprint",
     "request_key",
     "requests_from_spec",
@@ -122,8 +133,15 @@ def report_to_v3(report: AnalysisReport) -> Dict[str, Any]:
     return report.to_v3_dict()
 
 
+def report_to_v4(report: AnalysisReport) -> Dict[str, Any]:
+    """``report`` as a pre-lint (``repro-report/v4``) dict — bitwise
+    what a v4 writer produced for the same analysis."""
+    return report.to_v4_dict()
+
+
 def report_from_dict(data: Mapping[str, Any]) -> AnalysisReport:
-    """Read a v4, v3, v2 *or* v1 report dict (the lenient reader shim)."""
+    """Read a v5, v4, v3, v2 *or* v1 report dict (the lenient reader
+    shim)."""
     return AnalysisReport.from_dict(data)
 
 
@@ -136,7 +154,12 @@ def version_info() -> Dict[str, Any]:
         "repro": __version__,
         "schemas": {
             "report": REPORT_SCHEMA,
-            "report_compat": [REPORT_SCHEMA_V1, REPORT_SCHEMA_V2, REPORT_SCHEMA_V3],
+            "report_compat": [
+                REPORT_SCHEMA_V1,
+                REPORT_SCHEMA_V2,
+                REPORT_SCHEMA_V3,
+                REPORT_SCHEMA_V4,
+            ],
             "cache_entry": ENTRY_SCHEMA,
         },
         "solver_backends": backend_specs(),

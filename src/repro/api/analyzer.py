@@ -11,10 +11,11 @@ pipeline behind two calls plus staged inspection points:
   :class:`~repro.batch.spec.AnalysisReport`, cache-consulted;
 * :meth:`Analyzer.analyze_batch` — many requests across the session's
   pool, reports in request order;
-* :meth:`Analyzer.parse` / :meth:`build_cfg` /
+* :meth:`Analyzer.parse` / :meth:`build_cfg` / :meth:`lint` /
   :meth:`derive_invariants` / :meth:`synthesize` — the paper's
   pipeline one stage at a time, returning the intermediate artifacts
-  (AST, CFG, invariant map, rich :class:`CostAnalysisResult`).
+  (AST, CFG, lint :class:`~repro.check.CheckResult`, invariant map,
+  rich :class:`CostAnalysisResult`).
 
 Every front end (CLI, HTTP service, batch engine drivers, experiment
 tables, perf harness) is a thin adapter over this class, so a knob
@@ -315,6 +316,45 @@ class Analyzer:
             program = self.parse(program)
         return build_cfg(program)
 
+    def lint(
+        self,
+        program: ProgramLike,
+        options: Optional[AnalysisOptions] = None,
+        **overrides: Any,
+    ):
+        """Stage 2.5: the static lint pass (:mod:`repro.check`).
+
+        Returns the :class:`~repro.check.CheckResult` for the exact CFG
+        the full pipeline would analyze — benchmark resolution,
+        ``options.init``/``options.invariants`` and the coin-flip
+        transformation all apply.  No LP work, no cache.
+        """
+        from ..check import check_benchmark, check_program
+        from ..programs import probabilistic_variant
+        from ..syntax.transform import replace_nondet
+
+        opts = self._merged(options, overrides)
+        if isinstance(program, str) and _NAME_RE.match(program):
+            program = get_benchmark(program)
+        if isinstance(program, Benchmark):
+            if opts.nondet_prob is not None and program.has_nondeterminism:
+                program = probabilistic_variant(program, prob=opts.nondet_prob)
+            init = dict(opts.init) if opts.init is not None else None
+            return check_benchmark(program, init=init)
+        parsed = self.parse(program) if isinstance(program, str) else program
+        if not isinstance(parsed, Program):
+            raise TypeError(
+                "program must be a benchmark name, source text, a Benchmark or a "
+                f"parsed Program, got {type(program).__name__}"
+            )
+        if opts.nondet_prob is not None and parsed.has_nondeterminism():
+            parsed = replace_nondet(parsed, prob=opts.nondet_prob)
+        return check_program(
+            parsed,
+            init=dict(opts.init) if opts.init is not None else None,
+            invariants=dict(opts.invariants) if opts.invariants else None,
+        )
+
     def derive_invariants(
         self,
         program: Union[str, Program, Benchmark, CFG],
@@ -385,8 +425,9 @@ class Analyzer:
         if opts.nondet_prob is not None and parsed.has_nondeterminism():
             parsed = replace_nondet(parsed, prob=opts.nondet_prob)
         result: Optional[CostAnalysisResult] = None
+        diagnostics = None
         with use_solver(opts.solver):
-            for degree in opts.degree_plan(default=2):
+            for index, degree in enumerate(opts.degree_plan(default=2)):
                 result = _analyze(
                     parsed,
                     init=dict(opts.init) if opts.init is not None else {},
@@ -397,10 +438,18 @@ class Analyzer:
                     compute_lower=opts.compute_lower,
                     max_multiplicands=opts.max_multiplicands,
                     mode=opts.mode if opts.mode is not None else "auto",
+                    # Lint once, on the first degree — the program and
+                    # invariants don't change across escalation steps.
+                    check=opts.check if index == 0 else "off",
                 )
+                if index == 0:
+                    diagnostics = result.diagnostics
                 if result.complete_for(opts.compute_lower):
                     break
             assert result is not None  # the degree plan is never empty
+            # The escalation winner may be a later degree whose analyze()
+            # call skipped the lint; carry the findings over.
+            result.diagnostics = diagnostics
             # Once, on the final result only (see analyze_with).
             attach_tail_bound_for(result, opts)
         return result

@@ -84,6 +84,13 @@ class AnalysisOptions:
     #: Offsets ``t`` to pre-evaluate the tail bound at; ``None`` picks
     #: multiples of the natural scale ``c * sqrt(horizon)``.
     tail_probes: Optional[list] = None
+    #: Static lint pass (:mod:`repro.check`) before synthesis:
+    #: ``"off"`` skips it, ``"warn"`` attaches diagnostics to the
+    #: result/report and proceeds, ``"strict"`` rejects programs with
+    #: error-severity findings before any LP work
+    #: (``status="rejected"`` reports, :class:`~repro.errors.CheckError`
+    #: from :func:`repro.analysis.analyze`).
+    check: str = "off"
     #: Crash-retry budget for pool workers that die mid-task
     #: (:class:`repro.resilience.RetryPolicy`, or its ``to_dict``
     #: mapping — coerced); ``None`` uses the engine default (one retry
@@ -148,6 +155,8 @@ class AnalysisOptions:
                 raise ValueError("tail_probes must be a non-empty list of positive offsets")
             if any(t <= 0 for t in self.tail_probes):
                 raise ValueError(f"tail_probes must be positive, got {self.tail_probes!r}")
+        if self.check not in ("off", "warn", "strict"):
+            raise ValueError(f"check must be 'off', 'warn' or 'strict', got {self.check!r}")
 
     # -- layering -------------------------------------------------------
 
@@ -258,6 +267,7 @@ class AnalysisOptions:
             tails=self.tails,
             tail_horizon=self.tail_horizon,
             tail_probes=list(self.tail_probes) if self.tail_probes is not None else None,
+            check=self.check,
             retry=self.retry.to_dict() if self.retry is not None else None,
         )
         request.validate()
@@ -287,5 +297,6 @@ class AnalysisOptions:
             tails=request.tails,
             tail_horizon=request.tail_horizon,
             tail_probes=list(request.tail_probes) if request.tail_probes is not None else None,
+            check=request.check,
             retry=request.retry,
         )

@@ -47,6 +47,19 @@ from .spec import AnalysisReport, AnalysisRequest
 __all__ = ["execute_request", "run_batch"]
 
 
+class _CheckRejected(Exception):
+    """Internal: strict-mode static checks refused the program.
+
+    Raised inside the task budget so ``execute_request`` can convert it
+    into a ``status="rejected"`` report on the normal bookkeeping path
+    (``runtime`` is stamped after the try block either way).
+    """
+
+    def __init__(self, codes: Sequence[str]):
+        super().__init__(", ".join(codes))
+        self.codes = list(codes)
+
+
 class BatchTimeout(Exception):
     """Internal: raised inside a task when its wall-clock budget expires."""
 
@@ -190,6 +203,17 @@ def execute_request(request: AnalysisRequest, attempt: int = 1) -> AnalysisRepor
             init = dict(request.init) if request.init is not None else dict(bench.init)
             report.init = init
 
+            if request.check != "off":
+                # Static front gate: lint the exact CFG the analysis
+                # will see.  In strict mode an error-severity finding
+                # rejects the task before any template/LP work.
+                from ..check import check_benchmark
+
+                findings = check_benchmark(bench, init=init)
+                report.diagnostics = findings.to_dicts()
+                if request.check == "strict" and not findings.ok:
+                    raise _CheckRejected(sorted({d.code for d in findings.errors}))
+
             result: Optional[CostAnalysisResult] = None
             with use_solver(report.solver):
                 for degree in _degree_plan(request, bench):
@@ -248,6 +272,9 @@ def execute_request(request: AnalysisRequest, attempt: int = 1) -> AnalysisRepor
                             f"{stats.truncated_mean:g}); raise simulate_max_steps "
                             "to cover them"
                         )
+    except _CheckRejected as exc:
+        report.status = "rejected"
+        report.error = f"rejected by static checks: {exc}"
     except (BatchTimeout, DeadlineExceeded):
         report.status = "timeout"
         report.error = f"TimeoutError: task exceeded {request.timeout_s:g}s budget"

@@ -31,6 +31,7 @@ __all__ = [
     "REPORT_SCHEMA_V1",
     "REPORT_SCHEMA_V2",
     "REPORT_SCHEMA_V3",
+    "REPORT_SCHEMA_V4",
     "load_spec",
     "requests_from_spec",
 ]
@@ -38,13 +39,16 @@ __all__ = [
 #: Degree ceiling for ``degree="auto"`` escalation unless overridden.
 DEFAULT_MAX_DEGREE = 4
 
-#: Canonical report schema.  v4 added ``attempts`` (executions consumed
-#: under the crash-retry budget of :mod:`repro.resilience`) and the
+#: Canonical report schema.  v5 added ``diagnostics`` (findings of the
+#: static lint pass, ``repro.check``) and the ``status="rejected"``
+#: terminal state (strict-mode checks refused the program before any LP
+#: work); v4 added ``attempts`` (executions consumed under the
+#: crash-retry budget of :mod:`repro.resilience`) and the
 #: ``status="crashed"`` terminal state; v3 added ``tail`` (the
 #: Azuma–Hoeffding concentration bound of ``repro.analysis.tails``);
 #: v2 added ``lower_skipped`` (why no PLCS lower bound was produced)
 #: and ``solver`` (the resolved LP backend).
-REPORT_SCHEMA = "repro-report/v4"
+REPORT_SCHEMA = "repro-report/v5"
 #: The pre-``repro.api`` shape; :meth:`AnalysisReport.from_dict` reads
 #: every schema, :meth:`AnalysisReport.to_v1_dict` writes this one.
 REPORT_SCHEMA_V1 = "repro-report/v1"
@@ -55,6 +59,9 @@ REPORT_SCHEMA_V2 = "repro-report/v2"
 #: The pre-resilience shape (no ``attempts``);
 #: :meth:`AnalysisReport.to_v3_dict` writes it.
 REPORT_SCHEMA_V3 = "repro-report/v3"
+#: The pre-lint shape (no ``diagnostics``);
+#: :meth:`AnalysisReport.to_v4_dict` writes it.
+REPORT_SCHEMA_V4 = "repro-report/v4"
 
 #: Fields present in v2 report dicts but not v1 ones.
 _REPORT_V2_FIELDS = ("lower_skipped", "solver")
@@ -62,6 +69,8 @@ _REPORT_V2_FIELDS = ("lower_skipped", "solver")
 _REPORT_V3_FIELDS = ("tail",)
 #: Fields present in v4 report dicts but not v3 ones.
 _REPORT_V4_FIELDS = ("attempts",)
+#: Fields present in v5 report dicts but not v4 ones.
+_REPORT_V5_FIELDS = ("diagnostics",)
 
 #: Suites a spec task may name.  ``table5`` is the Table 3 set with
 #: nondeterminism replaced by a fair coin (the paper's Table 5 setup).
@@ -143,6 +152,13 @@ class AnalysisRequest:
     #: Offsets ``t`` to pre-evaluate the tail bound at (default:
     #: multiples of ``c * sqrt(horizon)``).
     tail_probes: Optional[List[float]] = None
+    #: Static lint pass (:mod:`repro.check`) before synthesis: ``"off"``
+    #: skips it, ``"warn"`` attaches diagnostics to the report and
+    #: proceeds, ``"strict"`` yields ``status="rejected"`` on any
+    #: error-severity finding without touching the LP.  Part of the
+    #: cache fingerprint (it changes the report content and, in strict
+    #: mode, the outcome).
+    check: str = "off"
 
     @property
     def display_name(self) -> str:
@@ -181,6 +197,8 @@ class AnalysisRequest:
                 raise ValueError(
                     f"tail_probes must be a non-empty list of positive offsets, got {self.tail_probes!r}"
                 )
+        if self.check not in ("off", "warn", "strict"):
+            raise ValueError(f"check must be 'off', 'warn' or 'strict', got {self.check!r}")
         if self.retry is not None:
             from ..resilience import RetryPolicy
 
@@ -273,10 +291,13 @@ class AnalysisReport:
 
     ``status`` is ``"ok"`` (analysis ran; individual bounds may still
     be missing — see ``warnings``), ``"error"`` (an exception, captured
-    in ``error``), ``"timeout"`` (the per-task budget expired) or
+    in ``error``), ``"timeout"`` (the per-task budget expired),
     ``"crashed"`` (the worker process died — SIGKILL, segfault — on
     every attempt the :class:`repro.resilience.RetryPolicy` budget
-    allowed; ``error`` carries the death detail).
+    allowed; ``error`` carries the death detail) or ``"rejected"``
+    (strict-mode static checks refused the program before any LP work;
+    ``diagnostics`` carries the findings and ``error`` a one-line
+    summary).
     """
 
     name: str
@@ -328,6 +349,13 @@ class AnalysisReport:
     #: cache hits); ``> 1`` only when the resilient pool retried the
     #: task after its worker died.
     attempts: int = 1
+    # -- v5 fields (``repro-report/v5``) --------------------------------
+    #: Findings of the static lint pass, in reading order, as
+    #: ``repro.check.Diagnostic.to_dict()`` mappings (``code`` /
+    #: ``severity`` / ``message`` / ``label`` / ``line`` / ``column``).
+    #: ``None`` when the check did not run (``check="off"``); an empty
+    #: list when it ran and the program is clean.
+    diagnostics: Optional[List[Dict[str, Any]]] = None
 
     @property
     def ok(self) -> bool:
@@ -345,7 +373,9 @@ class AnalysisReport:
         unchanged.
         """
         payload = asdict(self)
-        for fieldname in _REPORT_V2_FIELDS + _REPORT_V3_FIELDS + _REPORT_V4_FIELDS:
+        for fieldname in (
+            _REPORT_V2_FIELDS + _REPORT_V3_FIELDS + _REPORT_V4_FIELDS + _REPORT_V5_FIELDS
+        ):
             payload.pop(fieldname, None)
         return payload
 
@@ -353,7 +383,7 @@ class AnalysisReport:
         """The report as a pre-tail-bound (v2) dict — bitwise what a v2
         writer produced for the same analysis."""
         payload = asdict(self)
-        for fieldname in _REPORT_V3_FIELDS + _REPORT_V4_FIELDS:
+        for fieldname in _REPORT_V3_FIELDS + _REPORT_V4_FIELDS + _REPORT_V5_FIELDS:
             payload.pop(fieldname, None)
         return payload
 
@@ -361,16 +391,24 @@ class AnalysisReport:
         """The report as a pre-resilience (v3) dict — bitwise what a v3
         writer produced for the same analysis (no ``attempts``)."""
         payload = asdict(self)
-        for fieldname in _REPORT_V4_FIELDS:
+        for fieldname in _REPORT_V4_FIELDS + _REPORT_V5_FIELDS:
+            payload.pop(fieldname, None)
+        return payload
+
+    def to_v4_dict(self) -> Dict[str, Any]:
+        """The report as a pre-lint (v4) dict — bitwise what a v4 writer
+        produced for the same analysis (no ``diagnostics``)."""
+        payload = asdict(self)
+        for fieldname in _REPORT_V5_FIELDS:
             payload.pop(fieldname, None)
         return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AnalysisReport":
-        """Read a v4, v3, v2 *or* v1 report dict (lenient reader: fields
-        a previous schema lacks simply default).  An embedded ``schema``
-        marker is accepted and checked; unknown fields are rejected
-        rather than dropped."""
+        """Read a v5, v4, v3, v2 *or* v1 report dict (lenient reader:
+        fields a previous schema lacks simply default).  An embedded
+        ``schema`` marker is accepted and checked; unknown fields are
+        rejected rather than dropped."""
         payload = dict(data)
         schema = payload.pop("schema", None)
         if schema is not None and schema not in (
@@ -378,10 +416,12 @@ class AnalysisReport:
             REPORT_SCHEMA_V1,
             REPORT_SCHEMA_V2,
             REPORT_SCHEMA_V3,
+            REPORT_SCHEMA_V4,
         ):
             raise ValueError(
                 f"unsupported report schema {schema!r}; expected {REPORT_SCHEMA!r}, "
-                f"{REPORT_SCHEMA_V3!r}, {REPORT_SCHEMA_V2!r} or {REPORT_SCHEMA_V1!r}"
+                f"{REPORT_SCHEMA_V4!r}, {REPORT_SCHEMA_V3!r}, {REPORT_SCHEMA_V2!r} "
+                f"or {REPORT_SCHEMA_V1!r}"
             )
         unknown = set(payload) - set(cls.__dataclass_fields__)
         if unknown:

@@ -62,6 +62,7 @@ from .semantics.distributions import (
     BinomialDistribution,
     DiscreteDistribution,
     Distribution,
+    GeometricDistribution,
     PointDistribution,
     UniformDistribution,
     UniformIntDistribution,
@@ -96,6 +97,9 @@ __all__ = [
 ]
 
 #: On-disk entry schema; bumping it invalidates every existing entry.
+#: v5: reports are ``repro-report/v5`` shaped (``diagnostics``) and
+#: fingerprints carry the ``check`` mode — a warn-mode report embeds
+#: lint findings, so it must never alias a check-off entry.
 #: v4: reports are ``repro-report/v4`` shaped (``attempts``) — cached
 #: entries always carry ``attempts=1``; crash-retry accounting belongs
 #: to the run that solved, never to later hits.
@@ -103,7 +107,7 @@ __all__ = [
 #: fingerprints carry the tail-analysis settings.
 #: v2: reports are ``repro-report/v2`` shaped and fingerprints carry
 #: the resolved solver backend id + invariant policy.
-ENTRY_SCHEMA = "repro-cache/v4"
+ENTRY_SCHEMA = "repro-cache/v5"
 
 
 def cache_salt() -> str:
@@ -213,6 +217,8 @@ def _canonical_dist(dist: Distribution) -> List[Any]:
         return ["discrete", list(dist.values), list(dist.probs)]
     if isinstance(dist, UniformDistribution):
         return ["uniform", float(dist.a), float(dist.b)]
+    if isinstance(dist, GeometricDistribution):
+        return ["geometric", float(dist.p)]
     return ["repr", repr(dist)]
 
 
@@ -316,6 +322,9 @@ def request_fingerprint(request) -> Dict[str, Any]:
         "solver": resolved_solver_id(request.solver),
         "simulate": simulate,
         "tails": tails,
+        # Lint mode changes report content (warn embeds diagnostics)
+        # and, in strict mode, the outcome itself.
+        "check": request.check,
     }
 
 

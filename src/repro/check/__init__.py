@@ -1,0 +1,44 @@
+"""Static analysis front gate: interval abstract interpretation + lint.
+
+``repro.check`` catches malformed programs, dead code and unsound
+invariants *before* any Handelman/LP work: the synthesis pipeline is
+only as sound as the invariants fed into it, and a bad input otherwise
+surfaces as a deep ``SynthesisError`` or an infeasible LP minutes later.
+
+Layout:
+
+* :mod:`~repro.check.interp` — the forward interval abstract
+  interpreter over the probabilistic CFG (also the engine behind
+  :func:`repro.invariants.generate_interval_invariants`);
+* :mod:`~repro.check.diagnostics` — ``Diagnostic`` records with stable
+  ``REP0xx`` codes (catalogued in ``docs/checks.md``);
+* :mod:`~repro.check.rules` — the lint rules;
+* :mod:`~repro.check.runner` — entry points for programs, benchmarks
+  and batch requests.
+
+Import-order note: ``repro.invariants.generator`` imports
+:mod:`.interp`, so this package must keep :mod:`.interp` importable
+before :mod:`.rules` (which uses ``repro.invariants`` submodules) and
+must not import the analysis stack at module level (see ``runner``).
+"""
+
+from .diagnostics import CODES, SEVERITIES, CheckResult, Diagnostic, sort_diagnostics
+from .interp import AbstractAnalysis, Interval, analyze_cfg
+from .rules import run_rules
+from .runner import check_benchmark, check_cfg, check_program, check_request
+
+__all__ = [
+    "AbstractAnalysis",
+    "CODES",
+    "CheckResult",
+    "Diagnostic",
+    "Interval",
+    "SEVERITIES",
+    "analyze_cfg",
+    "check_benchmark",
+    "check_cfg",
+    "check_program",
+    "check_request",
+    "run_rules",
+    "sort_diagnostics",
+]

@@ -11,6 +11,9 @@ Usage::
     python -m repro simulate FILE --init x=100 [--runs 1000] [--seed 0]
                                   [--max-steps 1000000]
     python -m repro cfg FILE
+    python -m repro lint FILE|SPEC.json [--init x=100] [--invariant LABEL:COND ...]
+                                        [--json] [--strict]
+    python -m repro lint --benchmark NAME [--json] [--strict]
     python -m repro bench NAME [--init x=100] [--degree D|auto]
                                [--max-multiplicands K] [--cache-dir DIR]
     python -m repro bench --all [--jobs N]
@@ -32,6 +35,9 @@ comment annotations::
 User-input errors (malformed ``--init``/``--invariant``/``--degree``
 values, unreadable files, bad spec JSON) print a one-line ``error:``
 message and exit with status 2; analysis failures exit with status 1.
+``repro lint`` follows the same contract: 0 when clean, 1 when the
+findings demand attention (any error, or any finding at all under
+``--strict``), 2 on malformed input.
 """
 
 from __future__ import annotations
@@ -258,6 +264,93 @@ def _cmd_cfg(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_spec_results(path: str):
+    """Lint every task of a batch spec; yields (task name, CheckResult)."""
+    from .check import check_request
+
+    try:
+        requests = load_spec(path)
+    except OSError as exc:
+        raise CLIError(f"cannot read {path!r}: {exc.strerror or exc}") from None
+    except json.JSONDecodeError as exc:
+        raise CLIError(f"invalid JSON in {path!r}: {exc}") from None
+    except ValueError as exc:
+        raise CLIError(f"invalid spec {path!r}: {exc}") from None
+    if not requests:
+        raise CLIError(f"spec {path!r} contains no tasks")
+    results = []
+    for request in requests:
+        name = request.display_name
+        try:
+            results.append((name, check_request(request)))
+        except (KeyError, ValueError) as exc:
+            raise CLIError(f"invalid task {name!r}: {exc}") from None
+    return results
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .check import check_benchmark, check_program
+
+    init = _parse_cli_valuation(args.init) or None
+
+    if args.benchmark is not None:
+        if args.target is not None:
+            raise CLIError("give either a FILE/SPEC.json or --benchmark NAME, not both")
+        try:
+            bench = get_benchmark(args.benchmark)
+        except KeyError as exc:
+            raise CLIError(str(exc.args[0] if exc.args else exc)) from None
+        results = [(bench.name, check_benchmark(bench, init=init))]
+    elif args.target is None:
+        raise CLIError("missing lint target: FILE, SPEC.json, or --benchmark NAME")
+    elif args.target.endswith(".json"):
+        if args.invariant:
+            raise CLIError("--invariant applies to program files, not batch specs")
+        results = _lint_spec_results(args.target)
+    else:
+        source, program = _read_program(args.target)
+        invariants = extract_invariant_annotations(source)
+        for spec in args.invariant or []:
+            label_id, cond = _parse_invariant_spec(spec)
+            invariants[label_id] = cond
+        results = [
+            (args.target, check_program(program, init=init, invariants=invariants or None))
+        ]
+
+    errors = sum(len(res.errors) for _, res in results)
+    warnings = sum(len(res.warnings) for _, res in results)
+    findings = errors + warnings
+
+    if args.json:
+        payload = {
+            "schema": "repro-lint/v1",
+            "strict": bool(args.strict),
+            "errors": errors,
+            "warnings": warnings,
+            "targets": [
+                {
+                    "name": name,
+                    "diagnostics": res.to_dicts(),
+                    "errors": len(res.errors),
+                    "warnings": len(res.warnings),
+                }
+                for name, res in results
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for name, res in results:
+            for line in res.format_lines():
+                print(f"{name}: {line}")
+        noun = "finding" if findings == 1 else "findings"
+        tally = f"{findings} {noun} ({errors} errors, {warnings} warnings)"
+        print(f"checked {len(results)} target{'s' if len(results) != 1 else ''}: {tally}")
+
+    if errors or (args.strict and findings):
+        return 1
+    return 0
+
+
 def _report_table(reports: List[AnalysisReport]) -> str:
     from .experiments.common import fmt, render_table
 
@@ -280,9 +373,14 @@ def _report_table(reports: List[AnalysisReport]) -> str:
 
 
 def _print_report_diagnostics(reports: List[AnalysisReport]) -> None:
+    from .check import Diagnostic
+
     for report in reports:
         for warning in report.warnings:
             print(f"warning [{report.name}]: {warning}", file=sys.stderr)
+        for entry in report.diagnostics or []:
+            diag = Diagnostic.from_dict(entry)
+            print(f"lint [{report.name}]: {diag.format()}", file=sys.stderr)
         if report.error:
             print(f"error [{report.name}]: {report.error}", file=sys.stderr)
 
@@ -526,6 +624,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_cfg = sub.add_parser("cfg", help="print the labelled control-flow graph")
     p_cfg.add_argument("file")
     p_cfg.set_defaults(func=_cmd_cfg)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the static checks (abstract interpretation + lint rules)"
+    )
+    p_lint.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        metavar="FILE|SPEC.json",
+        help="program file to lint, or a batch spec (by .json suffix) to lint task by task",
+    )
+    p_lint.add_argument("--benchmark", default=None, help="lint a registry benchmark by name")
+    p_lint.add_argument("--init", help="initial valuation, e.g. x=100,y=0")
+    p_lint.add_argument(
+        "--invariant",
+        action="append",
+        metavar="LABEL:COND",
+        help="invariant to validate (repeatable; program files only)",
+    )
+    p_lint.add_argument("--json", action="store_true", help="machine-readable findings")
+    p_lint.add_argument(
+        "--strict", action="store_true", help="exit 1 on any finding, warnings included"
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_bench = sub.add_parser("bench", help="analyze named paper benchmarks")
     p_bench.add_argument("name", nargs="?", help="benchmark name (see 'repro list')")

@@ -57,7 +57,23 @@ try:  # pragma: no cover - exercised indirectly via solve()
 except ImportError:  # pragma: no cover
     _highs_core = None
 
-__all__ = ["HighsDirectBackend", "LinearProgram", "LinprogBackend", "LPSolution"]
+__all__ = [
+    "HighsDirectBackend",
+    "LinearProgram",
+    "LinprogBackend",
+    "LPSolution",
+    "solve_count",
+]
+
+#: Process-wide count of :meth:`LinearProgram.solve` calls.  Purely
+#: observational (tests assert e.g. that strict-mode rejection runs
+#: zero LP solves); never reset by library code.
+_SOLVE_COUNT = [0]
+
+
+def solve_count() -> int:
+    """How many LP solves this process has executed so far."""
+    return _SOLVE_COUNT[0]
 
 #: Per-thread cache of configured HiGHS solver instances, keyed by
 #: presolve setting.  Constructing ``_Highs()`` and pushing options
@@ -287,6 +303,7 @@ class LinearProgram:
         if n == 0:
             raise SynthesisError("linear program has no unknowns")
 
+        _SOLVE_COUNT[0] += 1
         chosen = resolve_backend(backend if backend is not None else active_solver())
         outcome = chosen.solve(self)
         status, x, fun, message = outcome.status, outcome.x, outcome.fun, outcome.message

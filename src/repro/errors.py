@@ -50,6 +50,18 @@ class InvariantError(ReproError):
     """Raised for ill-formed invariant annotations."""
 
 
+class CheckError(ReproError):
+    """Raised when strict-mode static checks reject a program.
+
+    Carries the error-severity :class:`repro.check.Diagnostic` records
+    in ``diagnostics`` so callers can render structured findings.
+    """
+
+    def __init__(self, message: str, diagnostics=None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
+
+
 class DegreeError(ReproError):
     """Raised when an operation would exceed a required degree bound."""
 

@@ -2,288 +2,26 @@
 
 The paper uses the Stanford Invariant Generator [82] to obtain linear
 invariants; any sound generator can be substituted because invariants
-are an *input* to the method.  This module provides a classic interval
-abstract interpretation with widening:
-
-* abstract state: one interval per program variable (plus bottom for
-  unreachable labels);
-* transfer functions follow the CFG label kinds; guards refine the
-  intervals of variables they bound;
-* a worklist iteration with widening after a few visits guarantees
-  termination.
-
-The result is an :class:`InvariantMap` of interval constraints
-(``x - lo >= 0`` and ``hi - x >= 0``), which can be merged with
-hand-written relational annotations when the benchmarks need them.
+are an *input* to the method.  The interval abstract interpreter itself
+lives in :mod:`repro.check.interp` (it is shared with the lint pass);
+this module converts its per-label boxes into an :class:`InvariantMap`
+of interval constraints (``x - lo >= 0`` and ``hi - x >= 0``), which
+can be merged with hand-written relational annotations when the
+benchmarks need them.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping
 
-from ..polynomials import Monomial, Polynomial
-from ..semantics.cfg import (
-    CFG,
-    AssignLabel,
-    BranchLabel,
-    NondetLabel,
-    ProbLabel,
-    TickLabel,
-)
-from ..syntax.ast import Atom, BoolExpr
+from ..check.interp import Interval, analyze_cfg
+from ..polynomials import Polynomial
+from ..semantics.cfg import CFG
 from .annotations import InvariantMap
 from .polyhedron import Polyhedron, Region
 
 __all__ = ["Interval", "generate_interval_invariants"]
-
-_INF = math.inf
-
-
-class Interval:
-    """A closed interval ``[lo, hi]`` (possibly unbounded).
-
-    A plain ``__slots__`` class rather than a dataclass: the worklist
-    iteration allocates intervals in its innermost loops and the frozen
-    dataclass ``object.__setattr__`` construction showed up in profiles.
-    Instances are treated as immutable by convention.
-    """
-
-    __slots__ = ("lo", "hi")
-
-    def __init__(self, lo: float = -_INF, hi: float = _INF):
-        if lo > hi:
-            raise ValueError(f"empty interval [{lo}, {hi}]")
-        self.lo = lo
-        self.hi = hi
-
-    @classmethod
-    def top(cls) -> "Interval":
-        return _TOP
-
-    @classmethod
-    def point(cls, value: float) -> "Interval":
-        return cls(value, value)
-
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, Interval):
-            return NotImplemented
-        return self.lo == other.lo and self.hi == other.hi
-
-    def __hash__(self) -> int:
-        return hash((self.lo, self.hi))
-
-    def is_top(self) -> bool:
-        return self.lo == -_INF and self.hi == _INF
-
-    # -- lattice operations ------------------------------------------------
-
-    def join(self, other: "Interval") -> "Interval":
-        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
-
-    def widen(self, newer: "Interval") -> "Interval":
-        """Standard interval widening: unstable bounds jump to infinity."""
-        lo = self.lo if newer.lo >= self.lo else -_INF
-        hi = self.hi if newer.hi <= self.hi else _INF
-        return Interval(lo, hi)
-
-    def meet(self, other: "Interval") -> Optional["Interval"]:
-        lo, hi = max(self.lo, other.lo), min(self.hi, other.hi)
-        if lo > hi:
-            return None
-        return Interval(lo, hi)
-
-    def __le__(self, other: "Interval") -> bool:
-        return self.lo >= other.lo and self.hi <= other.hi
-
-    # -- arithmetic ----------------------------------------------------------
-
-    def add(self, other: "Interval") -> "Interval":
-        return Interval(self.lo + other.lo, self.hi + other.hi)
-
-    def scale(self, factor: float) -> "Interval":
-        points = [factor * self.lo, factor * self.hi]
-        points = [0.0 if math.isnan(p) else p for p in points]
-        return Interval(min(points), max(points))
-
-    def mul(self, other: "Interval") -> "Interval":
-        products = []
-        for a in (self.lo, self.hi):
-            for b in (other.lo, other.hi):
-                p = a * b
-                products.append(0.0 if math.isnan(p) else p)
-        return Interval(min(products), max(products))
-
-    def power(self, k: int) -> "Interval":
-        result = Interval.point(1.0)
-        for _ in range(k):
-            result = result.mul(self)
-        return result
-
-    def __repr__(self) -> str:
-        return f"[{self.lo:g}, {self.hi:g}]"
-
-
-_TOP = Interval()
-
-State = Dict[str, Interval]
-
-
-def _mul_bounds(alo: float, ahi: float, blo: float, bhi: float) -> Tuple[float, float]:
-    """Interval product on raw floats (NaN from ``0 * inf`` maps to 0)."""
-    lo = hi = None
-    for a in (alo, ahi):
-        for b in (blo, bhi):
-            p = a * b
-            if p != p:  # NaN
-                p = 0.0
-            if lo is None or p < lo:
-                lo = p
-            if hi is None or p > hi:
-                hi = p
-    return lo, hi
-
-
-def _eval_poly(poly: Polynomial, state: State, rvar_bounds: Mapping[str, Tuple[float, float]]) -> Interval:
-    """Interval evaluation of a (numeric) polynomial.
-
-    Works on raw float bounds instead of allocating an ``Interval`` per
-    intermediate — this is the hottest spot of the worklist iteration.
-    """
-    total_lo = total_hi = 0.0
-    for mono, coeff in poly.terms():
-        term_lo = term_hi = 1.0
-        for var, exp in mono:
-            if var in rvar_bounds:
-                base_lo, base_hi = rvar_bounds[var]
-            else:
-                interval = state.get(var)
-                base_lo, base_hi = (interval.lo, interval.hi) if interval is not None else (-_INF, _INF)
-            pow_lo, pow_hi = 1.0, 1.0
-            for _ in range(exp):
-                pow_lo, pow_hi = _mul_bounds(pow_lo, pow_hi, base_lo, base_hi)
-            term_lo, term_hi = _mul_bounds(term_lo, term_hi, pow_lo, pow_hi)
-        c = float(coeff)
-        scaled_lo, scaled_hi = _mul_bounds(term_lo, term_hi, c, c)
-        total_lo += scaled_lo
-        total_hi += scaled_hi
-    return Interval(total_lo, total_hi)
-
-
-def _linear_bound(atom: Atom) -> Optional[Tuple[str, float, float]]:
-    """Decompose ``a*x + b >= 0`` into ``(x, a, b)`` if single-variable linear."""
-    poly = atom.relaxed().poly
-    if not poly.is_linear():
-        return None
-    variables = poly.variables()
-    if len(variables) != 1:
-        return None
-    (var,) = variables
-    a = float(poly.coeff(Monomial.variable(var)))
-    b = float(poly.constant_term())
-    if a == 0.0:
-        return None
-    return var, a, b
-
-
-class _RefineMemo:
-    """Per-analysis cache of guard decompositions.
-
-    The worklist revisits the same branch conditions dozens of times;
-    DNF conversion and the per-atom linear-bound decomposition are pure
-    functions of AST nodes that stay alive (referenced by the CFG) for
-    the whole analysis, so they are memoised by node identity here.
-    """
-
-    __slots__ = ("dnf", "bounds")
-
-    def __init__(self):
-        self.dnf: Dict[Tuple[int, bool], list] = {}
-        self.bounds: Dict[int, Optional[Tuple[str, float, float]]] = {}
-
-    def disjuncts(self, cond: BoolExpr, assume_true: bool) -> list:
-        key = (id(cond), assume_true)
-        cached = self.dnf.get(key)
-        if cached is None:
-            cached = cond.to_dnf() if assume_true else cond.negate().to_dnf()
-            self.dnf[key] = cached
-        return cached
-
-    def linear_bound(self, atom: Atom) -> Optional[Tuple[str, float, float]]:
-        key = id(atom)
-        if key not in self.bounds:
-            self.bounds[key] = _linear_bound(atom)
-        return self.bounds[key]
-
-
-def _refine(state: State, cond: BoolExpr, assume_true: bool, memo: _RefineMemo) -> Optional[State]:
-    """Refine intervals assuming ``cond`` is true (or false).
-
-    Only single-variable linear atoms refine; anything else is ignored
-    (a sound over-approximation).  Returns ``None`` when the branch is
-    provably unreachable.
-    """
-    disjuncts = memo.disjuncts(cond, assume_true)
-    if not disjuncts:
-        return None  # condition is constant-false: branch unreachable
-    refined_states: List[State] = []
-    for conj in disjuncts:
-        current: Optional[State] = dict(state)
-        for atom in conj:
-            decomp = memo.linear_bound(atom)
-            if decomp is None or current is None:
-                continue
-            var, a, b = decomp
-            bound = -b / a
-            limit = Interval(bound, _INF) if a > 0 else Interval(-_INF, bound)
-            met = current.get(var, Interval.top()).meet(limit)
-            if met is None:
-                current = None
-                break
-            current[var] = met
-        if current is not None:
-            refined_states.append(current)
-    if not refined_states:
-        return None
-    out = refined_states[0]
-    for other in refined_states[1:]:
-        out = _join_states(out, other)
-    return out
-
-
-def _join_states(a: State, b: State) -> State:
-    keys = set(a) | set(b)
-    return {k: a.get(k, Interval.top()).join(b.get(k, Interval.top())) for k in keys}
-
-
-def _states_equal(a: Optional[State], b: Optional[State]) -> bool:
-    if a is None or b is None:
-        return a is b
-    keys = set(a) | set(b)
-    return all(a.get(k, Interval.top()) == b.get(k, Interval.top()) for k in keys)
-
-
-def _edge_states(
-    label,
-    state: State,
-    rvar_bounds: Mapping[str, Tuple[float, float]],
-    memo: _RefineMemo,
-) -> List[Tuple[int, Optional[State]]]:
-    """The abstract states flowing out of ``label`` along each edge."""
-    if isinstance(label, AssignLabel):
-        new_state = dict(state)
-        new_state[label.var] = _eval_poly(label.expr, state, rvar_bounds)
-        return [(label.succ, new_state)]
-    if isinstance(label, BranchLabel):
-        return [
-            (label.succ_true, _refine(state, label.cond, True, memo)),
-            (label.succ_false, _refine(state, label.cond, False, memo)),
-        ]
-    if isinstance(label, (ProbLabel, NondetLabel)):
-        return [(label.succ_then, dict(state)), (label.succ_else, dict(state))]
-    if isinstance(label, TickLabel):
-        return [(label.succ, dict(state))]
-    return []  # terminal
 
 
 def generate_interval_invariants(
@@ -296,61 +34,18 @@ def generate_interval_invariants(
     """Run the interval analysis from the initial valuation ``init``.
 
     Variables not mentioned by ``init`` start at 0 (matching the
-    interpreter).  The ascending phase uses widening for termination; a
-    few descending (narrowing) passes then recover the guard-derived
-    bounds that widening destroyed.  Returns interval constraints at
-    every reachable label; unreachable labels get the (vacuous) trivial
-    invariant.
+    interpreter).  Returns interval constraints at every reachable
+    label; unreachable labels get the (vacuous) trivial invariant.
     """
-    rvar_bounds = {name: dist.support_bounds() for name, dist in cfg.rvars.items()}
-    memo = _RefineMemo()
-    entry_state: State = {var: Interval.point(float(init.get(var, 0.0))) for var in cfg.pvars}
-
-    states: Dict[int, Optional[State]] = {label.id: None for label in cfg}
-    visit_counts: Dict[int, int] = {label.id: 0 for label in cfg}
-    states[cfg.entry] = entry_state
-
-    worklist: List[int] = [cfg.entry]
-    iterations = 0
-    while worklist and iterations < max_iterations:
-        iterations += 1
-        label_id = worklist.pop(0)
-        state = states[label_id]
-        if state is None:
-            continue
-        label = cfg.labels[label_id]
-
-        for succ, new_state in _edge_states(label, state, rvar_bounds, memo):
-            if new_state is None:
-                continue
-            old = states[succ]
-            merged = new_state if old is None else _join_states(old, new_state)
-            if old is not None and visit_counts[succ] >= widen_after:
-                merged = {k: old.get(k, Interval.top()).widen(merged.get(k, Interval.top())) for k in merged}
-            if not _states_equal(old, merged):
-                states[succ] = merged
-                visit_counts[succ] += 1
-                if succ not in worklist:
-                    worklist.append(succ)
-
-    # Descending (narrowing) passes: recompute every label's state from
-    # its predecessors' stable states.  Starting from a sound
-    # post-fixpoint, each pass stays sound and recovers guard bounds.
-    for _ in range(narrow_passes):
-        inflow: Dict[int, Optional[State]] = {label.id: None for label in cfg}
-        inflow[cfg.entry] = dict(entry_state)
-        for label_id, state in states.items():
-            if state is None:
-                continue
-            for succ, new_state in _edge_states(cfg.labels[label_id], state, rvar_bounds, memo):
-                if new_state is None:
-                    continue
-                old = inflow[succ]
-                inflow[succ] = new_state if old is None else _join_states(old, new_state)
-        states = inflow
-
+    analysis = analyze_cfg(
+        cfg,
+        init,
+        widen_after=widen_after,
+        narrow_passes=narrow_passes,
+        max_iterations=max_iterations,
+    )
     entries: Dict[int, Region] = {}
-    for label_id, state in states.items():
+    for label_id, state in analysis.states.items():
         if state is None:
             continue
         constraints: List[Polynomial] = []

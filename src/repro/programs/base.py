@@ -105,6 +105,7 @@ class Benchmark:
         mode: Optional[str] = None,
         max_multiplicands: Optional[int] = None,
         auto_invariants: bool = True,
+        check: str = "off",
     ) -> CostAnalysisResult:
         """One concrete pipeline run (the engine's per-degree workhorse).
 
@@ -124,6 +125,7 @@ class Benchmark:
             compute_lower=compute_lower,
             check_concentration=check_concentration,
             max_multiplicands=max_multiplicands,
+            check=check,
         )
 
     def analyze_with(
@@ -148,8 +150,9 @@ class Benchmark:
         # None entries defer to the benchmark's own default degree.
         degrees = options.degree_plan()
         result: Optional[CostAnalysisResult] = None
+        diagnostics = None
         with use_solver(options.solver):
-            for degree in degrees:
+            for index, degree in enumerate(degrees):
                 result = bench._analyze_resolved(
                     init=dict(options.init) if options.init is not None else None,
                     degree=degree,
@@ -158,10 +161,18 @@ class Benchmark:
                     mode=options.mode,
                     max_multiplicands=options.max_multiplicands,
                     auto_invariants=options.auto_invariants,
+                    # Lint once, on the first degree — program and
+                    # invariants are escalation-invariant.
+                    check=getattr(options, "check", "off") if index == 0 else "off",
                 )
+                if index == 0:
+                    diagnostics = result.diagnostics
                 if result.complete_for(options.compute_lower):
                     break
             assert result is not None  # the degree plan is never empty
+            # Re-attach the first degree's findings to the escalation
+            # winner (later analyze() calls skipped the lint).
+            result.diagnostics = diagnostics
             # Once, on the final result only — the auxiliary LP (and a
             # possible degree-1 refit) must not run per discarded
             # escalation degree.

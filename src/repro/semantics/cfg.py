@@ -176,11 +176,22 @@ class TerminalLabel(Label):
 class CFG:
     """A control-flow graph together with its variable declarations."""
 
-    def __init__(self, program: Program, labels: Dict[int, Label], entry: int, exit_: int):
+    def __init__(
+        self,
+        program: Program,
+        labels: Dict[int, Label],
+        entry: int,
+        exit_: int,
+        positions: Optional[Dict[int, Tuple[int, int]]] = None,
+    ):
         self.program = program
         self.labels = labels
         self.entry = entry
         self.exit = exit_
+        #: label id -> (line, column) of the statement's first token, for
+        #: labels whose statement carried parser position info.  Purely
+        #: diagnostic; programmatically built CFGs leave it empty.
+        self.positions: Dict[int, Tuple[int, int]] = dict(positions or {})
         self._check()
 
     def _check(self) -> None:
@@ -326,4 +337,9 @@ def build_cfg(program: Program) -> CFG:
     exit_id = counter[0]
     labels: Dict[int, Label] = {exit_id: TerminalLabel(exit_id)}
     entry = _wire(program.body, exit_id, ids, labels)
-    return CFG(program, labels, entry=entry, exit_=exit_id)
+    positions: Dict[int, Tuple[int, int]] = {}
+    for stmt in program.statements():
+        label_id = ids.get(id(stmt))
+        if label_id is not None and stmt.pos is not None:
+            positions[label_id] = stmt.pos
+    return CFG(program, labels, entry=entry, exit_=exit_id, positions=positions)

@@ -24,6 +24,7 @@ __all__ = [
     "UniformDistribution",
     "UniformIntDistribution",
     "PointDistribution",
+    "GeometricDistribution",
 ]
 
 
@@ -188,3 +189,53 @@ class PointDistribution(DiscreteDistribution):
 
     def __repr__(self) -> str:
         return f"point({self.value:g})"
+
+
+class GeometricDistribution(Distribution):
+    """Number of trials until the first success: support ``{1, 2, ...}``.
+
+    The canonical *unbounded*-support distribution: expected-cost
+    synthesis still works (all raw moments are finite), but the
+    bounded-update side condition of Theorem 6.10 fails statically, so
+    tail bounds are unavailable (the lint pass reports ``REP006``).
+
+    Raw moments are computed by truncated summation of
+    ``n**k * p * (1-p)**(n-1)``; the geometric tail makes the truncation
+    error negligible at machine precision.
+    """
+
+    def __init__(self, p: float):
+        if not 0.0 < p <= 1.0:
+            raise ValueError("geometric parameter must be in (0, 1]")
+        self.p = float(p)
+
+    def moment(self, k: int) -> float:
+        if k < 0:
+            raise ValueError("moment order must be nonnegative")
+        if k == 0:
+            return 1.0
+        if self.p == 1.0:
+            return 1.0
+        q = 1.0 - self.p
+        total = 0.0
+        term_weight = self.p  # p * q**(n-1)
+        for n in range(1, 100_000):
+            term = (float(n) ** k) * term_weight
+            total += term
+            term_weight *= q
+            if term < 1e-16 * max(total, 1.0) and n > 1.0 / self.p:
+                break
+        return total
+
+    def sample(self, rng) -> float:
+        if self.p == 1.0:
+            return 1.0
+        # Inverse transform: ceil(log(1-u) / log(1-p)), clamped to >= 1.
+        u = rng.random()
+        return float(max(1, math.ceil(math.log1p(-u) / math.log(1.0 - self.p))))
+
+    def support_bounds(self) -> Tuple[float, float]:
+        return (1.0, math.inf)
+
+    def __repr__(self) -> str:
+        return f"geometric({self.p:g})"

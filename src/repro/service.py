@@ -14,6 +14,12 @@ LP synthesis:
     byte-identical to what the CLI/engine produce for the same request
     against the same cache; a multi-task body returns
     ``{"schema": "repro-service/v2", "reports": [...]}``.
+``POST /lint``
+    Same body shapes as ``/analyze``, but runs only the static checks
+    of :mod:`repro.check` (abstract interpretation + lint rules +
+    invariant validation) — no LP work, no cache.  A single request
+    returns its diagnostics directly; a multi-task body returns
+    per-target diagnostics with error/warning tallies.
 ``GET /benchmarks``
     The benchmark registry (names, categories, degrees, anchors).
 ``GET /options/defaults``
@@ -352,8 +358,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _do_post(self) -> None:
         path = urlparse(self.path).path.rstrip("/")
+        if path == "/lint":
+            self._post_lint()
+            return
         if path != "/analyze":
-            self._send_error_json(404, f"unknown path {path!r}; POST /analyze")
+            self._send_error_json(404, f"unknown path {path!r}; POST /analyze or POST /lint")
             return
         if self.server.draining.is_set():
             self._send_draining()
@@ -400,6 +409,63 @@ class _Handler(BaseHTTPRequestHandler):
                     "reports": [r.to_dict() for r in reports],
                 },
             )
+
+    def _post_lint(self) -> None:
+        """Static checks only: same body shapes as ``/analyze``, no LP
+        work, no cache — diagnostics come back immediately."""
+        from .check import check_request
+        from .errors import ReproError
+
+        if self.server.draining.is_set():
+            self._send_draining()
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            requests, single = _parse_analyze_body(body)
+        except (TypeError, ValueError) as exc:
+            self._send_error_json(400, f"invalid lint request: {exc}")
+            return
+        if not requests:
+            self._send_error_json(400, "request expands to no tasks")
+            return
+        if not self.server.admission.try_acquire():
+            self._send_throttled()
+            return
+        try:
+            targets = []
+            for request in requests:
+                try:
+                    result = check_request(request)
+                except (KeyError, ValueError, ReproError) as exc:
+                    self._send_error_json(
+                        400, f"invalid task {request.display_name!r}: {exc}"
+                    )
+                    return
+                targets.append(
+                    {
+                        "name": request.display_name,
+                        "diagnostics": result.to_dicts(),
+                        "errors": len(result.errors),
+                        "warnings": len(result.warnings),
+                    }
+                )
+        finally:
+            self.server.admission.release()
+        if single:
+            self._send_json(200, {"schema": SERVICE_SCHEMA, **targets[0]})
+            return
+        self._send_json(
+            200,
+            {
+                "schema": SERVICE_SCHEMA,
+                "tasks": len(targets),
+                "errors": sum(t["errors"] for t in targets),
+                "warnings": sum(t["warnings"] for t in targets),
+                "targets": targets,
+            },
+        )
 
     def _analyze_coalesced(self, request: AnalysisRequest, key: str) -> None:
         """Run one cacheable request with single-flight coalescing.

@@ -223,6 +223,14 @@ class Not(BoolExpr):
 class Stmt:
     """Base class of program statements."""
 
+    #: Source position ``(line, column)`` of the statement's first token,
+    #: set by the parser via ``object.__setattr__`` (the subclasses are
+    #: frozen dataclasses).  ``None`` for programmatically built ASTs.
+    #: Kept out of the dataclass fields so equality, hashing and ``repr``
+    #: are unaffected — two structurally equal statements compare equal
+    #: regardless of where they were written.
+    pos: Optional[Tuple[int, int]] = None
+
     def children(self) -> Sequence["Stmt"]:
         return ()
 

@@ -9,7 +9,7 @@ line comments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 from ..errors import ParseError
 
@@ -40,6 +40,7 @@ KEYWORDS = frozenset(
         "bernoulli",
         "binomial",
         "point",
+        "geometric",
     }
 )
 

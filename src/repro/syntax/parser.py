@@ -32,6 +32,7 @@ from ..semantics.distributions import (
     BinomialDistribution,
     DiscreteDistribution,
     Distribution,
+    GeometricDistribution,
     PointDistribution,
     UniformDistribution,
     UniformIntDistribution,
@@ -171,6 +172,8 @@ class _Parser:
             return BinomialDistribution(int(n), p)
         if kind == "point":
             return PointDistribution(self._parse_signed_number())
+        if kind == "geometric":
+            return GeometricDistribution(self._parse_signed_number())
         raise self.error(f"unknown distribution {kind!r}")
 
     def _parse_signed_number(self) -> float:
@@ -191,6 +194,18 @@ class _Parser:
 
     def _parse_simple_stmt(self) -> Stmt:
         tok = self.peek()
+        stmt = self._parse_simple_stmt_body(tok)
+        # Stamp the source position of the statement's first token.  The
+        # Stmt subclasses are frozen dataclasses; ``pos`` is declared on
+        # the base class outside the fields (see syntax.ast), so we
+        # bypass the frozen guard.  Inline-distribution desugaring can
+        # return a Seq wrapper: stamp its synthesized parts too.
+        for node in (stmt, *stmt.children()):
+            if node.pos is None:
+                object.__setattr__(node, "pos", (tok.line, tok.column))
+        return stmt
+
+    def _parse_simple_stmt_body(self, tok) -> Stmt:
         if self.accept("keyword", "skip"):
             return Skip()
         if self.accept("keyword", "tick"):

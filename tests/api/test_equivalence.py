@@ -109,34 +109,34 @@ class TestStagedVsEngine:
 class TestV1Shim:
     def test_v1_dict_drops_only_newer_fields(self):
         report = Analyzer().analyze("ber")
-        v4 = report.to_dict()
+        v5 = report.to_dict()
         v1 = report_to_v1(report)
-        assert set(v4) - set(v1) == {"lower_skipped", "solver", "tail", "attempts"}
-        assert {k: v for k, v in v4.items() if k in v1} == v1
+        assert set(v5) - set(v1) == {"lower_skipped", "solver", "tail", "attempts", "diagnostics"}
+        assert {k: v for k, v in v5.items() if k in v1} == v1
         # v1 key order is the v4 prefix (bitwise compatibility)
-        assert list(v1) == [k for k in v4 if k in v1]
+        assert list(v1) == [k for k in v5 if k in v1]
 
-    def test_v2_dict_drops_only_v3_and_v4_fields(self):
+    def test_v2_dict_drops_only_newer_fields(self):
         from repro.api import report_to_v2
 
         report = Analyzer().analyze("ber")
-        v4 = report.to_dict()
+        v5 = report.to_dict()
         v2 = report_to_v2(report)
-        assert set(v4) - set(v2) == {"tail", "attempts"}
-        assert {k: v for k, v in v4.items() if k in v2} == v2
+        assert set(v5) - set(v2) == {"tail", "attempts", "diagnostics"}
+        assert {k: v for k, v in v5.items() if k in v2} == v2
         # v2 key order is the v4 prefix (bitwise compatibility)
-        assert list(v2) == [k for k in v4 if k in v2]
+        assert list(v2) == [k for k in v5 if k in v2]
 
-    def test_v3_dict_drops_only_v4_fields(self):
+    def test_v3_dict_drops_only_newer_fields(self):
         from repro.api import report_to_v3
 
         report = Analyzer().analyze("ber")
-        v4 = report.to_dict()
+        v5 = report.to_dict()
         v3 = report_to_v3(report)
-        assert set(v4) - set(v3) == {"attempts"}
-        assert {k: v for k, v in v4.items() if k in v3} == v3
+        assert set(v5) - set(v3) == {"attempts", "diagnostics"}
+        assert {k: v for k, v in v5.items() if k in v3} == v3
         # v3 key order is the v4 prefix (bitwise compatibility)
-        assert list(v3) == [k for k in v4 if k in v3]
+        assert list(v3) == [k for k in v5 if k in v3]
 
     def test_v1_reader_round_trip(self):
         from repro.api import AnalysisReport, report_from_dict

@@ -16,10 +16,13 @@ API_ALL = [
     "AnalysisReport",
     "AnalysisRequest",
     "Analyzer",
+    "CheckResult",
+    "Diagnostic",
     "REPORT_SCHEMA",
     "REPORT_SCHEMA_V1",
     "REPORT_SCHEMA_V2",
     "REPORT_SCHEMA_V3",
+    "REPORT_SCHEMA_V4",
     "ResultCache",
     "RetryPolicy",
     "SolveOutcome",
@@ -34,6 +37,7 @@ API_ALL = [
     "report_to_v1",
     "report_to_v2",
     "report_to_v3",
+    "report_to_v4",
     "request_fingerprint",
     "request_key",
     "requests_from_spec",
@@ -64,6 +68,7 @@ OPTIONS_FIELDS = [
     "tails",
     "tail_horizon",
     "tail_probes",
+    "check",
     "retry",
 ]
 
@@ -96,6 +101,7 @@ REPORT_FIELDS = [
     "solver",
     "tail",
     "attempts",
+    "diagnostics",
 ]
 
 
@@ -118,10 +124,11 @@ def test_report_field_snapshot():
 
 
 def test_report_schema_versions():
-    assert api.REPORT_SCHEMA == "repro-report/v4"
+    assert api.REPORT_SCHEMA == "repro-report/v5"
     assert api.REPORT_SCHEMA_V1 == "repro-report/v1"
     assert api.REPORT_SCHEMA_V2 == "repro-report/v2"
     assert api.REPORT_SCHEMA_V3 == "repro-report/v3"
+    assert api.REPORT_SCHEMA_V4 == "repro-report/v4"
 
 
 def test_top_level_reexports():

@@ -1,0 +1,101 @@
+"""``repro lint`` exit-code contract: 0 clean / 1 findings / 2 malformed."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = "var x;\nx := 5;\nwhile x >= 1 do\n  x := x - 1;\n  tick(1)\nod\n"
+WARN_ONLY = "var x, y;\nx := 5;\nwhile x >= 1 do\n  x := x - 1;\n  tick(1)\nod\n"
+DIVERGENT = "var x;\nwhile x <= 0 do\n  tick(1)\nod\n"
+
+
+@pytest.fixture
+def write(tmp_path):
+    def _write(name, text):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    return _write
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, write, capsys):
+        assert main(["lint", write("clean.prob", CLEAN)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_benchmark_clean_exits_zero(self, capsys):
+        assert main(["lint", "--benchmark", "rdwalk"]) == 0
+
+    def test_error_exits_one(self, write, capsys):
+        code = main(["lint", write("div.prob", DIVERGENT), "--init", "x=0"])
+        assert code == 1
+        assert "REP008" in capsys.readouterr().out
+
+    def test_warning_exits_zero_unless_strict(self, write, capsys):
+        path = write("warn.prob", WARN_ONLY)
+        assert main(["lint", path]) == 0
+        assert main(["lint", path, "--strict"]) == 1
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["lint", "/nonexistent/nope.prob"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_benchmark_exits_two(self, capsys):
+        assert main(["lint", "--benchmark", "nosuch"]) == 2
+
+    def test_missing_target_exits_two(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_both_file_and_benchmark_exits_two(self, write, capsys):
+        assert main(["lint", write("a.prob", CLEAN), "--benchmark", "rdwalk"]) == 2
+
+    def test_parse_error_exits_one_as_analysis_failure(self, write, capsys):
+        # Broken surface syntax is a ReproError (ParseError), exit 1 by
+        # the global CLI contract.
+        code = main(["lint", write("broken.prob", "var x := ;")])
+        assert code in (1, 2)
+        assert "error" in capsys.readouterr().err
+
+
+class TestOutput:
+    def test_json_payload(self, write, capsys):
+        code = main(["lint", write("div.prob", DIVERGENT), "--init", "x=0", "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-lint/v1"
+        assert payload["errors"] == 1
+        (target,) = payload["targets"]
+        (diag,) = target["diagnostics"]
+        assert diag["code"] == "REP008"
+        assert (diag["line"], diag["column"]) == (2, 1)
+
+    def test_invariant_flag_flags_unsound_annotation(self, write, capsys):
+        code = main(["lint", write("clean.prob", CLEAN), "--invariant", "2: x >= 100"])
+        assert code == 1
+        assert "REP010" in capsys.readouterr().out
+
+    def test_annotation_comments_are_linted(self, write, capsys):
+        annotated = "# @invariant 2: x >= 100\n" + CLEAN
+        assert main(["lint", write("annot.prob", annotated)]) == 1
+
+    def test_spec_target(self, write, capsys):
+        spec = {
+            "tasks": [
+                {"name": "rdwalk", "benchmark": "rdwalk"},
+                {"name": "bad", "source": DIVERGENT, "init": {"x": 0.0}},
+            ]
+        }
+        path = write("spec.json", json.dumps(spec))
+        assert main(["lint", path]) == 1
+        out = capsys.readouterr().out
+        assert "bad:" in out and "REP008" in out
+        assert "checked 2 targets" in out
+
+    def test_empty_spec_exits_two(self, write, capsys):
+        assert main(["lint", write("empty.json", '{"tasks": []}')]) == 2
+
+    def test_bad_json_exits_two(self, write, capsys):
+        assert main(["lint", write("broken.json", "{nope")]) == 2

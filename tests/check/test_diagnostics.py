@@ -1,0 +1,95 @@
+"""Diagnostic record and CheckResult container tests."""
+
+import pytest
+
+from repro.check import CODES, SEVERITIES, CheckResult, Diagnostic, sort_diagnostics
+
+
+class TestCatalog:
+    def test_twelve_stable_codes(self):
+        assert sorted(CODES) == [f"REP{n:03d}" for n in range(1, 13)]
+
+    def test_every_code_has_valid_severity(self):
+        for code, (severity, title) in CODES.items():
+            assert severity in SEVERITIES, code
+            assert title, code
+
+    def test_error_codes(self):
+        errors = {code for code, (severity, _) in CODES.items() if severity == "error"}
+        assert errors == {"REP001", "REP008", "REP010"}
+
+
+class TestDiagnostic:
+    def test_of_uses_catalog_severity(self):
+        diag = Diagnostic.of("REP009", "unused variable 'y'")
+        assert diag.severity == "warning"
+        assert Diagnostic.of("REP010", "bad invariant").severity == "error"
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="REP999", severity="warning", message="nope")
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="REP009", severity="fatal", message="nope")
+
+    def test_format_with_position(self):
+        diag = Diagnostic.of("REP005", "zero tick", label=4, line=7, column=3)
+        assert diag.format() == "7:3: REP005 warning: zero tick"
+
+    def test_format_label_fallback(self):
+        diag = Diagnostic.of("REP005", "zero tick", label=4)
+        assert diag.format() == "label 4: REP005 warning: zero tick"
+
+    def test_format_no_location(self):
+        assert Diagnostic.of("REP009", "unused").format() == "REP009 warning: unused"
+
+    def test_dict_roundtrip(self):
+        diag = Diagnostic.of("REP010", "unsound", label=2, line=5, column=1)
+        assert Diagnostic.from_dict(diag.to_dict()) == diag
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = Diagnostic.of("REP009", "unused").to_dict()
+        data["surprise"] = True
+        with pytest.raises(ValueError):
+            Diagnostic.from_dict(data)
+
+
+class TestCheckResult:
+    def _mixed(self):
+        return CheckResult(
+            diagnostics=[
+                Diagnostic.of("REP010", "unsound", label=2),
+                Diagnostic.of("REP009", "unused"),
+            ]
+        )
+
+    def test_partitions(self):
+        result = self._mixed()
+        assert [d.code for d in result.errors] == ["REP010"]
+        assert [d.code for d in result.warnings] == ["REP009"]
+        assert set(result.codes()) == {"REP009", "REP010"}
+
+    def test_ok_vs_clean(self):
+        result = self._mixed()
+        assert not result.ok and not result.clean
+        warn_only = CheckResult(diagnostics=[Diagnostic.of("REP009", "unused")])
+        assert warn_only.ok and not warn_only.clean
+        empty = CheckResult(diagnostics=[])
+        assert empty.ok and empty.clean
+
+    def test_to_dicts_and_format_lines(self):
+        result = self._mixed()
+        assert all(isinstance(entry, dict) for entry in result.to_dicts())
+        assert len(result.format_lines()) == 2
+
+
+class TestSorting:
+    def test_reading_order(self):
+        unsorted = [
+            Diagnostic.of("REP009", "no location"),
+            Diagnostic.of("REP005", "late", line=9, column=1, label=5),
+            Diagnostic.of("REP005", "early", line=2, column=1, label=3),
+        ]
+        ordered = sort_diagnostics(unsorted)
+        assert [d.message for d in ordered] == ["early", "late", "no location"]

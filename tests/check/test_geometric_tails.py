@@ -1,0 +1,114 @@
+"""The geometric distribution and the REP006 tail-bound degradation."""
+
+import math
+import random
+import types
+
+import pytest
+
+from repro.analysis.bounds import analyze
+from repro.analysis.tails import derive_tail_bound
+from repro.errors import UnboundedError
+from repro.semantics import build_cfg
+from repro.semantics.distributions import GeometricDistribution
+from repro.syntax import parse_program
+
+GEOMETRIC_WALK = """
+var x;
+sample r ~ geometric(0.5);
+x := 10;
+while x >= 1 do
+    x := x - r;
+    tick(1)
+od
+"""
+
+
+class TestGeometricDistribution:
+    def test_mean_and_variance(self):
+        dist = GeometricDistribution(0.25)
+        assert dist.moment(1) == pytest.approx(4.0, rel=1e-9)
+        # E[X^2] = (2 - p) / p^2
+        assert dist.moment(2) == pytest.approx((2 - 0.25) / 0.25**2, rel=1e-9)
+
+    def test_degenerate_p_one(self):
+        dist = GeometricDistribution(1.0)
+        assert dist.moment(1) == 1.0
+        assert dist.sample(random.Random(7)) == 1.0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            GeometricDistribution(0.0)
+        with pytest.raises(ValueError):
+            GeometricDistribution(1.5)
+
+    def test_unbounded_support(self):
+        dist = GeometricDistribution(0.5)
+        assert not dist.is_bounded()
+        lo, hi = dist.support_bounds()
+        assert lo == 1.0 and math.isinf(hi)
+
+    def test_samples_in_support(self):
+        dist = GeometricDistribution(0.3)
+        rng = random.Random(42)
+        draws = [dist.sample(rng) for _ in range(500)]
+        assert all(draw >= 1.0 and draw == int(draw) for draw in draws)
+        mean = sum(draws) / len(draws)
+        assert mean == pytest.approx(1 / 0.3, rel=0.15)
+
+    def test_parses_from_surface_syntax(self):
+        program = parse_program(GEOMETRIC_WALK, name="geo")
+        cfg = build_cfg(program)
+        assert isinstance(cfg.rvars["r"], GeometricDistribution)
+        assert repr(cfg.rvars["r"]) == "geometric(0.5)"
+
+
+class TestTailDegradation:
+    def test_derive_tail_bound_fails_fast_statically(self):
+        # The static pre-check must fire before any difference-bound or
+        # refit LP work: a stub with no certificate payload suffices.
+        cfg = build_cfg(parse_program(GEOMETRIC_WALK, name="geo"))
+        stub = types.SimpleNamespace(
+            upper=object(), cfg=cfg, invariants=None, mode=None
+        )
+        with pytest.raises(UnboundedError) as excinfo:
+            derive_tail_bound(stub)
+        assert "REP006" in str(excinfo.value)
+        assert "'r'" in str(excinfo.value)
+
+    def test_analyze_tails_degrades_to_warning(self):
+        program = parse_program(GEOMETRIC_WALK, name="geo")
+        result = analyze(
+            program,
+            init={"x": 10.0},
+            degree=1,
+            compute_lower=False,
+            tails=True,
+            check="warn",
+        )
+        assert result.tail is None
+        assert any("tail bound unavailable" in w for w in result.warnings)
+        assert any(d.code == "REP006" for d in result.diagnostics)
+
+    def test_bounded_support_unaffected(self):
+        # A dead (unused) unbounded sampling variable must not block
+        # the tail bound: only variables that actually move the state
+        # matter.
+        source = (
+            "var x;\n"
+            "sample dead ~ geometric(0.5);\n"
+            "sample r ~ discrete(1: 0.5, 2: 0.5);\n"
+            "x := 10;\n"
+            "while x >= 1 do\n"
+            "  x := x - r;\n"
+            "  tick(1)\n"
+            "od\n"
+        )
+        result = analyze(
+            parse_program(source, name="bounded"),
+            init={"x": 10.0},
+            degree=1,
+            compute_lower=False,
+            tails=True,
+        )
+        assert result.tail is not None

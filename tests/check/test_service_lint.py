@@ -1,0 +1,91 @@
+"""``POST /lint`` service endpoint tests."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import create_server
+
+DIVERGENT = "var x;\nwhile x <= 0 do\n  tick(1)\nod\n"
+
+
+@pytest.fixture(scope="module")
+def service():
+    server = create_server(host="127.0.0.1", port=0, jobs=1)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _post(base, path, payload):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestLintEndpoint:
+    def test_single_clean_benchmark(self, service):
+        status, payload = _post(service, "/lint", {"benchmark": "rdwalk"})
+        assert status == 200
+        assert payload["diagnostics"] == []
+        assert payload["errors"] == 0 and payload["warnings"] == 0
+
+    def test_single_source_with_findings(self, service):
+        status, payload = _post(
+            service, "/lint", {"name": "bad", "source": DIVERGENT, "init": {"x": 0.0}}
+        )
+        assert status == 200
+        (diag,) = payload["diagnostics"]
+        assert diag["code"] == "REP008" and diag["severity"] == "error"
+
+    def test_multi_task_body(self, service):
+        status, payload = _post(
+            service,
+            "/lint",
+            {
+                "tasks": [
+                    {"name": "rdwalk", "benchmark": "rdwalk"},
+                    {"name": "bad", "source": DIVERGENT, "init": {"x": 0.0}},
+                ]
+            },
+        )
+        assert status == 200
+        assert payload["tasks"] == 2
+        assert payload["errors"] == 1
+        assert [t["name"] for t in payload["targets"]] == ["rdwalk", "bad"]
+
+    def test_malformed_task_is_400(self, service):
+        status, payload = _post(service, "/lint", {"name": "x", "source": "var x := ;"})
+        assert status == 400
+        assert "error" in payload
+
+    def test_unknown_post_path_mentions_lint(self, service):
+        status, payload = _post(service, "/nope", {"benchmark": "rdwalk"})
+        assert status == 404
+        assert "/lint" in payload["error"]
+
+    def test_strict_gating_still_via_analyze(self, service):
+        # /analyze with check=strict returns a rejected report, not an
+        # HTTP error — rejection is an analysis outcome.
+        status, payload = _post(
+            service,
+            "/analyze",
+            {"name": "bad", "source": DIVERGENT, "init": {"x": 0.0}, "check": "strict"},
+        )
+        assert status == 200
+        assert payload["status"] == "rejected"
+        assert "REP008" in payload["error"]
