@@ -1,0 +1,196 @@
+"""Wall-clock harness for the Monte-Carlo simulation path.
+
+Times the reference (one label per Python step) and vectorized (NumPy
+batch superstep) engines over the full benchmark registry, plus the
+10k-run empirical tail validation (``table_tails``) that motivated the
+batch engine, and writes the measurements to ``BENCH_simulation.json``
+at the repository root so future PRs have a trajectory to beat.
+
+Synthesis (the LP/Handelman hot path) is excluded: that is
+``benchmarks/perf_harness.py``'s territory.  This harness tracks pure
+simulation throughput in runs/second.
+
+Methodology: both engines run every registry benchmark from its
+canonical initial valuation with the same step horizon.  The reference
+engine gets a smaller batch (its cost is linear in runs, so runs/sec is
+batch-size independent); the vectorized engine gets the full batch the
+soundness layers actually use, *after* a warm-up call so compile time
+is not billed to steady-state throughput (it is reported separately by
+the cold/warm tail-validation split).  ``speedup`` is the ratio of
+runs/second, which is directly comparable across batch sizes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/sim_harness.py [--quick] [--output PATH]
+
+``--quick`` shrinks batch sizes and the benchmark set (CI smoke test);
+the committed JSON is a full run.
+
+Output schema (``repro-bench-simulation/v1``)::
+
+    {
+      "schema": "repro-bench-simulation/v1",
+      "meta": {"python": ..., "quick": ..., "reference_runs": ...,
+               "vectorized_runs": ..., "max_steps": ..., "timestamp": ...},
+      "benchmarks": {
+        "<name>": {
+          "reference_runs_per_s":  <reference engine throughput>,
+          "vectorized_runs_per_s": <vectorized engine throughput>,
+          "speedup":               <vectorized / reference>
+        }, ...
+      },
+      "aggregate": {   # totals over the sweep (total runs / total seconds)
+        "reference_runs_per_s": ..., "vectorized_runs_per_s": ...,
+        "speedup": ...
+      },
+      "tail_validation": {   # build_table_tails at the paper's scale
+        "runs": ..., "cold_seconds": <includes CFG compile>,
+        "warm_seconds": ..., "rows": ..., "sound_rows": ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict
+
+from repro.programs import all_benchmarks
+from repro.semantics import simulate
+
+#: Repository root — the default report location, so running the
+#: harness from any working directory updates the tracked JSON.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_DEFAULT_OUTPUT = str(_REPO_ROOT / "BENCH_simulation.json")
+
+#: One step horizon for both engines: large enough that every registry
+#: benchmark either terminates or accumulates a representative cost
+#: prefix, small enough that the divergent benchmarks (nested_loop,
+#: bitcoin_pool) stay affordable on the reference engine.
+_MAX_STEPS = 10_000
+
+#: Benchmarks kept in ``--quick`` mode — a spread over cheap/expensive,
+#: terminating/truncating, prob/nondet so the smoke test exercises every
+#: compilation path without the full sweep's reference-engine cost.
+_QUICK_SET = {
+    "rdwalk",
+    "ber",
+    "linear01",
+    "race",
+    "rdbub",
+    "bitcoin_mining",
+    "nested_loop",
+}
+
+
+def _sweep(quick: bool) -> list:
+    benches = list(all_benchmarks())
+    if quick:
+        benches = [b for b in benches if b.name in _QUICK_SET]
+    return benches
+
+
+def _time_engine(bench, engine: str, runs: int) -> float:
+    """``(runs/second, elapsed_seconds)`` of ``engine`` on ``bench``."""
+    # Warm up: compiles the CFG (vectorized) and touches every lazy
+    # per-benchmark cache (parse, CFG build) out of the timed region.
+    simulate(bench.cfg, bench.init, runs=4, seed=0, max_steps=_MAX_STEPS, engine=engine)
+    start = time.perf_counter()
+    simulate(bench.cfg, bench.init, runs=runs, seed=7, max_steps=_MAX_STEPS, engine=engine)
+    elapsed = time.perf_counter() - start
+    return runs / elapsed, elapsed
+
+
+def _time_tail_validation(runs: int) -> dict:
+    from repro.experiments.table_tails import build_table_tails
+
+    start = time.perf_counter()
+    rows = build_table_tails(runs=runs, seed=7)
+    cold = time.perf_counter() - start
+    start = time.perf_counter()
+    rows = build_table_tails(runs=runs, seed=7)
+    warm = time.perf_counter() - start
+    return {
+        "runs": runs,
+        "cold_seconds": round(cold, 4),
+        "warm_seconds": round(warm, 4),
+        "rows": len(rows),
+        "sound_rows": sum(1 for r in rows if r.sound),
+    }
+
+
+def run(quick: bool = False, output: str = _DEFAULT_OUTPUT) -> dict:
+    ref_runs = 60 if quick else 300
+    vec_runs = 4_000 if quick else 10_000
+    benches = _sweep(quick)
+
+    per_bench: Dict[str, dict] = {}
+    ref_total = vec_total = 0.0
+    for bench in benches:
+        ref_rps, ref_s = _time_engine(bench, "reference", ref_runs)
+        vec_rps, vec_s = _time_engine(bench, "vectorized", vec_runs)
+        ref_total += ref_s
+        vec_total += vec_s
+        per_bench[bench.name] = {
+            "reference_runs_per_s": round(ref_rps, 1),
+            "vectorized_runs_per_s": round(vec_rps, 1),
+            "speedup": round(vec_rps / ref_rps, 2),
+        }
+        print(
+            f"{bench.name:20s} ref {ref_rps:10.0f} runs/s   "
+            f"vec {vec_rps:10.0f} runs/s   {vec_rps / ref_rps:8.1f}x",
+            flush=True,
+        )
+
+    agg_ref = len(benches) * ref_runs / ref_total
+    agg_vec = len(benches) * vec_runs / vec_total
+    tail = _time_tail_validation(2_000 if quick else 10_000)
+
+    report = {
+        "schema": "repro-bench-simulation/v1",
+        "meta": {
+            "python": sys.version.split()[0],
+            "quick": quick,
+            "reference_runs": ref_runs,
+            "vectorized_runs": vec_runs,
+            "max_steps": _MAX_STEPS,
+            "benchmarks": len(benches),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "benchmarks": per_bench,
+        "aggregate": {
+            "reference_runs_per_s": round(agg_ref, 1),
+            "vectorized_runs_per_s": round(agg_vec, 1),
+            "speedup": round(agg_vec / agg_ref, 2),
+        },
+        "tail_validation": tail,
+    }
+    out_path = Path(output)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    print(
+        f"aggregate: ref {agg_ref:.0f} runs/s, vec {agg_vec:.0f} runs/s "
+        f"({agg_vec / agg_ref:.1f}x); tail validation "
+        f"{tail['runs']} runs in {tail['cold_seconds']}s cold / "
+        f"{tail['warm_seconds']}s warm, {tail['sound_rows']}/{tail['rows']} sound"
+    )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller batches on a benchmark subset"
+    )
+    parser.add_argument("--output", default=_DEFAULT_OUTPUT, help="report path")
+    args = parser.parse_args(argv)
+    run(quick=args.quick, output=args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,8 +4,6 @@ substrate independently of whole-table regeneration."""
 
 import random
 
-import pytest
-
 from repro.core import make_template, pre_expectation_cases
 from repro.invariants import generate_interval_invariants
 from repro.programs import get_benchmark

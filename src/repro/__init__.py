@@ -78,7 +78,7 @@ from .semantics import (
 from .syntax import Program, parse_condition, parse_expression, parse_program, replace_nondet
 from .termination import RankingCertificate, certify_concentration, synthesize_rsm
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 # The typed front door; imported last — it composes the layers above.
 from .api import AnalysisOptions, AnalysisReport, AnalysisRequest, Analyzer  # noqa: E402

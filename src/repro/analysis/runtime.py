@@ -13,9 +13,8 @@ from __future__ import annotations
 
 from typing import Mapping, Optional, Union
 
-from ..invariants import InvariantMap
 from ..polynomials import Polynomial
-from ..syntax.ast import Assign, If, NondetIf, ProbIf, Program, Seq, Skip, Stmt, Tick, While
+from ..syntax.ast import If, NondetIf, ProbIf, Program, Seq, Skip, Stmt, Tick, While
 from ..syntax.parser import parse_program
 from .bounds import CostAnalysisResult, analyze
 

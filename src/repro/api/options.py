@@ -66,6 +66,10 @@ class AnalysisOptions:
     simulate_runs: Optional[int] = None
     simulate_seed: int = 0
     simulate_max_steps: int = 1_000_000
+    #: Simulation engine: ``"auto"`` (NumPy batch stepper for large
+    #: batches, with transparent fallback), ``"vectorized"`` (force the
+    #: batch stepper) or ``"reference"`` (pure-Python loop).
+    simulate_engine: str = "auto"
     #: Simulate even a nondeterministic program (default then-branch
     #: scheduler); off because a demonic bound is not comparable to one
     #: fixed policy's statistics.
@@ -143,6 +147,11 @@ class AnalysisOptions:
             raise ValueError(f"simulate_runs must be positive, got {self.simulate_runs}")
         if self.simulate_max_steps < 1:
             raise ValueError(f"simulate_max_steps must be >= 1, got {self.simulate_max_steps}")
+        if self.simulate_engine not in ("auto", "vectorized", "reference"):
+            raise ValueError(
+                "simulate_engine must be 'auto', 'vectorized' or 'reference', "
+                f"got {self.simulate_engine!r}"
+            )
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
         if not isinstance(self.tails, bool):
@@ -261,6 +270,7 @@ class AnalysisOptions:
             simulate_runs=self.simulate_runs,
             simulate_seed=self.simulate_seed,
             simulate_max_steps=self.simulate_max_steps,
+            simulate_engine=self.simulate_engine,
             simulate_nondet=self.simulate_nondet,
             timeout_s=self.timeout_s,
             tag=self.tag,
@@ -291,6 +301,7 @@ class AnalysisOptions:
             simulate_runs=request.simulate_runs,
             simulate_seed=request.simulate_seed,
             simulate_max_steps=request.simulate_max_steps,
+            simulate_engine=request.simulate_engine,
             simulate_nondet=request.simulate_nondet,
             timeout_s=request.timeout_s,
             tag=request.tag,

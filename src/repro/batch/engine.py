@@ -254,6 +254,7 @@ def execute_request(request: AnalysisRequest, attempt: int = 1) -> AnalysisRepor
                         runs=request.simulate_runs,
                         seed=request.simulate_seed,
                         max_steps=request.simulate_max_steps,
+                        engine=request.simulate_engine,
                     )
                     # Truncated runs are excluded from mean/std (their
                     # partial cost would bias Monte-Carlo soundness

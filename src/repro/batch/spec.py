@@ -124,6 +124,11 @@ class AnalysisRequest:
     simulate_runs: Optional[int] = None
     simulate_seed: int = 0
     simulate_max_steps: int = 1_000_000
+    #: Simulation engine: ``"auto"`` (vectorized NumPy batch stepper for
+    #: large batches, reference loop otherwise), ``"vectorized"`` or
+    #: ``"reference"``.  Part of the cache fingerprint because the two
+    #: engines draw different RNG streams for the same seed.
+    simulate_engine: str = "auto"
     #: Simulate even a nondeterministic program (under the default
     #: then-branch scheduler); off by default because a demonic bound
     #: is not comparable to one fixed policy's statistics.
@@ -181,6 +186,11 @@ class AnalysisRequest:
             raise ValueError(f"nondet_prob must be in [0, 1], got {self.nondet_prob}")
         if self.simulate_runs is not None and self.simulate_runs <= 0:
             raise ValueError(f"simulate_runs must be positive, got {self.simulate_runs}")
+        if self.simulate_engine not in ("auto", "vectorized", "reference"):
+            raise ValueError(
+                "simulate_engine must be 'auto', 'vectorized' or 'reference', "
+                f"got {self.simulate_engine!r}"
+            )
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
         if not isinstance(self.tails, bool):

@@ -97,6 +97,9 @@ __all__ = [
 ]
 
 #: On-disk entry schema; bumping it invalidates every existing entry.
+#: v6: fingerprints carry the simulation engine — ``auto``/``vectorized``
+#: draw a different RNG stream than ``reference`` for the same seed, so
+#: their sim statistics must never alias.
 #: v5: reports are ``repro-report/v5`` shaped (``diagnostics``) and
 #: fingerprints carry the ``check`` mode — a warn-mode report embeds
 #: lint findings, so it must never alias a check-off entry.
@@ -107,7 +110,7 @@ __all__ = [
 #: fingerprints carry the tail-analysis settings.
 #: v2: reports are ``repro-report/v2`` shaped and fingerprints carry
 #: the resolved solver backend id + invariant policy.
-ENTRY_SCHEMA = "repro-cache/v5"
+ENTRY_SCHEMA = "repro-cache/v6"
 
 
 def cache_salt() -> str:
@@ -295,6 +298,7 @@ def request_fingerprint(request) -> Dict[str, Any]:
             "seed": int(request.simulate_seed),
             "max_steps": int(request.simulate_max_steps),
             "nondet": bool(request.simulate_nondet),
+            "engine": str(request.simulate_engine),
         }
 
     tails: Optional[Dict[str, Any]] = None

@@ -239,8 +239,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.max_steps < 1:
         raise CLIError(f"invalid --max-steps value {args.max_steps}; must be >= 1")
     cfg = build_cfg(program)
-    stats = simulate(cfg, init, runs=args.runs, seed=args.seed, max_steps=args.max_steps)
+    stats = simulate(
+        cfg, init, runs=args.runs, seed=args.seed, max_steps=args.max_steps, engine=args.engine
+    )
     print(f"runs:             {stats.runs}")
+    print(f"engine:           {stats.engine}")
     if stats.terminated_runs > 0:
         print(f"mean cost:        {stats.mean:.6g}")
         print(f"std:              {stats.std:.6g}")
@@ -618,6 +621,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument(
         "--max-steps", type=int, default=1_000_000, help="truncate runs after this many steps"
+    )
+    p_sim.add_argument(
+        "--engine",
+        choices=("auto", "vectorized", "reference"),
+        default="auto",
+        help="interpreter: 'auto' picks the vectorized NumPy batch stepper "
+        "for large batches and falls back transparently, 'vectorized' and "
+        "'reference' force one engine (default: auto)",
     )
     p_sim.set_defaults(func=_cmd_simulate)
 

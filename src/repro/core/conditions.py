@@ -23,7 +23,7 @@ from typing import List, Optional
 from ..errors import InfeasibleError, UnboundedError
 from ..invariants import InvariantMap
 from ..polynomials import LinForm, Polynomial
-from ..semantics.cfg import CFG, AssignLabel, TickLabel
+from ..semantics.cfg import CFG, AssignLabel
 from .handelman import certificate_equalities
 from .lp import LinearProgram
 

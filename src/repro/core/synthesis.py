@@ -43,7 +43,7 @@ from itertools import product as iter_product
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..deadline import check_deadline
-from ..errors import InfeasibleError, SynthesisError, UnboundedError
+from ..errors import InfeasibleError, SynthesisError
 from ..invariants import InvariantMap
 from ..polynomials import LinForm, Polynomial
 from ..semantics.cfg import CFG, NondetLabel, TerminalLabel

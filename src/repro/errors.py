@@ -46,6 +46,13 @@ class CFGError(ReproError):
     """Raised when a control-flow graph is inconsistent."""
 
 
+class VectorizationError(SemanticsError):
+    """The vectorized batch interpreter cannot compile this program or
+    scheduler (e.g. a history-dependent scheduler).  ``simulate`` in
+    ``engine="auto"`` mode catches it and falls back to the reference
+    interpreter transparently."""
+
+
 class InvariantError(ReproError):
     """Raised for ill-formed invariant annotations."""
 

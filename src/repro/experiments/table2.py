@@ -25,7 +25,7 @@ from ..baseline import baseline_upper_bound
 from ..batch import AnalysisReport, AnalysisRequest
 from ..errors import SynthesisError, UnsupportedProgramError
 from ..programs import TABLE2_BENCHMARKS, Benchmark
-from .common import add_driver_args, driver_analyzer, fmt, fmt_poly, render_table, table_analyzer
+from .common import add_driver_args, driver_analyzer, fmt_poly, render_table, table_analyzer
 
 __all__ = ["Table2Row", "build_table2", "main"]
 

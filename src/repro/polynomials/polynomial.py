@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, Mapping, Tuple, Union
 
 from ..errors import ZERO_TOL, NonLinearError
-from .linform import Coeff, LinForm, as_linform, cadd, cis_zero, cmul, cneg
+from .linform import Coeff, LinForm, cadd, cis_zero, cmul, cneg
 from .monomial import Monomial
 
 __all__ = ["Polynomial"]

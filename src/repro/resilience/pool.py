@@ -37,11 +37,10 @@ from __future__ import annotations
 import heapq
 import itertools
 import multiprocessing
-import os
 import signal
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from multiprocessing import connection
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 

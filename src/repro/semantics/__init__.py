@@ -20,7 +20,7 @@ from .distributions import (
     UniformDistribution,
     UniformIntDistribution,
 )
-from .interpreter import RunResult, SimulationStats, run, simulate
+from .interpreter import AUTO_MIN_RUNS, RunResult, SimulationStats, run, simulate
 from .schedulers import (
     CallbackScheduler,
     ElseScheduler,
@@ -30,7 +30,11 @@ from .schedulers import (
     ThenScheduler,
 )
 
+from .vectorized import BatchProgram, compile_cfg, simulate_vectorized
+
 __all__ = [
+    "AUTO_MIN_RUNS",
+    "BatchProgram",
     "CFG",
     "AssignLabel",
     "BernoulliDistribution",
@@ -55,6 +59,8 @@ __all__ = [
     "UniformDistribution",
     "UniformIntDistribution",
     "build_cfg",
+    "compile_cfg",
     "run",
     "simulate",
+    "simulate_vectorized",
 ]

@@ -6,15 +6,23 @@ variables; what the analysis actually consumes is
 * raw moments ``E[r**k]`` (for the pre-expectation calculus), and
 * support bounds (for the bounded-update side condition of Theorem 6.10),
 
-while the Monte-Carlo interpreter additionally needs ``sample(rng)``.
-All distributions here provide the three, exactly.
+while the Monte-Carlo interpreter additionally needs ``sample(rng)`` and
+the vectorized batch interpreter ``sample_batch(rng, n)`` — a whole
+batch of independent draws through a :class:`numpy.random.Generator`.
+All distributions here provide the four, exactly; ``sample_batch`` has a
+sequential fallback in the base class so user-defined distributions that
+only implement ``sample`` keep working everywhere (just without the
+vectorized speedup).
 """
 
 from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from bisect import bisect_left
 from typing import Dict, Sequence, Tuple
+
+from ..errors import SemanticsError
 
 __all__ = [
     "Distribution",
@@ -27,6 +35,31 @@ __all__ = [
     "GeometricDistribution",
 ]
 
+#: Hard ceiling on adaptive moment summation (see
+#: :meth:`GeometricDistribution.moment`): exceeding it raises instead of
+#: silently returning a truncated underestimate.
+_MOMENT_MAX_TERMS = 1_000_000
+
+#: Relative tolerance the certified summation remainder must reach.
+_MOMENT_REL_TOL = 1e-12
+
+
+class _SequentialAdapter:
+    """Present a :class:`numpy.random.Generator` as the ``random.Random``
+    subset (``random()``/``uniform()``) that ``sample`` consumes, for the
+    base-class ``sample_batch`` fallback."""
+
+    __slots__ = ("_rng",)
+
+    def __init__(self, rng):
+        self._rng = rng
+
+    def random(self) -> float:
+        return float(self._rng.random())
+
+    def uniform(self, a: float, b: float) -> float:
+        return float(self._rng.uniform(a, b))
+
 
 class Distribution(ABC):
     """A probability distribution over the reals."""
@@ -38,6 +71,19 @@ class Distribution(ABC):
     @abstractmethod
     def sample(self, rng) -> float:
         """Draw one value using a :class:`random.Random`-like ``rng``."""
+
+    def sample_batch(self, rng, n: int):
+        """Draw ``n`` independent values as a float array.
+
+        ``rng`` is a :class:`numpy.random.Generator`.  Subclasses
+        override this with a truly vectorized implementation; the base
+        fallback loops over :meth:`sample` so any distribution works
+        with the batch interpreter.
+        """
+        import numpy as np
+
+        adapter = _SequentialAdapter(rng)
+        return np.array([self.sample(adapter) for _ in range(n)], dtype=np.float64)
 
     @abstractmethod
     def support_bounds(self) -> Tuple[float, float]:
@@ -78,6 +124,17 @@ class DiscreteDistribution(Distribution):
             merged[float(v)] = merged.get(float(v), 0.0) + float(p)
         self.values: Tuple[float, ...] = tuple(merged)
         self.probs: Tuple[float, ...] = tuple(merged[v] for v in self.values)
+        # Cumulative weights for O(log k) inverse-CDF sampling.  Built
+        # with the same left-to-right float accumulation the former
+        # linear scan used, so draws are bit-for-bit identical on the
+        # same ``rng`` stream (the golden seeded fixtures depend on it).
+        cum = []
+        acc = 0.0
+        for p in self.probs:
+            acc += p
+            cum.append(acc)
+        self._cum: Tuple[float, ...] = tuple(cum)
+        self._batch_arrays = None  # lazy (cum, values) ndarrays for sample_batch
 
     def moment(self, k: int) -> float:
         if k < 0:
@@ -85,13 +142,27 @@ class DiscreteDistribution(Distribution):
         return sum(p * v**k for v, p in zip(self.values, self.probs))
 
     def sample(self, rng) -> float:
+        # First index with cum >= u — exactly the first outcome the old
+        # linear scan accepted (`u <= acc`), found in O(log k).
         u = rng.random()
-        acc = 0.0
-        for v, p in zip(self.values, self.probs):
-            acc += p
-            if u <= acc:
-                return v
-        return self.values[-1]
+        i = bisect_left(self._cum, u)
+        if i >= len(self.values):  # float accumulation fell short of 1
+            return self.values[-1]
+        return self.values[i]
+
+    def sample_batch(self, rng, n: int):
+        import numpy as np
+
+        if self._batch_arrays is None:
+            self._batch_arrays = (
+                np.asarray(self._cum, dtype=np.float64),
+                np.asarray(self.values, dtype=np.float64),
+            )
+        cum, values = self._batch_arrays
+        u = rng.random(n)
+        idx = np.searchsorted(cum, u, side="left")
+        np.clip(idx, 0, len(values) - 1, out=idx)
+        return values[idx]
 
     def support_bounds(self) -> Tuple[float, float]:
         return (min(self.values), max(self.values))
@@ -154,6 +225,9 @@ class UniformDistribution(Distribution):
     def sample(self, rng) -> float:
         return rng.uniform(self.a, self.b)
 
+    def sample_batch(self, rng, n: int):
+        return rng.uniform(self.a, self.b, n)
+
     def support_bounds(self) -> Tuple[float, float]:
         return (self.a, self.b)
 
@@ -187,6 +261,11 @@ class PointDistribution(DiscreteDistribution):
         self.value = float(value)
         super().__init__([float(value)], [1.0])
 
+    def sample_batch(self, rng, n: int):
+        import numpy as np
+
+        return np.full(n, self.value, dtype=np.float64)
+
     def __repr__(self) -> str:
         return f"point({self.value:g})"
 
@@ -199,9 +278,13 @@ class GeometricDistribution(Distribution):
     bounded-update side condition of Theorem 6.10 fails statically, so
     tail bounds are unavailable (the lint pass reports ``REP006``).
 
-    Raw moments are computed by truncated summation of
-    ``n**k * p * (1-p)**(n-1)``; the geometric tail makes the truncation
-    error negligible at machine precision.
+    The first two raw moments use the closed forms ``E[X] = 1/p`` and
+    ``E[X**2] = (2 - p)/p**2``; higher orders sum
+    ``n**k * p * (1-p)**(n-1)`` adaptively until a certified geometric
+    majorant of the remainder is negligible, and *raise* (rather than
+    silently undershoot) when the tolerance cannot be met within the
+    term budget — a fixed 100k-term truncation used to return a badly
+    wrong value for small ``p``.
     """
 
     def __init__(self, p: float):
@@ -216,16 +299,29 @@ class GeometricDistribution(Distribution):
             return 1.0
         if self.p == 1.0:
             return 1.0
+        if k == 1:
+            return 1.0 / self.p
+        if k == 2:
+            return (2.0 - self.p) / (self.p * self.p)
         q = 1.0 - self.p
         total = 0.0
-        term_weight = self.p  # p * q**(n-1)
-        for n in range(1, 100_000):
-            term = (float(n) ** k) * term_weight
+        term = self.p  # n = 1: 1**k * p * q**0
+        n = 1
+        while n <= _MOMENT_MAX_TERMS:
             total += term
-            term_weight *= q
-            if term < 1e-16 * max(total, 1.0) and n > 1.0 / self.p:
-                break
-        return total
+            # term_{n+1} / term_n = q * ((n+1)/n)**k, decreasing in n.
+            # Once it drops below 1 the remaining terms are dominated by
+            # the geometric series term * (r + r**2 + ...).
+            ratio = q * ((n + 1.0) / n) ** k
+            if ratio < 1.0 and term * ratio / (1.0 - ratio) <= _MOMENT_REL_TOL * total:
+                return total
+            n += 1
+            term *= ratio
+        raise SemanticsError(
+            f"geometric(p={self.p:g}).moment({k}) did not converge within "
+            f"{_MOMENT_MAX_TERMS} terms; p is too small for reliable "
+            "truncated summation at this order"
+        )
 
     def sample(self, rng) -> float:
         if self.p == 1.0:
@@ -233,6 +329,15 @@ class GeometricDistribution(Distribution):
         # Inverse transform: ceil(log(1-u) / log(1-p)), clamped to >= 1.
         u = rng.random()
         return float(max(1, math.ceil(math.log1p(-u) / math.log(1.0 - self.p))))
+
+    def sample_batch(self, rng, n: int):
+        import numpy as np
+
+        if self.p == 1.0:
+            return np.ones(n, dtype=np.float64)
+        u = rng.random(n)
+        draws = np.ceil(np.log1p(-u) / math.log(1.0 - self.p))
+        return np.maximum(draws, 1.0)
 
     def support_bounds(self) -> Tuple[float, float]:
         return (1.0, math.inf)

@@ -8,6 +8,10 @@ reaches ``l_out``.
 
 :func:`simulate` aggregates many runs into the mean/std statistics that
 Tables 4 and 5 of the paper report (1000 simulated executions each).
+By default it dispatches large batches to the NumPy batch interpreter
+(:mod:`repro.semantics.vectorized`), falling back to the pure-Python
+reference loop here for programs or schedulers the compiler cannot
+handle — see the ``engine`` parameter.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..deadline import active_deadline, check_deadline
-from ..errors import SemanticsError
+from ..errors import SemanticsError, VectorizationError
 from .cfg import (
     CFG,
     AssignLabel,
@@ -30,7 +34,14 @@ from .cfg import (
 )
 from .schedulers import Scheduler, ThenScheduler
 
-__all__ = ["RunResult", "SimulationStats", "run", "simulate"]
+__all__ = ["AUTO_MIN_RUNS", "RunResult", "SimulationStats", "run", "simulate"]
+
+#: Batch size below which ``engine="auto"`` keeps the reference
+#: interpreter: per-superstep NumPy dispatch overhead only amortizes
+#: across enough concurrent runs.  Small seeded batches (e.g. the
+#: golden tables' 8–30 run columns) therefore keep their exact
+#: historical streams.
+AUTO_MIN_RUNS = 64
 
 
 @dataclass
@@ -77,6 +88,9 @@ class SimulationStats:
     costs: List[float] = field(repr=False, default_factory=list)
     #: Partial costs of the truncated runs.
     truncated_costs: List[float] = field(repr=False, default_factory=list)
+    #: Which interpreter produced these statistics: ``"reference"`` (the
+    #: pure-Python loop) or ``"vectorized"`` (the NumPy batch stepper).
+    engine: str = "reference"
 
     @property
     def terminated_runs(self) -> int:
@@ -127,6 +141,13 @@ def run(
             raise SemanticsError(f"initial valuation mentions unknown variable {var!r}")
         valuation[var] = float(value)
 
+    # Valuation snapshots are only materialized when something can read
+    # them: a history-consuming scheduler AND a nondeterministic label
+    # to consult it at.  Unconditional recording used to allocate one
+    # dict per step — a million snapshots on a truncated 1M-step run.
+    record_history = scheduler.needs_history and any(
+        isinstance(label, NondetLabel) for label in cfg.labels.values()
+    )
     history: List[Tuple[int, Dict[str, float]]] = []
     trajectory: Optional[List[Tuple[int, Dict[str, float], float]]] = [] if record_trajectory else None
 
@@ -170,7 +191,8 @@ def run(
 
         if trajectory is not None:
             trajectory.append((label.id, dict(valuation), step_cost))
-        history.append((label.id, dict(valuation)))
+        if record_history:
+            history.append((label.id, dict(valuation)))
         if isinstance(label, AssignLabel):
             valuation[label.var] = value
 
@@ -180,30 +202,18 @@ def run(
     return RunResult(total_cost, steps, False, valuation, trajectory)
 
 
-def simulate(
-    cfg: CFG,
-    init: Mapping[str, float],
-    runs: int = 1000,
-    scheduler: Optional[Scheduler] = None,
-    seed: Optional[int] = None,
-    max_steps: int = 1_000_000,
+def build_stats(
+    runs: int,
+    costs: List[float],
+    truncated_costs: List[float],
+    total_steps: int,
+    engine: str = "reference",
 ) -> SimulationStats:
-    """Run ``runs`` independent executions and aggregate cost statistics."""
-    if runs <= 0:
-        raise ValueError("number of runs must be positive")
-    rng = random.Random(seed)
-    costs: List[float] = []
-    truncated_costs: List[float] = []
-    total_steps = 0
-    for _ in range(runs):
-        check_deadline()  # cooperative per-run timeout checkpoint
-        result = run(cfg, init, scheduler=scheduler, rng=rng, max_steps=max_steps)
-        if result.terminated:
-            costs.append(result.total_cost)
-        else:
-            truncated_costs.append(result.total_cost)
-        total_steps += result.steps
+    """Aggregate per-run outcomes into :class:`SimulationStats`.
 
+    Shared by the reference and vectorized engines so both produce
+    statistics through the exact same float arithmetic.
+    """
     terminated = len(costs)
     if terminated:
         mean = sum(costs) / terminated
@@ -223,4 +233,64 @@ def simulate(
         truncated_mean=(sum(truncated_costs) / len(truncated_costs)) if truncated_costs else None,
         costs=costs,
         truncated_costs=truncated_costs,
+        engine=engine,
     )
+
+
+def simulate(
+    cfg: CFG,
+    init: Mapping[str, float],
+    runs: int = 1000,
+    scheduler: Optional[Scheduler] = None,
+    seed: Optional[int] = None,
+    max_steps: int = 1_000_000,
+    engine: str = "auto",
+) -> SimulationStats:
+    """Run ``runs`` independent executions and aggregate cost statistics.
+
+    ``engine`` selects the interpreter:
+
+    * ``"auto"`` (default) — compile to the NumPy batch stepper of
+      :mod:`repro.semantics.vectorized` when the batch is large enough
+      (``runs >= AUTO_MIN_RUNS``) and the program/scheduler is
+      vectorizable, otherwise fall back to the reference loop
+      transparently;
+    * ``"vectorized"`` — force the batch stepper (raises
+      :class:`~repro.errors.VectorizationError` when unsupported);
+    * ``"reference"`` — force the pure-Python loop.
+
+    The two engines draw from different RNG streams (``random.Random``
+    vs :class:`numpy.random.Generator`), so their seeded results are
+    statistically equivalent but not bitwise equal; each engine on its
+    own is bit-reproducible for a fixed seed.
+    """
+    if runs <= 0:
+        raise ValueError("number of runs must be positive")
+    if engine not in ("auto", "vectorized", "reference"):
+        raise ValueError(
+            f"engine must be 'auto', 'vectorized' or 'reference', got {engine!r}"
+        )
+    if engine == "vectorized" or (engine == "auto" and runs >= AUTO_MIN_RUNS):
+        from .vectorized import simulate_vectorized
+
+        try:
+            return simulate_vectorized(
+                cfg, init, runs=runs, scheduler=scheduler, seed=seed, max_steps=max_steps
+            )
+        except VectorizationError:
+            if engine == "vectorized":
+                raise
+
+    rng = random.Random(seed)
+    costs: List[float] = []
+    truncated_costs: List[float] = []
+    total_steps = 0
+    for _ in range(runs):
+        check_deadline()  # cooperative per-run timeout checkpoint
+        result = run(cfg, init, scheduler=scheduler, rng=rng, max_steps=max_steps)
+        if result.terminated:
+            costs.append(result.total_cost)
+        else:
+            truncated_costs.append(result.total_cost)
+        total_steps += result.steps
+    return build_stats(runs, costs, truncated_costs, total_steps, engine="reference")

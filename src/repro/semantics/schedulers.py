@@ -30,6 +30,15 @@ HistoryEntry = Tuple[int, Mapping[str, float]]
 class Scheduler(ABC):
     """Policy interface: return True for the then-branch."""
 
+    #: Whether :meth:`choose` actually reads the run-prefix ``history``
+    #: argument.  The interpreter only materializes per-step valuation
+    #: snapshots when this is True *and* the CFG has nondeterministic
+    #: labels — recording a million dict snapshots for a scheduler that
+    #: never looks at them was a real memory bug.  Defaults to True so
+    #: user-defined schedulers stay fully history-dependent unless they
+    #: opt out; the built-in memoryless policies below all opt out.
+    needs_history: bool = True
+
     @abstractmethod
     def choose(
         self,
@@ -46,12 +55,16 @@ class Scheduler(ABC):
 class ThenScheduler(Scheduler):
     """Always takes the then-branch."""
 
+    needs_history = False
+
     def choose(self, label, valuation, history) -> bool:
         return True
 
 
 class ElseScheduler(Scheduler):
     """Always takes the else-branch."""
+
+    needs_history = False
 
     def choose(self, label, valuation, history) -> bool:
         return False
@@ -62,6 +75,8 @@ class FixedScheduler(Scheduler):
 
     Labels absent from the mapping fall back to ``default``.
     """
+
+    needs_history = False
 
     def __init__(self, choices: Mapping[int, bool], default: bool = True):
         self.choices = dict(choices)
@@ -77,6 +92,8 @@ class RandomScheduler(Scheduler):
     Note this is *not* the same as replacing ``if *`` by ``if prob(p)``
     in the analysis — it merely gives simulations a concrete policy.
     """
+
+    needs_history = False
 
     def __init__(self, p_then: float = 0.5, seed: Optional[int] = None):
         if not 0.0 <= p_then <= 1.0:

@@ -1,0 +1,539 @@
+"""Vectorized Monte-Carlo batch interpreter (NumPy).
+
+The reference interpreter (:mod:`repro.semantics.interpreter`) executes
+one label of one run per Python-bytecode step; Tables 4–5, the
+Monte-Carlo soundness brackets and the ``table_tails`` empirical tail
+validation all push 10k+ runs through it, making simulation — not LP
+solving — the dominant cost of the soundness layers.  This module
+compiles the probabilistic CFG *once* into a batch stepper that
+advances **all** concurrently-live runs through one straight-line
+segment per vectorized NumPy op.
+
+Compilation model
+-----------------
+
+* The CFG is blocked into *segments*: maximal straight-line chains of
+  assignment/tick labels, terminated by at most one control label
+  (branch / prob / nondet).  Segment heads are the classic basic-block
+  leaders — the entry label plus every control-transfer target and
+  every join point — so a run's program counter only ever rests on a
+  head (or ``l_out``).
+* Per-run state is a ``(runs, len(pvars))`` float64 matrix plus int64
+  ``steps``, float64 ``cost`` and a boolean active mask.  Each
+  superstep retires truncated runs (``steps >= max_steps``, checked
+  *before* the terminal test, exactly like the reference loop's
+  ``while steps < max_steps``), retires runs at ``l_out`` as
+  terminated, then executes one segment per distinct live
+  program-counter value.
+* Sampling variables are drawn via ``Distribution.sample_batch`` — one
+  :class:`numpy.random.Generator` call per (label, superstep) instead
+  of one ``random.Random`` call per (label, run).
+* Arithmetic and boolean expressions are compiled to closures over
+  state-matrix columns; guards and costs see exactly the monomials the
+  reference interpreter evaluates.
+
+Supported schedulers are the memoryless built-ins (``ThenScheduler``,
+``ElseScheduler``, ``FixedScheduler``, ``RandomScheduler``).  Anything
+potentially history-dependent (``CallbackScheduler``, user-defined
+``Scheduler`` subclasses) raises
+:class:`~repro.errors.VectorizationError` at compile time, which
+``simulate(engine="auto")`` turns into a transparent fallback to the
+reference interpreter.
+
+Determinism: for a fixed ``seed`` the vectorized engine is
+bit-reproducible (same partition, same costs, same stats).  It draws
+from a different RNG stream than the reference engine
+(:class:`numpy.random.Generator` vs :class:`random.Random`), so the two
+are *statistically* — not bitwise — equivalent; the consistency suite
+in ``tests/semantics/test_vectorized.py`` checks both properties.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..deadline import check_deadline
+from ..errors import SemanticsError, VectorizationError
+from ..syntax.ast import And, Atom, BoolConst, BoolExpr, Not, Or
+from .cfg import (
+    CFG,
+    AssignLabel,
+    BranchLabel,
+    Label,
+    NondetLabel,
+    ProbLabel,
+    TerminalLabel,
+    TickLabel,
+)
+from .schedulers import (
+    ElseScheduler,
+    FixedScheduler,
+    RandomScheduler,
+    Scheduler,
+    ThenScheduler,
+)
+
+__all__ = ["BatchProgram", "compile_cfg", "simulate_vectorized"]
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation
+# ---------------------------------------------------------------------------
+
+#: A compiled expression: (rows, draws) -> float64 array.  ``rows`` is
+#: the (m, pvars) slice of the state matrix for the cohort, ``draws``
+#: maps sampling-variable names to freshly drawn (m,) arrays.
+_ExprFn = Callable[[np.ndarray, Mapping[str, np.ndarray]], np.ndarray]
+
+#: A compiled guard: rows -> bool array.
+_CondFn = Callable[[np.ndarray], np.ndarray]
+
+
+def _compile_poly(poly, columns: Mapping[str, int], rvars) -> _ExprFn:
+    """Compile a numeric polynomial to a batch evaluator.
+
+    Program variables resolve to state-matrix columns, sampling
+    variables (restricted to ``rvars``) to per-step draw arrays;
+    anything else is a compile error — the reference interpreter would
+    fail on such a variable at runtime too.
+    """
+    constant = 0.0
+    terms: List[Tuple[float, Tuple[Tuple[str, object, int], ...]]] = []
+    for mono, coeff in poly.terms():
+        coeff = float(coeff)
+        factors = []
+        for var, exp in mono.powers:
+            if var in columns:
+                factors.append(("p", columns[var], exp))
+            elif var in rvars:
+                factors.append(("r", var, exp))
+            else:
+                raise VectorizationError(f"expression mentions unknown variable {var!r}")
+        if not factors:
+            constant += coeff
+        else:
+            terms.append((coeff, tuple(factors)))
+
+    def evaluate(rows: np.ndarray, draws: Mapping[str, np.ndarray]) -> np.ndarray:
+        out = np.full(rows.shape[0], constant, dtype=np.float64)
+        for coeff, factors in terms:
+            acc: Optional[np.ndarray] = None
+            for kind, key, exp in factors:
+                col = rows[:, key] if kind == "p" else draws[key]
+                factor = col if exp == 1 else col**exp
+                acc = factor if acc is None else acc * factor
+            out += coeff * acc
+        return out
+
+    return evaluate
+
+
+def _compile_cond(cond: BoolExpr, columns: Mapping[str, int]) -> _CondFn:
+    """Compile a boolean guard to a batch evaluator over program vars."""
+    if isinstance(cond, Atom):
+        poly_fn = _compile_poly(cond.poly, columns, rvars=frozenset())
+        if cond.strict:
+            return lambda rows: poly_fn(rows, {}) > 0.0
+        return lambda rows: poly_fn(rows, {}) >= 0.0
+    if isinstance(cond, BoolConst):
+        value = bool(cond.value)
+        return lambda rows: np.full(rows.shape[0], value, dtype=bool)
+    if isinstance(cond, And):
+        left = _compile_cond(cond.left, columns)
+        right = _compile_cond(cond.right, columns)
+        return lambda rows: left(rows) & right(rows)
+    if isinstance(cond, Or):
+        left = _compile_cond(cond.left, columns)
+        right = _compile_cond(cond.right, columns)
+        return lambda rows: left(rows) | right(rows)
+    if isinstance(cond, Not):
+        operand = _compile_cond(cond.operand, columns)
+        return lambda rows: ~operand(rows)
+    raise VectorizationError(f"cannot vectorize guard {cond!r}")
+
+
+# ---------------------------------------------------------------------------
+# Scheduler compilation
+# ---------------------------------------------------------------------------
+
+
+def _scheduler_key(scheduler: Optional[Scheduler]):
+    """A hashable compile-cache key for vectorizable schedulers."""
+    if scheduler is None or type(scheduler) is ThenScheduler:
+        return ("const", True)
+    if type(scheduler) is ElseScheduler:
+        return ("const", False)
+    if type(scheduler) is FixedScheduler:
+        return ("fixed", tuple(sorted(scheduler.choices.items())), scheduler.default)
+    if type(scheduler) is RandomScheduler:
+        return ("coin", scheduler.p_then)
+    raise VectorizationError(
+        f"scheduler {type(scheduler).__name__} is not vectorizable "
+        "(history-dependent or user-defined); use engine='reference' "
+        "or let engine='auto' fall back"
+    )
+
+
+def _nondet_choice(label: NondetLabel, key) -> Tuple[str, object]:
+    """Resolve one nondet label's policy under a compiled scheduler key."""
+    kind = key[0]
+    if kind == "const":
+        return ("const", key[1])
+    if kind == "fixed":
+        choices = dict(key[1])
+        return ("const", choices.get(label.id, key[2]))
+    return ("coin", key[1])
+
+
+# ---------------------------------------------------------------------------
+# Segments
+# ---------------------------------------------------------------------------
+
+
+class _Segment:
+    """One basic block: a straight-line chain plus an optional control
+    label, executed for a cohort of runs in lockstep."""
+
+    __slots__ = ("head", "straight", "control", "fallthrough", "length", "has_tick")
+
+    def __init__(self, head: int):
+        self.head = head
+        #: Compiled ``op(rows, cost_delta, rng)`` chain for the
+        #: assign/tick labels; each mutates the cohort-local state
+        #: matrix (and tick ops accumulate into ``cost_delta``).
+        self.straight: List[Callable] = []
+        #: Compiled ``op(rows, rng) -> pc values`` control op, or None.
+        self.control: Optional[Callable] = None
+        #: Successor head when the segment ends without a control label.
+        self.fallthrough: Optional[int] = None
+        #: Labels executed by a full pass (straight chain + control).
+        self.length: int = 0
+        #: Whether any straight op accrues cost (skips the delta array).
+        self.has_tick: bool = False
+
+
+class BatchProgram:
+    """A CFG compiled for batch execution (see module docstring)."""
+
+    def __init__(self, cfg: CFG, scheduler_key):
+        self.cfg = cfg
+        self.scheduler_key = scheduler_key
+        self.pvars: List[str] = list(cfg.pvars)
+        self.columns: Dict[str, int] = {var: i for i, var in enumerate(self.pvars)}
+        self.entry = cfg.entry
+        self.exit = cfg.exit
+        self.segments: Dict[int, _Segment] = {}
+        self._compile()
+
+    # -- compilation ----------------------------------------------------
+
+    def _leaders(self) -> set:
+        """Basic-block leader ids: where a pc may come to rest."""
+        leaders = {self.entry}
+        pred_count: Dict[int, int] = {}
+        for label in self.cfg.labels.values():
+            succs = label.successors()
+            for succ in succs:
+                pred_count[succ] = pred_count.get(succ, 0) + 1
+            if len(succs) > 1:
+                leaders.update(succs)
+        leaders.update(lid for lid, count in pred_count.items() if count > 1)
+        leaders.discard(self.exit)
+        return leaders
+
+    def _compile(self) -> None:
+        rvars = self.cfg.rvars
+        leaders = self._leaders()
+        for head in sorted(leaders):
+            segment = _Segment(head)
+            current = head
+            seen = set()
+            while True:
+                if current in seen:  # pragma: no cover - needs a leaderless cycle
+                    raise VectorizationError(f"irreducible chain at label {current}")
+                seen.add(current)
+                label = self.cfg.labels[current]
+                if isinstance(label, (AssignLabel, TickLabel)):
+                    segment.straight.append(self._compile_straight(label, rvars))
+                    segment.has_tick = segment.has_tick or isinstance(label, TickLabel)
+                    nxt = label.succ
+                    if nxt == self.exit or nxt in leaders:
+                        segment.fallthrough = nxt
+                        break
+                    current = nxt
+                elif isinstance(label, (BranchLabel, ProbLabel, NondetLabel)):
+                    segment.control = self._compile_control(label)
+                    break
+                elif isinstance(label, TerminalLabel):  # pragma: no cover - the
+                    segment.fallthrough = label.id      # exit is never a leader
+                    break
+                else:
+                    raise VectorizationError(f"unknown label kind {label.kind!r}")
+            segment.length = len(segment.straight) + (1 if segment.control is not None else 0)
+            self.segments[head] = segment
+        # Chain loop bodies into their loop-head test: a segment falling
+        # through to a control-only segment absorbs that control op, so
+        # one `while` iteration is one superstep instead of two (and all
+        # iterating runs stay in a single cohort).  The control-only
+        # segment itself remains for runs that enter at it.
+        for segment in self.segments.values():
+            if segment.control is None and segment.fallthrough != self.exit:
+                target = self.segments[segment.fallthrough]
+                if not target.straight and target.control is not None:
+                    segment.control = target.control
+                    segment.fallthrough = None
+                    segment.length += 1
+
+    def _compile_straight(self, label: Label, rvars) -> Callable:
+        """Compile an assign/tick label to an op over the cohort-local
+        state matrix: ``op(rows, cost_delta, rng)``."""
+        if isinstance(label, TickLabel):
+            cost_fn = _compile_poly(label.cost, self.columns, rvars=frozenset())
+
+            def tick_op(rows, cost_delta, rng):
+                cost_delta += cost_fn(rows, {})
+
+            return tick_op
+
+        assert isinstance(label, AssignLabel)
+        sampled = sorted(v for v in label.expr.variables() if v in rvars)
+        dists = [(name, rvars[name]) for name in sampled]
+        expr_fn = _compile_poly(label.expr, self.columns, rvars=frozenset(sampled))
+        target = self.columns.get(label.var)
+        if target is None:
+            raise VectorizationError(f"assignment to unknown variable {label.var!r}")
+
+        def assign_op(rows, cost_delta, rng):
+            draws = {name: dist.sample_batch(rng, rows.shape[0]) for name, dist in dists}
+            rows[:, target] = expr_fn(rows, draws)
+
+        return assign_op
+
+    def _compile_control(self, label: Label) -> Callable:
+        """Compile a branch/prob/nondet label to ``op(rows, rng)``
+        returning the cohort's next pc values (array or scalar)."""
+        if isinstance(label, BranchLabel):
+            cond_fn = _compile_cond(label.cond, self.columns)
+            succ_true, succ_false = label.succ_true, label.succ_false
+
+            def branch_op(rows, rng):
+                return np.where(cond_fn(rows), succ_true, succ_false)
+
+            return branch_op
+
+        if isinstance(label, ProbLabel):
+            prob, succ_then, succ_else = label.prob, label.succ_then, label.succ_else
+
+            def prob_op(rows, rng):
+                return np.where(rng.random(rows.shape[0]) < prob, succ_then, succ_else)
+
+            return prob_op
+
+        assert isinstance(label, NondetLabel)
+        kind, value = _nondet_choice(label, self.scheduler_key)
+        succ_then, succ_else = label.succ_then, label.succ_else
+        if kind == "const":
+            chosen = succ_then if value else succ_else
+
+            def const_op(rows, rng):
+                return chosen
+
+            return const_op
+
+        p_then = float(value)
+
+        def coin_op(rows, rng):
+            return np.where(rng.random(rows.shape[0]) < p_then, succ_then, succ_else)
+
+        return coin_op
+
+    # -- execution ------------------------------------------------------
+
+    def run_batch(
+        self,
+        init: Mapping[str, float],
+        runs: int,
+        rng: np.random.Generator,
+        max_steps: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Advance ``runs`` executions to termination or truncation.
+
+        Returns ``(cost, steps, terminated)`` arrays of length ``runs``;
+        runs with ``terminated[i] == False`` hit the step budget.
+        """
+        state = np.zeros((runs, len(self.pvars)), dtype=np.float64)
+        for var, value in init.items():
+            col = self.columns.get(var)
+            if col is None:
+                raise SemanticsError(f"initial valuation mentions unknown variable {var!r}")
+            state[:, col] = float(value)
+
+        pc = np.full(runs, self.entry, dtype=np.int64)
+        steps = np.zeros(runs, dtype=np.int64)
+        cost = np.zeros(runs, dtype=np.float64)
+        active = np.ones(runs, dtype=bool)
+        terminated = np.zeros(runs, dtype=bool)
+
+        while True:
+            check_deadline()  # cooperative per-superstep timeout checkpoint
+            # Truncation is tested before the terminal label, mirroring
+            # the reference loop: a run arriving at l_out exactly at the
+            # step budget counts as truncated there too.
+            np.logical_and(active, steps < max_steps, out=active)
+            done = active & (pc == self.exit)
+            if done.any():
+                terminated |= done
+                active &= ~done
+            live = np.flatnonzero(active)
+            if live.size == 0:
+                break
+            live_pc = pc[live]
+            first_pc = int(live_pc[0])
+            if (live_pc == first_pc).all():
+                # Single cohort (the common case once loop bodies absorb
+                # their loop-head test): skip the unique() hash pass.
+                self._run_segment(
+                    self.segments[first_pc], live, state, pc, steps, cost, rng, max_steps
+                )
+            else:
+                for head in np.unique(live_pc):
+                    self._run_segment(
+                        self.segments[int(head)],
+                        live[live_pc == head],
+                        state,
+                        pc,
+                        steps,
+                        cost,
+                        rng,
+                        max_steps,
+                    )
+
+        return cost, steps, terminated
+
+    def _run_segment(self, segment, idx, state, pc, steps, cost, rng, max_steps):
+        """Execute one segment for the cohort ``idx`` (all at its head).
+
+        The cohort's state rows are gathered into one contiguous local
+        matrix, every op of the segment runs on it, and the result is
+        scattered back once — fancy indexing the full state per label
+        was the dominant superstep cost.  When every run can afford the
+        whole segment (the overwhelmingly common case: budgets are huge
+        relative to segment lengths) no per-label budget checks run at
+        all; otherwise the slow path narrows the cohort label by label,
+        so a run stops exactly when its budget is spent, like the
+        reference loop.
+        """
+        rows = state[idx]
+        budget = steps[idx]
+        if int(budget.max()) + segment.length <= max_steps:
+            cost_delta = np.zeros(idx.size) if segment.has_tick else None
+            for op in segment.straight:
+                op(rows, cost_delta, rng)
+            if segment.straight:
+                state[idx] = rows
+            steps[idx] = budget + segment.length
+            if cost_delta is not None:
+                cost[idx] += cost_delta
+            if segment.control is not None:
+                pc[idx] = segment.control(rows, rng)
+            else:
+                pc[idx] = segment.fallthrough
+            return
+
+        # Slow path: some run exhausts its budget mid-segment.  Runs
+        # dropped from ``sel`` keep their partial updates; the next
+        # superstep retires them as truncated (steps >= max_steps)
+        # without consulting their pc, so it may stay mid-segment.
+        m = idx.size
+        cost_delta = np.zeros(m)
+        budget = budget.copy()
+        sel = np.arange(m)
+        first = True
+        for op in segment.straight:
+            if not first:
+                sel = sel[budget[sel] < max_steps]
+                if sel.size == 0:
+                    break
+            first = False
+            sub_rows = rows[sel]
+            sub_cost = cost_delta[sel]
+            op(sub_rows, sub_cost, rng)
+            rows[sel] = sub_rows
+            cost_delta[sel] = sub_cost
+            budget[sel] += 1
+        if sel.size:
+            if segment.control is not None:
+                if not first:
+                    sel = sel[budget[sel] < max_steps]
+                if sel.size:
+                    pc[idx[sel]] = segment.control(rows[sel], rng)
+                    budget[sel] += 1
+            else:
+                pc[idx[sel]] = segment.fallthrough
+        state[idx] = rows
+        steps[idx] = budget
+        cost[idx] += cost_delta
+
+
+# ---------------------------------------------------------------------------
+# Compile cache + entry points
+# ---------------------------------------------------------------------------
+
+#: cfg -> {scheduler_key: BatchProgram}; weak keys so CFGs stay
+#: collectable.  simulate() is called in tight sweeps (figures, tail
+#: validation, MC brackets) over the same CFG, so recompiling per call
+#: would cost more than small batches take to run.
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[CFG, Dict[object, BatchProgram]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_cfg(cfg: CFG, scheduler: Optional[Scheduler] = None) -> BatchProgram:
+    """Compile ``cfg`` under a vectorizable scheduler policy, memoized
+    per (cfg, policy).
+
+    Raises :class:`~repro.errors.VectorizationError` when the program or
+    scheduler cannot be vectorized.
+    """
+    key = _scheduler_key(scheduler)
+    per_cfg = _COMPILE_CACHE.get(cfg)
+    if per_cfg is None:
+        per_cfg = {}
+        _COMPILE_CACHE[cfg] = per_cfg
+    program = per_cfg.get(key)
+    if program is None:
+        program = BatchProgram(cfg, key)
+        per_cfg[key] = program
+    return program
+
+
+def simulate_vectorized(
+    cfg: CFG,
+    init: Mapping[str, float],
+    runs: int = 1000,
+    scheduler: Optional[Scheduler] = None,
+    seed: Optional[int] = None,
+    max_steps: int = 1_000_000,
+):
+    """Vectorized equivalent of :func:`repro.semantics.simulate`.
+
+    Compiles (or reuses a cached compilation of) the CFG and advances
+    all ``runs`` executions in NumPy batch supersteps.  Statistics are
+    aggregated through the same :func:`~.interpreter.build_stats` path
+    as the reference engine.
+    """
+    from .interpreter import build_stats
+
+    if runs <= 0:
+        raise ValueError("number of runs must be positive")
+    if max_steps < 1:
+        raise ValueError("max_steps must be >= 1")
+    program = compile_cfg(cfg, scheduler)
+    rng = np.random.default_rng(seed)
+    cost, steps, terminated = program.run_batch(init, runs, rng, max_steps)
+    costs = [float(c) for c in cost[terminated]]
+    truncated_costs = [float(c) for c in cost[~terminated]]
+    return build_stats(runs, costs, truncated_costs, int(steps.sum()), engine="vectorized")

@@ -12,7 +12,6 @@ Currently provided:
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Callable, Optional
 
 from .ast import If, NondetIf, ProbIf, Program, Seq, Stmt, While

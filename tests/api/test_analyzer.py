@@ -4,7 +4,6 @@ staged methods, batch fan-out and the session solver."""
 import pytest
 
 from repro.api import AnalysisOptions, AnalysisRequest, Analyzer
-from repro.cache import ResultCache
 from repro.programs import get_benchmark
 
 SOURCE = """

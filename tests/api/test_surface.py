@@ -62,6 +62,7 @@ OPTIONS_FIELDS = [
     "simulate_runs",
     "simulate_seed",
     "simulate_max_steps",
+    "simulate_engine",
     "simulate_nondet",
     "timeout_s",
     "tag",

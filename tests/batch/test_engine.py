@@ -275,3 +275,45 @@ class TestParallelEquivalence:
             direct = get_benchmark(name).analyze()
             assert report.upper_value == (direct.upper.value if direct.upper else None)
             assert report.lower_value == (direct.lower.value if direct.lower else None)
+
+
+class TestSimulationEngines:
+    """The simulate_engine knob: wiring, reproducibility across jobs
+    counts, and engine-stream separation in the reports."""
+
+    def _request(self, engine, seed=9, runs=128):
+        return AnalysisRequest(
+            benchmark="rdwalk",
+            simulate_runs=runs,
+            simulate_seed=seed,
+            simulate_engine=engine,
+        )
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError):
+            self._request("turbo").validate()
+
+    @pytest.mark.parametrize("engine", ["auto", "vectorized", "reference"])
+    def test_pool_matches_sequential_bitwise(self, engine):
+        requests = [self._request(engine), self._request(engine, seed=10)]
+        sequential = run_batch(requests, jobs=1)
+        pooled = run_batch(requests, jobs=2)
+        assert [(r.sim_mean, r.sim_std) for r in pooled] == [
+            (r.sim_mean, r.sim_std) for r in sequential
+        ]
+        assert all(r.sim_mean is not None for r in sequential)
+
+    def test_vectorized_and_reference_streams_differ(self):
+        # Same seed, different engines: statistically equivalent, but
+        # deliberately not bitwise equal (different RNG streams) — which
+        # is why the engine is part of the cache fingerprint.
+        vec = execute_request(self._request("vectorized", runs=1000))
+        ref = execute_request(self._request("reference", runs=1000))
+        assert vec.sim_mean != ref.sim_mean
+        assert vec.sim_mean == pytest.approx(ref.sim_mean, rel=0.1)
+
+    def test_repeat_is_bit_identical_per_engine(self):
+        for engine in ("vectorized", "reference"):
+            a = execute_request(self._request(engine))
+            b = execute_request(self._request(engine))
+            assert (a.sim_mean, a.sim_std) == (b.sim_mean, b.sim_std)

@@ -57,6 +57,19 @@ class TestRequestKey:
     def test_semantic_fields_split_the_key(self, override):
         assert request_key(AnalysisRequest(benchmark="rdwalk", **override)) != request_key(RDWALK)
 
+    def test_simulation_engine_splits_the_key(self):
+        # Same seed, different engine => different RNG stream => the
+        # cached sim statistics must never alias.
+        base = AnalysisRequest(benchmark="rdwalk", simulate_runs=100)
+        keys = {
+            request_key(
+                AnalysisRequest(benchmark="rdwalk", simulate_runs=100, simulate_engine=e)
+            )
+            for e in ("auto", "vectorized", "reference")
+        }
+        assert len(keys) == 3
+        assert request_key(base) in keys  # default engine is "auto"
+
     def test_auto_ceiling_splits_the_key(self):
         a = AnalysisRequest(benchmark="pol04", degree="auto", max_degree=2)
         b = AnalysisRequest(benchmark="pol04", degree="auto", max_degree=4)

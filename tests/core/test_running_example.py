@@ -9,7 +9,6 @@ against our implementation.
 import pytest
 
 from repro.core import monoid_products, synthesize_plcs, synthesize_pucs
-from repro.invariants import InvariantMap
 from repro.polynomials import Polynomial
 
 X = Polynomial.variable("x")

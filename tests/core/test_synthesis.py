@@ -5,7 +5,7 @@ import pytest
 from repro.core import make_template, synthesize, synthesize_plcs, synthesize_pucs
 from repro.errors import InfeasibleError
 from repro.invariants import InvariantMap
-from repro.polynomials import Monomial, Polynomial
+from repro.polynomials import Polynomial
 from repro.semantics import build_cfg, simulate
 from repro.syntax import parse_program
 

@@ -11,7 +11,6 @@ in ``test_mc_soundness`` do for the expected-cost bounds.
 
 import pytest
 
-from repro.analysis.tails import derive_tail_bound
 from repro.api import AnalysisOptions, Analyzer
 from repro.programs import get_benchmark, probabilistic_variant
 from repro.semantics import simulate

@@ -7,7 +7,6 @@ workers mid-task must change nothing about the reports except the new
 """
 
 import json
-import os
 from pathlib import Path
 
 import pytest

@@ -1,7 +1,6 @@
 """Deterministic fault injection: plan parsing, matching, hook behavior."""
 
 import json
-import os
 
 import pytest
 

@@ -5,12 +5,9 @@ import pytest
 from repro.errors import CFGError
 from repro.semantics import build_cfg
 from repro.semantics.cfg import (
-    AssignLabel,
     BranchLabel,
     NondetLabel,
     ProbLabel,
-    TerminalLabel,
-    TickLabel,
 )
 from repro.syntax import parse_program
 

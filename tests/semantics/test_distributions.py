@@ -7,10 +7,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import SemanticsError
 from repro.semantics.distributions import (
     BernoulliDistribution,
     BinomialDistribution,
     DiscreteDistribution,
+    Distribution,
+    GeometricDistribution,
     PointDistribution,
     UniformDistribution,
     UniformIntDistribution,
@@ -173,3 +176,153 @@ def test_uniform_moments_within_support_bounds(a, width):
     lo, hi = d.support_bounds()
     assert lo <= d.mean() <= hi
     assert math.isfinite(d.moment(4))
+
+
+class TestGeometric:
+    def test_closed_form_first_two_moments(self):
+        for p in (0.9, 0.5, 0.1, 1e-3, 1e-8):
+            d = GeometricDistribution(p)
+            assert d.moment(1) == pytest.approx(1.0 / p, rel=1e-12)
+            assert d.moment(2) == pytest.approx((2.0 - p) / p**2, rel=1e-12)
+
+    def test_small_p_mean_exact(self):
+        # Regression: the old fixed 100k-term truncation returned a
+        # badly wrong E[X] for small p (the mass sits near n ~ 1/p).
+        assert GeometricDistribution(1e-6).moment(1) == pytest.approx(1e6, rel=1e-9)
+
+    def test_third_moment_closed_form(self):
+        # E[X^3] = (6 - 6p + p^2) / p^3 — exercises the adaptive series.
+        for p in (0.7, 0.3, 0.05):
+            d = GeometricDistribution(p)
+            expected = (6.0 - 6.0 * p + p * p) / p**3
+            assert d.moment(3) == pytest.approx(expected, rel=1e-9)
+
+    def test_nonconvergent_order_raises(self):
+        # k >= 3 with tiny p needs ~k/p >> 1M terms: must raise, never
+        # silently return a truncated underestimate.
+        with pytest.raises(SemanticsError):
+            GeometricDistribution(1e-7).moment(3)
+
+    def test_moment_zero_and_degenerate(self):
+        assert GeometricDistribution(0.3).moment(0) == 1.0
+        d = GeometricDistribution(1.0)
+        assert d.moment(5) == 1.0
+        assert d.sample(random.Random(0)) == 1.0
+
+    def test_support_unbounded(self):
+        d = GeometricDistribution(0.5)
+        assert not d.is_bounded()
+        assert d.support_bounds() == (1.0, math.inf)
+
+    def test_samples_in_support(self):
+        rng = random.Random(7)
+        d = GeometricDistribution(0.3)
+        draws = [d.sample(rng) for _ in range(500)]
+        assert all(v >= 1 and v == int(v) for v in draws)
+        assert sum(draws) / len(draws) == pytest.approx(1 / 0.3, rel=0.15)
+
+
+class TestBisectSampling:
+    """Regression: the O(log k) cumulative-weight sampler must stay
+    draw-for-draw identical with the old linear scan (golden seeded
+    fixtures embed its exact stream)."""
+
+    DISTS = [
+        DiscreteDistribution([-1.0, 0.0, 1.0], [0.5, 0.1, 0.4]),
+        DiscreteDistribution([2.0], [1.0]),
+        UniformIntDistribution(1, 10),
+        BernoulliDistribution(0.25),
+    ]
+
+    @staticmethod
+    def _linear_scan(dist, u):
+        acc = 0.0
+        for v, p in zip(dist.values, dist.probs):
+            acc += p
+            if u <= acc:
+                return v
+        return dist.values[-1]
+
+    @pytest.mark.parametrize("dist", DISTS, ids=repr)
+    def test_identical_to_linear_scan(self, dist):
+        rng_new, rng_old = random.Random(123), random.Random(123)
+        for _ in range(2000):
+            assert dist.sample(rng_new) == self._linear_scan(dist, rng_old.random())
+
+    def test_float_shortfall_clamps_to_last_value(self):
+        dist = DiscreteDistribution([0.0, 1.0, 2.0], [1 / 3, 1 / 3, 1 / 3])
+
+        class Top:
+            def random(self):
+                return 1.0
+
+        assert dist.sample(Top()) == 2.0
+
+
+class TestSampleBatch:
+    """``sample_batch`` must agree statistically with ``sample`` for
+    every distribution (the vectorized interpreter draws through it)."""
+
+    DISTS = [
+        DiscreteDistribution([-1.0, 0.0, 1.0], [0.5, 0.1, 0.4]),
+        BernoulliDistribution(0.3),
+        BinomialDistribution(8, 0.4),
+        UniformDistribution(-2.0, 3.0),
+        UniformIntDistribution(1, 10),
+        PointDistribution(4.5),
+        GeometricDistribution(0.35),
+    ]
+
+    @pytest.mark.parametrize("dist", DISTS, ids=repr)
+    def test_statistical_equivalence(self, dist):
+        import numpy as np
+
+        n = 40_000
+        batch = dist.sample_batch(np.random.default_rng(11), n)
+        assert batch.shape == (n,)
+        rng = random.Random(11)
+        seq = [dist.sample(rng) for _ in range(n)]
+        mu, var = dist.mean(), dist.variance()
+        sigma = math.sqrt(var / n)
+        tol = 6 * sigma + 1e-12
+        assert abs(float(batch.mean()) - mu) <= tol
+        assert abs(sum(seq) / n - mu) <= tol
+        lo, hi = dist.support_bounds()
+        assert float(batch.min()) >= lo and float(batch.max()) <= hi
+
+    @pytest.mark.parametrize("dist", DISTS, ids=repr)
+    def test_seeded_batch_reproducible(self, dist):
+        import numpy as np
+
+        a = dist.sample_batch(np.random.default_rng(5), 256)
+        b = dist.sample_batch(np.random.default_rng(5), 256)
+        assert (a == b).all()
+
+    def test_base_class_sequential_fallback(self):
+        import numpy as np
+
+        class Tri(Distribution):
+            """Minimal user distribution: only ``sample`` implemented."""
+
+            def moment(self, k):
+                return UniformDistribution(0, 1).moment(k)
+
+            def sample(self, rng):
+                return (rng.random() + rng.random()) / 2.0
+
+            def support_bounds(self):
+                return (0.0, 1.0)
+
+        tri = Tri()
+        batch = tri.sample_batch(np.random.default_rng(3), 5000)
+        assert batch.dtype == np.float64 and batch.shape == (5000,)
+        assert 0.0 <= batch.min() and batch.max() <= 1.0
+        assert float(batch.mean()) == pytest.approx(0.5, abs=0.02)
+        again = tri.sample_batch(np.random.default_rng(3), 5000)
+        assert (batch == again).all()
+
+    def test_point_batch_is_constant(self):
+        import numpy as np
+
+        batch = PointDistribution(7.0).sample_batch(np.random.default_rng(0), 64)
+        assert (batch == 7.0).all()

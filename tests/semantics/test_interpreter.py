@@ -8,6 +8,7 @@ import pytest
 
 from repro.errors import SemanticsError
 from repro.semantics import (
+    CallbackScheduler,
     ElseScheduler,
     FixedScheduler,
     RandomScheduler,
@@ -217,3 +218,45 @@ class TestTruncation:
         # going at the horizon (cost = iterations so far, one tick per
         # three CFG steps).
         assert all(cost <= 75 for cost in stats.truncated_costs)
+
+
+class TestHistoryGating:
+    """Regression tests: per-step valuation snapshots are only recorded
+    when a history-consuming scheduler can actually read them — a 1M-step
+    truncated run used to allocate one dict snapshot per step."""
+
+    def test_custom_scheduler_still_sees_history(self):
+        cfg = make("var x; x := 1; if * then tick(1) else tick(2) fi")
+        seen = []
+        sched = CallbackScheduler(
+            lambda label, valuation, history: bool(seen.append(len(history))) or True
+        )
+        run(cfg, {"x": 0}, scheduler=sched)
+        # The nondet label is the second step, so one prior entry.
+        assert seen == [1]
+
+    def test_builtin_schedulers_skip_history(self):
+        cfg = make("var x; x := 1; if * then tick(1) else tick(2) fi")
+
+        class Spy(ThenScheduler):
+            # Inherits needs_history = False; record what arrives.
+            def choose(self, label, valuation, history):
+                assert history == []
+                return True
+
+        result = run(cfg, {"x": 0}, scheduler=Spy())
+        assert result.total_cost == 1.0
+
+    def test_long_truncated_run_stays_small(self):
+        import tracemalloc
+
+        cfg = make("var x; while x >= 0 do x := x + 1 od")
+        tracemalloc.start()
+        try:
+            run(cfg, {"x": 0}, max_steps=200_000)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        # 200k dict snapshots would be tens of MB; the gated run stays
+        # within a small constant footprint.
+        assert peak < 5 * 1024 * 1024

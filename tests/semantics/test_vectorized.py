@@ -1,0 +1,221 @@
+"""Vectorized batch interpreter: consistency with the reference engine,
+engine dispatch, scheduler compilation, truncation semantics."""
+
+import math
+
+import pytest
+
+from repro.errors import SemanticsError, VectorizationError
+from repro.programs import get_benchmark
+from repro.semantics import (
+    AUTO_MIN_RUNS,
+    CallbackScheduler,
+    ElseScheduler,
+    FixedScheduler,
+    RandomScheduler,
+    ThenScheduler,
+    build_cfg,
+    compile_cfg,
+    simulate,
+    simulate_vectorized,
+)
+from repro.syntax import parse_program
+
+
+def make(source):
+    return build_cfg(parse_program(source))
+
+
+def _means_compatible(a, b, sigmas=5.0):
+    """Two engines' means agree within a z-test bracket."""
+    scale = math.hypot(a.stderr(), b.stderr())
+    if not math.isfinite(scale) or scale == 0.0:
+        return a.mean == pytest.approx(b.mean)
+    return abs(a.mean - b.mean) <= sigmas * scale
+
+
+class TestDeterministicEquivalence:
+    """On probability-free programs both engines must agree exactly."""
+
+    CASES = [
+        ("var x; x := 3; tick(2 * x); tick(1)", {"x": 0}, 7.0),
+        ("var i; while i >= 1 do tick(i); i := i - 1 od", {"i": 4}, 10.0),
+        ("var x; if x >= 0 then tick(1) else tick(2) fi", {"x": -1}, 2.0),
+        ("var x; tick(5); tick(-8)", {"x": 0}, -3.0),
+        ("var x, y; x := 5; y := x * x; tick(y)", {"x": 0, "y": 0}, 25.0),
+    ]
+
+    @pytest.mark.parametrize("source, init, expected", CASES)
+    def test_exact_cost(self, source, init, expected):
+        cfg = make(source)
+        ref = simulate(cfg, init, runs=4, seed=0, engine="reference")
+        vec = simulate(cfg, init, runs=4, seed=0, engine="vectorized")
+        assert vec.engine == "vectorized"
+        assert vec.costs == ref.costs == [expected] * 4
+        assert vec.mean_steps == ref.mean_steps
+        assert vec.termination_rate == ref.termination_rate == 1.0
+
+    def test_guard_connectives(self):
+        source = (
+            "var x, y; if x >= 1 and not (y >= 1) then tick(1) fi; "
+            "if x >= 5 or y <= 0 then tick(10) fi"
+        )
+        cfg = make(source)
+        for init in ({"x": 1, "y": 0}, {"x": 0, "y": 2}, {"x": 6, "y": 3}):
+            ref = simulate(cfg, init, runs=2, seed=0, engine="reference")
+            vec = simulate(cfg, init, runs=2, seed=0, engine="vectorized")
+            assert vec.costs == ref.costs
+
+    def test_truncation_partition_matches(self):
+        cfg = make("var x; while x >= 0 do x := x + 1; tick(1) od")
+        ref = simulate(cfg, {"x": 0}, runs=5, seed=0, max_steps=1000, engine="reference")
+        vec = simulate(cfg, {"x": 0}, runs=5, seed=0, max_steps=1000, engine="vectorized")
+        assert ref.truncated == vec.truncated == 5
+        assert ref.truncated_costs == vec.truncated_costs
+        assert ref.mean_steps == vec.mean_steps == 1000
+
+    def test_exact_budget_arrival_counts_as_truncated(self):
+        # The whole program takes exactly 2 steps; with max_steps=2 the
+        # run is at l_out when the budget check fires — the reference
+        # loop counts that as truncated, the vectorized engine must too.
+        cfg = make("var x; tick(1); x := 1")
+        for engine in ("reference", "vectorized"):
+            stats = simulate(cfg, {"x": 0}, runs=3, seed=0, max_steps=2, engine=engine)
+            assert stats.truncated == 3, engine
+            stats = simulate(cfg, {"x": 0}, runs=3, seed=0, max_steps=3, engine=engine)
+            assert stats.truncated == 0, engine
+
+
+class TestStatisticalConsistency:
+    """On probabilistic programs the engines draw different RNG streams;
+    their statistics must agree within Monte-Carlo error."""
+
+    @pytest.mark.parametrize("name", ["rdwalk", "ber", "linear01", "race", "trader"])
+    def test_registry_benchmarks(self, name):
+        bench = get_benchmark(name)
+        ref = simulate(bench.cfg, bench.init, runs=1500, seed=11, engine="reference")
+        vec = simulate(bench.cfg, bench.init, runs=1500, seed=11, engine="vectorized")
+        assert ref.truncated == vec.truncated == 0
+        assert _means_compatible(ref, vec)
+
+    def test_prob_branch(self):
+        cfg = make("var x; if prob(0.25) then tick(1) fi")
+        vec = simulate(cfg, {"x": 0}, runs=8000, seed=0, engine="vectorized")
+        assert vec.mean == pytest.approx(0.25, abs=0.02)
+
+    def test_sampling_distributions(self):
+        # unif + discrete + geometric sampling all inside one program.
+        cfg = make(
+            "var a, b, c; sample u ~ uniform(0, 2); sample d ~ discrete(1: 0.5, 3: 0.5); "
+            "sample g ~ geometric(0.5); a := u; b := d; c := g; tick(a + b + c)"
+        )
+        vec = simulate(cfg, {"a": 0, "b": 0, "c": 0}, runs=6000, seed=5, engine="vectorized")
+        ref = simulate(cfg, {"a": 0, "b": 0, "c": 0}, runs=6000, seed=5, engine="reference")
+        assert vec.mean == pytest.approx(1.0 + 2.0 + 2.0, abs=0.15)
+        assert _means_compatible(ref, vec)
+
+
+class TestReproducibility:
+    def test_same_seed_bitwise_identical(self, rdwalk_cfg):
+        a = simulate(rdwalk_cfg, {"x": 5}, runs=500, seed=42, engine="vectorized")
+        b = simulate(rdwalk_cfg, {"x": 5}, runs=500, seed=42, engine="vectorized")
+        assert a.costs == b.costs
+        assert a.mean == b.mean and a.std == b.std
+
+    def test_different_seeds_differ(self, rdwalk_cfg):
+        a = simulate(rdwalk_cfg, {"x": 5}, runs=500, seed=1, engine="vectorized")
+        b = simulate(rdwalk_cfg, {"x": 5}, runs=500, seed=2, engine="vectorized")
+        assert a.costs != b.costs
+
+
+class TestEngineDispatch:
+    def test_auto_small_batch_uses_reference(self, rdwalk_cfg):
+        stats = simulate(rdwalk_cfg, {"x": 5}, runs=AUTO_MIN_RUNS - 1, seed=0)
+        assert stats.engine == "reference"
+
+    def test_auto_large_batch_uses_vectorized(self, rdwalk_cfg):
+        stats = simulate(rdwalk_cfg, {"x": 5}, runs=AUTO_MIN_RUNS, seed=0)
+        assert stats.engine == "vectorized"
+
+    def test_auto_matches_reference_stream_below_threshold(self, rdwalk_cfg):
+        # Small seeded batches (the golden tables) keep their exact
+        # historical reference-stream results under the default engine.
+        auto = simulate(rdwalk_cfg, {"x": 5}, runs=30, seed=0)
+        ref = simulate(rdwalk_cfg, {"x": 5}, runs=30, seed=0, engine="reference")
+        assert auto.costs == ref.costs
+
+    def test_forced_reference(self, rdwalk_cfg):
+        stats = simulate(rdwalk_cfg, {"x": 5}, runs=200, seed=0, engine="reference")
+        assert stats.engine == "reference"
+
+    def test_invalid_engine_rejected(self, rdwalk_cfg):
+        with pytest.raises(ValueError):
+            simulate(rdwalk_cfg, {"x": 5}, runs=10, engine="turbo")
+
+    def test_auto_falls_back_for_custom_scheduler(self):
+        cfg = make("var x; if * then tick(10) else tick(-10) fi")
+        sched = CallbackScheduler(lambda label, valuation, history: True)
+        stats = simulate(cfg, {"x": 0}, runs=200, seed=0, scheduler=sched)
+        assert stats.engine == "reference"
+        assert stats.mean == 10.0
+
+    def test_forced_vectorized_raises_for_custom_scheduler(self):
+        cfg = make("var x; if * then tick(10) else tick(-10) fi")
+        sched = CallbackScheduler(lambda label, valuation, history: True)
+        with pytest.raises(VectorizationError):
+            simulate(cfg, {"x": 0}, runs=200, seed=0, scheduler=sched, engine="vectorized")
+
+
+class TestSchedulers:
+    SOURCE = "var x; if * then tick(10) else tick(-10) fi"
+
+    def test_then_else(self):
+        cfg = make(self.SOURCE)
+        assert simulate_vectorized(cfg, {"x": 0}, runs=8, scheduler=ThenScheduler(), seed=0).mean == 10.0
+        assert simulate_vectorized(cfg, {"x": 0}, runs=8, scheduler=ElseScheduler(), seed=0).mean == -10.0
+
+    def test_default_is_then(self):
+        cfg = make(self.SOURCE)
+        assert simulate_vectorized(cfg, {"x": 0}, runs=8, seed=0).mean == 10.0
+
+    def test_fixed(self):
+        cfg = make(self.SOURCE)
+        (nd,) = cfg.nondet_labels()
+        sched = FixedScheduler({nd.id: False}, default=True)
+        assert simulate_vectorized(cfg, {"x": 0}, runs=8, scheduler=sched, seed=0).mean == -10.0
+
+    def test_random_mixes(self):
+        cfg = make(self.SOURCE)
+        stats = simulate_vectorized(cfg, {"x": 0}, runs=4000, scheduler=RandomScheduler(0.25), seed=0)
+        # E = 0.25 * 10 + 0.75 * (-10) = -5.
+        assert stats.mean == pytest.approx(-5.0, abs=0.5)
+
+
+class TestValidation:
+    def test_unknown_initial_variable_rejected(self):
+        cfg = make("var x; skip")
+        with pytest.raises(SemanticsError):
+            simulate_vectorized(cfg, {"q": 1}, runs=4)
+
+    def test_zero_runs_rejected(self, rdwalk_cfg):
+        with pytest.raises(ValueError):
+            simulate_vectorized(rdwalk_cfg, {"x": 5}, runs=0)
+
+    def test_bad_max_steps_rejected(self, rdwalk_cfg):
+        with pytest.raises(ValueError):
+            simulate_vectorized(rdwalk_cfg, {"x": 5}, runs=4, max_steps=0)
+
+
+class TestCompileCache:
+    def test_program_reused_per_cfg_and_policy(self, rdwalk_cfg):
+        a = compile_cfg(rdwalk_cfg)
+        b = compile_cfg(rdwalk_cfg, ThenScheduler())
+        assert a is b  # default policy == ThenScheduler
+
+    def test_distinct_policies_compile_separately(self):
+        cfg = make("var x; if * then tick(10) else tick(-10) fi")
+        assert compile_cfg(cfg, ThenScheduler()) is not compile_cfg(cfg, ElseScheduler())
+
+    def test_distinct_cfgs_compile_separately(self, rdwalk_cfg):
+        other = make("var x; tick(1)")
+        assert compile_cfg(rdwalk_cfg) is not compile_cfg(other)

@@ -1,7 +1,7 @@
 """Tests for program transformations (Table 5's nondet replacement)."""
 
 from repro.semantics import build_cfg
-from repro.syntax import NondetIf, ProbIf, map_statements, parse_program, replace_nondet
+from repro.syntax import ProbIf, map_statements, parse_program, replace_nondet
 
 
 def test_replace_nondet_basic():
