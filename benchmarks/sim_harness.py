@@ -84,6 +84,7 @@ _QUICK_SET = {
     "rdbub",
     "bitcoin_mining",
     "nested_loop",
+    "retry_queue",  # table6 representative: prob branch, constant ticks
 }
 
 

@@ -14,6 +14,7 @@ Tasks may also name a whole suite::
 
     {"suite": "table2"}                      # every Table 2 benchmark
     {"suite": "table5", "all_inits": true}   # Table 5 variants, all v0
+    {"suite": "table6"}                      # the extension families
 
 :func:`requests_from_spec` expands suites into concrete requests.
 """
@@ -74,7 +75,7 @@ _REPORT_V5_FIELDS = ("diagnostics",)
 
 #: Suites a spec task may name.  ``table5`` is the Table 3 set with
 #: nondeterminism replaced by a fair coin (the paper's Table 5 setup).
-_SUITES = ("table2", "table3", "table5", "all")
+_SUITES = ("table2", "table3", "table5", "table6", "all")
 
 
 @dataclass
@@ -502,7 +503,11 @@ def _expand_suite(
     from ..programs import benchmarks_by_category
 
     if suite == "all":
-        benches = benchmarks_by_category("table2") + benchmarks_by_category("table3")
+        benches = (
+            benchmarks_by_category("table2")
+            + benchmarks_by_category("table3")
+            + benchmarks_by_category("table6")
+        )
     elif suite == "table5":
         benches = benchmarks_by_category("table3")
     else:

@@ -412,7 +412,13 @@ def analyze_cfg(
     # Descending (narrowing) passes: recompute every label's state from
     # its predecessors' stable states.  Starting from a sound
     # post-fixpoint, each pass stays sound and recovers guard bounds.
-    for _ in range(narrow_passes):
+    # A refinement travels one edge per pass, so a fixed pass count
+    # silently under-narrows loop heads of long loop bodies (the fuzz
+    # generator found this as loop-head invariants missing the counter's
+    # lower bound); iterate until stable instead, scaling the cap with
+    # the CFG so termination stays unconditional.
+    max_narrow = narrow_passes * max(1, len(cfg.labels)) if narrow_passes else 0
+    for _ in range(max_narrow):
         inflow: Dict[int, Optional[State]] = {label.id: None for label in cfg}
         inflow[cfg.entry] = dict(entry_state)
         for label_id, state in states.items():
@@ -423,7 +429,14 @@ def analyze_cfg(
                     continue
                 old = inflow[succ]
                 inflow[succ] = new_state if old is None else _join_states(old, new_state)
+        stable = all(
+            (states[label_id] is None) == (inflow[label_id] is None)
+            and (states[label_id] is None or _states_equal(states[label_id], inflow[label_id]))
+            for label_id in states
+        )
         states = inflow
+        if stable:
+            break
 
     return AbstractAnalysis(
         cfg=cfg,

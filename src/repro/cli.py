@@ -23,6 +23,8 @@ Usage::
                           [--no-cache] [--cache-dir DIR]
     python -m repro cache stats [--cache-dir DIR] [--json]
     python -m repro cache clear [--cache-dir DIR]
+    python -m repro fuzz [--seed N] [--count K] [--config KEY=VALUE ...]
+                         [--inject-defect NAME] [--corpus-dir DIR] [--json]
     python -m repro list
 
 Program files use the surface syntax of the paper's Figure 1 grammar
@@ -560,6 +562,97 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fuzz_config(specs: Optional[List[str]]):
+    from .fuzz import GenConfig
+
+    overrides: Dict[str, object] = {}
+    for spec in specs or []:
+        key, sep, value = spec.partition("=")
+        key, value = key.strip(), value.strip()
+        if not sep or not key or not value:
+            raise CLIError(f"invalid --config value {spec!r}; expected KEY=VALUE")
+        if key == "distributions":
+            overrides[key] = tuple(v.strip() for v in value.split(",") if v.strip())
+        else:
+            try:
+                overrides[key] = int(value)
+            except ValueError:
+                raise CLIError(
+                    f"invalid --config value {spec!r}; {value!r} is not an integer"
+                ) from None
+    try:
+        return GenConfig().override(**overrides)
+    except TypeError:
+        from dataclasses import fields
+
+        known = ", ".join(f.name for f in fields(GenConfig))
+        bad = sorted(set(overrides) - {f.name for f in fields(GenConfig)})
+        raise CLIError(f"unknown --config key(s) {bad}; known: {known}") from None
+    except ValueError as exc:
+        raise CLIError(f"invalid --config: {exc}") from None
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import (
+        CLASSIFICATIONS,
+        DEFECTS,
+        Harness,
+        generate,
+        shrink_program,
+        write_corpus_entry,
+    )
+
+    if args.count < 1:
+        raise CLIError(f"invalid --count value {args.count}; must be >= 1")
+    config = _parse_fuzz_config(args.config)
+    defect = args.inject_defect
+    if defect is not None and defect not in DEFECTS:
+        raise CLIError(f"unknown --inject-defect {defect!r}; known: {', '.join(sorted(DEFECTS))}")
+
+    harness = Harness(config, defect=defect)
+    run = harness.run(args.seed, args.count)
+
+    corpus_paths: List[str] = []
+    if run.violations and args.corpus_dir:
+        from pathlib import Path
+
+        for outcome in run.violations:
+            prog = generate(config, outcome.seed)
+
+            def _still_violates(p, i, _seed=outcome.seed):
+                return harness.classify(p, i, _seed).classification == "violation"
+
+            small, small_init = shrink_program(prog.program, prog.init, _still_violates)
+            name = f"violation-seed{outcome.seed}" + (f"-{defect}" if defect else "")
+            path = write_corpus_entry(
+                Path(args.corpus_dir),
+                name=name,
+                seed=outcome.seed,
+                defect=defect,
+                config=config.to_dict(),
+                program=small,
+                init=small_init,
+                note=outcome.detail,
+            )
+            corpus_paths.append(str(path))
+
+    if args.json:
+        payload = run.to_dict()
+        payload["corpus"] = corpus_paths
+        print(json.dumps(payload, indent=2))
+    else:
+        suffix = f" (injected defect: {defect})" if defect else ""
+        print(f"fuzzed {args.count} seeds starting at {args.seed}{suffix}")
+        counts = run.counts
+        for name in CLASSIFICATIONS:
+            print(f"  {name:12s} {counts[name]}")
+        for outcome in run.violations:
+            print(f"violation at seed {outcome.seed}: {outcome.detail}")
+        for path in corpus_paths:
+            print(f"wrote shrunk repro {path}")
+    return 1 if run.violations else 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     for bench in all_benchmarks():
         nd = " [nondet]" if bench.has_nondeterminism else ""
@@ -751,6 +844,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cache.add_argument("--json", action="store_true", help="machine-readable stats")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential soundness fuzzing (generate, analyze, simulate, compare)"
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0, help="first generator seed")
+    p_fuzz.add_argument("--count", type=int, default=100, help="number of consecutive seeds")
+    p_fuzz.add_argument(
+        "--config",
+        action="append",
+        metavar="KEY=VALUE",
+        help="GenConfig override, repeatable (e.g. max_depth=1, "
+        "distributions=discrete,bernoulli)",
+    )
+    p_fuzz.add_argument(
+        "--inject-defect",
+        default=None,
+        metavar="NAME",
+        help="corrupt the synthesized claims to self-test the oracle "
+        "(weaken-upper, raise-lower, shrink-tail)",
+    )
+    p_fuzz.add_argument(
+        "--corpus-dir",
+        default=None,
+        help="shrink each violation and write the repro JSON here",
+    )
+    p_fuzz.add_argument("--json", action="store_true", help="machine-readable repro-fuzz/v1 report")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_list = sub.add_parser("list", help="list the paper benchmarks")
     p_list.set_defaults(func=_cmd_list)

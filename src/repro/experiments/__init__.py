@@ -4,6 +4,7 @@
 * ``python -m repro.experiments.table3`` — Table 3 (symbolic bounds)
 * ``python -m repro.experiments.table4`` — Table 4 (numeric bounds + simulation)
 * ``python -m repro.experiments.table5`` — Table 5 (nondet replaced by prob(0.5))
+* ``python -m repro.experiments.table6`` — Table 6 (extension families, not in the paper)
 * ``python -m repro.experiments.figures`` — Figures 15-24 (bound/simulation curves)
 * ``python -m repro.experiments.table_tails`` — Azuma tail bounds vs. empirical
   interpreter tail frequencies (new workload, not in the paper)
@@ -15,6 +16,7 @@ from .table2 import Table2Row, build_table2
 from .table3 import Table3Row, build_table3
 from .table4 import build_table4
 from .table5 import build_table5, probabilistic_variant
+from .table6 import build_table6
 from .table_tails import TailCheck, TailRow, build_table_tails
 
 __all__ = [
@@ -31,6 +33,7 @@ __all__ = [
     "build_table3",
     "build_table4",
     "build_table5",
+    "build_table6",
     "build_table_tails",
     "fmt",
     "fmt_poly",

@@ -1,0 +1,81 @@
+"""Table 6: bounds + simulation for the extension benchmark families.
+
+These are the workloads the paper never evaluated (coupon collector,
+randomized quicksort, gambler's-ruin variants, a service retry loop;
+see :mod:`repro.programs.table6`).  Every family is purely
+probabilistic, so the table reports the PUCS/PLCS values for each
+initial valuation next to the seeded Monte-Carlo mean/std — the same
+grid shape as Table 4.
+
+Run as ``python -m repro.experiments.table6 [--runs N] [--jobs N]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from ..batch import AnalysisRequest
+from ..programs import TABLE6_BENCHMARKS, Benchmark
+from .common import (
+    BoundsRow,
+    add_driver_args,
+    driver_analyzer,
+    fmt,
+    render_table,
+    table_analyzer,
+)
+from .table4 import bench_requests, rows_from_reports
+
+__all__ = ["build_table6", "main"]
+
+
+def _table6_requests(
+    runs: int, seed: int, benchmarks: Optional[List[Benchmark]]
+) -> List[AnalysisRequest]:
+    requests: List[AnalysisRequest] = []
+    for bench in benchmarks or TABLE6_BENCHMARKS:
+        requests.extend(bench_requests(bench, runs=runs, seed=seed))
+    return requests
+
+
+def build_table6(
+    runs: int = 1000,
+    seed: int = 0,
+    benchmarks: Optional[List[Benchmark]] = None,
+    jobs: int = 1,
+    cache=None,
+    analyzer=None,
+) -> List[BoundsRow]:
+    with table_analyzer(analyzer, jobs=jobs, cache=cache) as session:
+        return rows_from_reports(session.analyze_batch(_table6_requests(runs, seed, benchmarks)))
+
+
+def main(runs: int = 1000, seed: int = 0, jobs: int = 1, cache=None, analyzer=None) -> str:
+    rows = build_table6(runs=runs, seed=seed, jobs=jobs, cache=cache, analyzer=analyzer)
+    text_rows = [
+        [
+            r.benchmark,
+            ", ".join(f"{k}={v:g}" for k, v in r.init.items() if v),
+            fmt(r.upper_value),
+            fmt(r.lower_value),
+            fmt(r.sim_mean),
+            fmt(r.sim_std),
+        ]
+        for r in rows
+    ]
+    headers = ["program", "v0", "PUCS", "PLCS", "sim mean", "sim std"]
+    return (
+        f"Table 6: extension families, bounds and simulation ({runs} runs per valuation)\n"
+        + render_table(headers, text_rows)
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=1000, help="simulated runs per valuation")
+    parser.add_argument("--seed", type=int, default=0)
+    add_driver_args(parser)
+    args = parser.parse_args()
+    with driver_analyzer(args) as _analyzer:
+        print(main(runs=args.runs, seed=args.seed, analyzer=_analyzer))

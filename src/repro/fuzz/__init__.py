@@ -1,0 +1,48 @@
+"""Differential soundness fuzzing for the analysis pipeline.
+
+The paper's evaluation is ~35 fixed programs; every soundness claim the
+reimplementation makes is only as strong as that corpus.  This package
+turns the vectorized Monte-Carlo interpreter into a standing oracle:
+
+* :mod:`repro.fuzz.generator` — a seeded, replayable generator of
+  well-formed probabilistic programs (bounded-support distributions,
+  prob/nondet branches, nested guaranteed-progress loops, polynomial
+  ticks).  The same ``(GenConfig, seed)`` regenerates byte-identical
+  source, so every finding is a two-integer repro.
+* :mod:`repro.fuzz.harness` — the differential oracle: strict lint →
+  ``degree="auto"`` synthesis with tail bounds → vectorized 10k-run
+  simulation, asserting ``upper >= empirical mean >= lower`` and
+  ``Azuma bound >= empirical tail frequency`` (within statistical
+  slack + ``CONSISTENCY_TOL``).
+* :mod:`repro.fuzz.shrink` — greedy delta-debugging: minimizes any
+  violating program while preserving the violation and writes the
+  shrunk repro into ``tests/fuzz/corpus/`` as a permanent regression.
+
+``python -m repro fuzz [--seed N] [--count K]`` drives the loop from
+the command line (report schema ``repro-fuzz/v1``).
+"""
+
+from .generator import GenConfig, GeneratedProgram, generate, generate_many
+from .harness import (
+    CLASSIFICATIONS,
+    DEFECTS,
+    FuzzOutcome,
+    FuzzRun,
+    Harness,
+)
+from .shrink import load_corpus, shrink_program, write_corpus_entry
+
+__all__ = [
+    "CLASSIFICATIONS",
+    "DEFECTS",
+    "FuzzOutcome",
+    "FuzzRun",
+    "GenConfig",
+    "GeneratedProgram",
+    "Harness",
+    "generate",
+    "generate_many",
+    "load_corpus",
+    "shrink_program",
+    "write_corpus_entry",
+]

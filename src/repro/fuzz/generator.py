@@ -1,0 +1,335 @@
+"""Seeded, replayable generator of well-formed probabilistic programs.
+
+Every program is built from *guaranteed-progress* loop patterns —
+countdown loops (``v := v - 1``) and negative-drift random walks
+(``v := v + r`` with ``E[r] < 0``) — so generated programs terminate
+almost surely and the differential harness never has to distinguish
+divergence from a broken bound.  Sampling distributions come from a
+bounded-support menu (no geometric), which keeps the Azuma–Hoeffding
+tail machinery applicable, and every numeric constant is drawn from a
+menu whose ``%g`` rendering is exact, so the pretty-printed source
+carries exactly the floats of the AST.
+
+Determinism contract: :func:`generate` with the same ``(config, seed)``
+returns byte-identical source (the test suite enforces this).  All
+randomness flows through one ``random.Random(seed)`` whose consumption
+order depends only on the frozen :class:`GenConfig`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..polynomials import Monomial, Polynomial
+from ..semantics.distributions import (
+    BernoulliDistribution,
+    DiscreteDistribution,
+    Distribution,
+    PointDistribution,
+    UniformDistribution,
+    UniformIntDistribution,
+)
+from ..syntax.ast import (
+    Assign,
+    Atom,
+    ProbIf,
+    NondetIf,
+    Program,
+    Seq,
+    Skip,
+    Stmt,
+    Tick,
+    While,
+)
+from ..syntax.pretty import pretty
+
+__all__ = ["GenConfig", "GeneratedProgram", "generate", "generate_many"]
+
+#: Coefficient menu: every value renders exactly under ``%g``, so
+#: pretty-printed programs round-trip bit-for-bit.
+_COEFFS = (-2.0, -1.5, -1.0, -0.5, 0.5, 1.0, 1.5, 2.0, 3.0)
+#: Mostly-nonnegative menu for tick costs (keeps many programs in the
+#: nonnegative-cost regime where lower bounds exist, without giving up
+#: signed-cost coverage entirely).
+_TICK_COEFFS = (0.5, 1.0, 1.5, 2.0, 3.0, 1.0, 2.0, -0.5, -1.0)
+#: Branch probabilities, ``%g``-exact.
+_PROBS = (0.125, 0.25, 0.5, 0.75, 0.9)
+#: Initial valuations for loop counters.
+_INITS = (3.0, 5.0, 8.0, 12.0, 20.0)
+#: Upward-step probabilities for drift loops — all < 0.5, so the walk
+#: has strictly negative drift and terminates almost surely.
+_DRIFT_UP = (0.125, 0.25)
+
+#: Program variables, in declaration order.  The first entries become
+#: loop counters; the last one is reserved as a scratch target so
+#: sampled noise can flow into tick costs.
+_PVARS = ("x", "y", "z", "w")
+
+#: The bounded-support distribution menu (name -> builders).  Geometric
+#: is deliberately absent: unbounded support defeats the tail oracle
+#: (REP006) and adds nothing the discrete menu doesn't cover.
+_DIST_MENU = ("discrete", "bernoulli", "unifint", "uniform", "point")
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Frozen knobs of the program generator.
+
+    The config is part of the repro: a violation is reproduced from
+    ``(config, seed)`` alone, so configs must be hashable, comparable
+    and JSON round-trippable (:meth:`to_dict`/:meth:`from_dict`).
+    """
+
+    #: Top-level statement budget (loops + straight-line statements).
+    max_top_level: int = 3
+    #: Maximum loop nesting depth.
+    max_depth: int = 2
+    #: Straight-line fillers per loop body (besides the progress step).
+    max_fillers: int = 2
+    #: Cap on nondeterministic branches per program (0 disables).
+    max_nondet: int = 1
+    #: Maximum degree of tick cost polynomials.
+    tick_degree: int = 2
+    #: Distribution menu (subset of the bounded-support catalogue).
+    distributions: Tuple[str, ...] = _DIST_MENU
+    #: Monte-Carlo budget of the differential oracle.
+    sim_runs: int = 10_000
+    #: Step horizon for simulation and the tail guarantee.
+    sim_max_steps: int = 50_000
+    #: Degree-escalation ceiling during analysis.
+    max_degree: int = 2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_top_level",
+            "max_depth",
+            "tick_degree",
+            "sim_runs",
+            "sim_max_steps",
+            "max_degree",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ValueError(f"{name} must be an int >= 1, got {value!r}")
+        for name in ("max_fillers", "max_nondet"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ValueError(f"{name} must be an int >= 0, got {value!r}")
+        if not self.distributions:
+            raise ValueError("distributions menu must not be empty")
+        object.__setattr__(self, "distributions", tuple(self.distributions))
+        for dist in self.distributions:
+            if dist not in _DIST_MENU:
+                raise ValueError(
+                    f"unknown distribution {dist!r}; known: {', '.join(_DIST_MENU)}"
+                )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            f.name: list(v) if isinstance(v := getattr(self, f.name), tuple) else v
+            for f in fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "GenConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown GenConfig field(s) {sorted(unknown)}; known: {sorted(known)}"
+            )
+        kwargs = dict(payload)
+        if "distributions" in kwargs:
+            kwargs["distributions"] = tuple(kwargs["distributions"])
+        return cls(**kwargs)
+
+    def override(self, **changes: Any) -> "GenConfig":
+        return replace(self, **changes)
+
+
+@dataclass
+class GeneratedProgram:
+    """One generator output: the AST, its canonical source and repro keys."""
+
+    seed: int
+    config: GenConfig
+    program: Program
+    source: str
+    init: Dict[str, float]
+
+    @property
+    def name(self) -> str:
+        return f"fuzz-{self.seed}"
+
+
+class _Builder:
+    """One program's worth of seeded construction state."""
+
+    def __init__(self, config: GenConfig, seed: int):
+        self.config = config
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.nondet_left = config.max_nondet
+        #: Sampling variables actually declared, in declaration order.
+        self.rvars: Dict[str, Distribution] = {}
+
+    # -- leaf ingredients ------------------------------------------------
+
+    def _drift_rvar(self) -> str:
+        """A fresh negative-drift step variable (``E[r] < 0``)."""
+        name = f"r{len(self.rvars)}"
+        up = self.rng.choice(_DRIFT_UP)
+        self.rvars[name] = DiscreteDistribution([1.0, -1.0], [up, 1.0 - up])
+        return name
+
+    def _noise_rvar(self) -> Optional[str]:
+        """A fresh bounded noise variable from the configured menu."""
+        menu = [d for d in self.config.distributions if d != "discrete"]
+        if "discrete" in self.config.distributions:
+            menu.append("discrete")
+        kind = self.rng.choice(menu)
+        name = f"u{len(self.rvars)}"
+        if kind == "bernoulli":
+            self.rvars[name] = BernoulliDistribution(self.rng.choice(_PROBS))
+        elif kind == "unifint":
+            self.rvars[name] = UniformIntDistribution(0, self.rng.choice((2, 3, 4)))
+        elif kind == "uniform":
+            self.rvars[name] = UniformDistribution(0.0, self.rng.choice((1.0, 2.0)))
+        elif kind == "point":
+            self.rvars[name] = PointDistribution(self.rng.choice((1.0, 2.0)))
+        else:
+            p = self.rng.choice((0.25, 0.5))
+            self.rvars[name] = DiscreteDistribution([2.0, 0.0], [p, 1.0 - p])
+        return name
+
+    def _tick_poly(self, scope: List[str]) -> Polynomial:
+        """A cost polynomial over the pvars in ``scope``."""
+        terms: Dict[Monomial, float] = {}
+        for _ in range(self.rng.randint(1, 2)):
+            n_vars = self.rng.randint(0, min(2, len(scope)))
+            names = self.rng.sample(scope, n_vars)
+            powers: Dict[str, int] = {}
+            budget = self.config.tick_degree
+            for var in names:
+                exp = self.rng.randint(1, max(1, budget))
+                powers[var] = exp
+                budget -= exp
+                if budget <= 0:
+                    break
+            mono = Monomial(powers)
+            terms[mono] = terms.get(mono, 0.0) + self.rng.choice(_TICK_COEFFS)
+        poly = Polynomial(terms)
+        return poly if poly else Polynomial.constant(1.0)
+
+    # -- statements ------------------------------------------------------
+
+    def _filler(self, scope: List[str], scratch: List[str], depth: int) -> Stmt:
+        """A loop-body statement that never touches an active counter."""
+        roll = self.rng.random()
+        if roll < 0.45 or not scratch:
+            return Tick(self._tick_poly(scope))
+        if roll < 0.7:
+            # Sampled noise into a scratch variable (simple_loop's
+            # ``y := r2`` shape): bounded once the interval analysis
+            # bounds the distribution's support.
+            target = self.rng.choice(scratch)
+            source = self._noise_rvar()
+            return Assign(target, Polynomial.variable(source))
+        then_branch = self._filler_block(scope, scratch, depth)
+        else_branch = Skip() if self.rng.random() < 0.5 else self._filler_block(scope, scratch, depth)
+        if self.nondet_left > 0 and self.rng.random() < 0.3:
+            self.nondet_left -= 1
+            return NondetIf(then_branch, else_branch)
+        return ProbIf(self.rng.choice(_PROBS), then_branch, else_branch)
+
+    def _filler_block(self, scope: List[str], scratch: List[str], depth: int) -> Stmt:
+        count = self.rng.randint(1, max(1, self.config.max_fillers))
+        stmts = []
+        for _ in range(count):
+            roll = self.rng.random()
+            if roll < 0.6:
+                stmts.append(Tick(self._tick_poly(scope)))
+            elif scratch:
+                stmts.append(
+                    Assign(self.rng.choice(scratch), Polynomial.variable(self._noise_rvar()))
+                )
+            else:
+                stmts.append(Tick(self._tick_poly(scope)))
+        return stmts[0] if len(stmts) == 1 else Seq.of(*stmts)
+
+    def _loop(self, counter: str, scope: List[str], free: List[str], depth: int) -> Stmt:
+        """A guaranteed-progress loop over ``counter``.
+
+        ``scope`` is every pvar a tick may reference; ``free`` is the
+        pool of still-unclaimed variables a nested loop may consume.
+        """
+        cond = Atom(Polynomial.variable(counter) - Polynomial.constant(1.0), strict=False)
+        if "discrete" in self.config.distributions and self.rng.random() < 0.4:
+            step = self._drift_rvar()
+            progress: Stmt = Assign(
+                counter, Polynomial.variable(counter) + Polynomial.variable(step)
+            )
+        else:
+            progress = Assign(counter, Polynomial.variable(counter) - Polynomial.constant(1.0))
+
+        scratch = [v for v in free if v != counter]
+        body: List[Stmt] = [progress]
+        for _ in range(self.rng.randint(1, max(1, self.config.max_fillers))):
+            body.append(self._filler(scope, scratch, depth))
+        if depth < self.config.max_depth and scratch and self.rng.random() < 0.4:
+            inner = scratch[0]
+            remaining = scratch[1:]
+            body.append(
+                Assign(inner, Polynomial.constant(float(self.rng.choice((2, 3, 4)))))
+            )
+            body.append(self._loop(inner, scope, remaining, depth + 1))
+        return While(cond, body[0] if len(body) == 1 else Seq.of(*body))
+
+    def build(self) -> GeneratedProgram:
+        n_vars = self.rng.randint(2, 3)
+        pvars = list(_PVARS[:n_vars])
+        counters = pvars[: self.rng.randint(1, min(2, n_vars - 1))]
+        free = [v for v in pvars if v not in counters]
+
+        top: List[Stmt] = []
+        budget = self.rng.randint(1, self.config.max_top_level)
+        for index, counter in enumerate(counters):
+            if index >= budget:
+                break
+            top.append(self._loop(counter, pvars, free, depth=1))
+        while len(top) < budget and self.rng.random() < 0.5:
+            top.append(Tick(self._tick_poly(pvars)))
+        if not top:
+            top.append(Tick(self._tick_poly(pvars)))
+
+        init = {var: 0.0 for var in pvars}
+        for counter in counters:
+            init[counter] = self.rng.choice(_INITS)
+
+        program = Program(
+            pvars=pvars,
+            rvars=self.rvars,
+            body=top[0] if len(top) == 1 else Seq.of(*top),
+            name=f"fuzz-{self.seed}",
+        )
+        program.validate()
+        return GeneratedProgram(
+            seed=self.seed,
+            config=self.config,
+            program=program,
+            source=pretty(program),
+            init=init,
+        )
+
+
+def generate(config: GenConfig, seed: int) -> GeneratedProgram:
+    """The program for ``(config, seed)`` — byte-identical on repetition."""
+    return _Builder(config, seed).build()
+
+
+def generate_many(config: GenConfig, seed: int, count: int) -> List[GeneratedProgram]:
+    """Programs for seeds ``seed .. seed+count-1`` (each independently
+    reproducible from its own seed)."""
+    return [generate(config, seed + offset) for offset in range(count)]

@@ -1,0 +1,256 @@
+"""Greedy delta-debugging for violating programs.
+
+A fuzzer finding is only useful once it is small.  :func:`shrink_program`
+repeatedly proposes structurally smaller variants of a violating
+program — dropping statements, replacing a loop by its body, collapsing
+branches, zeroing monomials, shrinking constants and initial values —
+and keeps any variant for which ``predicate(program, init)`` still
+holds, until a whole pass produces no accepted variant (a local
+fixpoint).  The predicate is typically
+``lambda p, i: harness.classify(p, i, seed).classification == "violation"``,
+so every step preserves the violation by construction.
+
+:func:`write_corpus_entry` persists a shrunk repro (plus the exact
+``(config, seed, defect)`` that produced it) as a JSON file under
+``tests/fuzz/corpus/`` — schema ``repro-fuzz-corpus/v1`` — so every
+past violation stays a permanent regression test.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ReproError
+from ..polynomials import Polynomial
+from ..syntax.ast import (
+    Assign,
+    NondetIf,
+    ProbIf,
+    Program,
+    Seq,
+    Skip,
+    Stmt,
+    Tick,
+    While,
+)
+from ..syntax.pretty import pretty
+
+__all__ = ["load_corpus", "shrink_program", "write_corpus_entry"]
+
+CORPUS_SCHEMA = "repro-fuzz-corpus/v1"
+
+Predicate = Callable[[Program, Dict[str, float]], bool]
+
+
+# -- structural variants ----------------------------------------------------
+
+
+def _poly_variants(poly: Polynomial) -> Iterator[Polynomial]:
+    """Smaller polynomials: drop a monomial, then shrink a coefficient."""
+    terms = dict(poly.terms())
+    if len(terms) > 1:
+        for mono in list(terms):
+            rest = {m: c for m, c in terms.items() if m is not mono}
+            yield Polynomial(rest)
+    for mono, coeff in list(terms.items()):
+        # Strictly decreasing |coeff| only, so greedy shrinking cannot
+        # oscillate between a coefficient and its half.
+        candidates = []
+        if abs(coeff) > 1.0:
+            candidates.append(math.copysign(1.0, coeff))
+        half = coeff / 2.0
+        if 0.25 <= abs(half) < abs(coeff):
+            candidates.append(half)
+        for smaller in candidates:
+            if smaller != coeff:
+                yield Polynomial({**terms, mono: smaller})
+
+
+def _stmt_variants(stmt: Stmt) -> Iterator[Stmt]:
+    """Structurally smaller statements, most aggressive first."""
+    if isinstance(stmt, Seq):
+        stmts = list(stmt.stmts)
+        # Drop one element entirely.
+        for index in range(len(stmts)):
+            rest = stmts[:index] + stmts[index + 1 :]
+            yield Seq.of(*rest) if rest else Skip()
+        # Recurse into one element.
+        for index, child in enumerate(stmts):
+            for variant in _stmt_variants(child):
+                yield Seq.of(*stmts[:index], variant, *stmts[index + 1 :])
+    elif isinstance(stmt, While):
+        yield Skip()
+        yield stmt.body
+        for variant in _stmt_variants(stmt.body):
+            yield While(stmt.cond, variant)
+    elif isinstance(stmt, ProbIf):
+        yield stmt.then_branch
+        yield stmt.else_branch
+        for variant in _stmt_variants(stmt.then_branch):
+            yield ProbIf(stmt.prob, variant, stmt.else_branch)
+        for variant in _stmt_variants(stmt.else_branch):
+            yield ProbIf(stmt.prob, stmt.then_branch, variant)
+    elif isinstance(stmt, NondetIf):
+        yield stmt.then_branch
+        yield stmt.else_branch
+        for variant in _stmt_variants(stmt.then_branch):
+            yield NondetIf(variant, stmt.else_branch)
+        for variant in _stmt_variants(stmt.else_branch):
+            yield NondetIf(stmt.then_branch, variant)
+    elif isinstance(stmt, Tick):
+        yield Skip()
+        for poly in _poly_variants(stmt.cost):
+            yield Tick(poly)
+    elif isinstance(stmt, Assign):
+        yield Skip()
+        for poly in _poly_variants(stmt.expr):
+            yield Assign(stmt.var, poly)
+
+
+def _rebuild(program: Program, body: Stmt) -> Optional[Program]:
+    """``program`` with ``body``, undeclared sampling vars pruned.
+
+    Returns ``None`` when the variant is not a well-formed program
+    (e.g. a shrink removed the declaration a remaining use needs —
+    ``Program.__post_init__`` validates and we simply skip those).
+    """
+    used = _used_variables(body)
+    rvars = {name: dist for name, dist in program.rvars.items() if name in used}
+    try:
+        return Program(pvars=list(program.pvars), rvars=rvars, body=body, name=program.name)
+    except ReproError:
+        return None
+
+
+def _used_variables(stmt: Stmt) -> set:
+    used: set = set()
+    stack: List[Stmt] = [stmt]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Seq):
+            stack.extend(node.stmts)
+        elif isinstance(node, While):
+            used |= set(_cond_variables(node.cond))
+            stack.append(node.body)
+        elif isinstance(node, (ProbIf, NondetIf)):
+            stack.extend(node.children())
+        elif isinstance(node, Tick):
+            used |= set(node.cost.variables())
+        elif isinstance(node, Assign):
+            used.add(node.var)
+            used |= set(node.expr.variables())
+    return used
+
+
+def _cond_variables(cond) -> set:
+    used: set = set()
+    atoms = [cond]
+    while atoms:
+        node = atoms.pop()
+        if hasattr(node, "poly"):
+            used |= set(node.poly.variables())
+        for attr in ("lhs", "rhs", "operands", "children"):
+            value = getattr(node, attr, None)
+            if value is None:
+                continue
+            atoms.extend(value if isinstance(value, (list, tuple)) else [value])
+    return used
+
+
+def _init_variants(init: Dict[str, float]) -> Iterator[Dict[str, float]]:
+    for var, value in init.items():
+        for smaller in (0.0, 1.0, float(int(value / 2))):
+            if smaller < value:
+                yield {**init, var: smaller}
+
+
+# -- the greedy loop --------------------------------------------------------
+
+
+def shrink_program(
+    program: Program,
+    init: Dict[str, float],
+    predicate: Predicate,
+    max_rounds: int = 300,
+) -> Tuple[Program, Dict[str, float]]:
+    """Greedily minimize ``(program, init)`` while ``predicate`` holds.
+
+    ``predicate(program, init)`` must be true for the input (asserted)
+    and is re-evaluated for every candidate; the returned pair is a
+    local fixpoint: no single proposed variant still satisfies it.
+    """
+    if not predicate(program, init):
+        raise ValueError("shrink_program requires a (program, init) satisfying the predicate")
+    current, current_init = program, dict(init)
+    for _ in range(max_rounds):
+        improved = False
+        for body in _stmt_variants(current.body):
+            candidate = _rebuild(current, body)
+            if candidate is None:
+                continue
+            if predicate(candidate, current_init):
+                current = candidate
+                improved = True
+                break
+        if not improved:
+            for smaller_init in _init_variants(current_init):
+                if predicate(current, smaller_init):
+                    current_init = smaller_init
+                    improved = True
+                    break
+        if not improved:
+            return current, current_init
+    return current, current_init
+
+
+# -- corpus persistence -----------------------------------------------------
+
+
+def write_corpus_entry(
+    directory: Path,
+    *,
+    name: str,
+    seed: int,
+    defect: Optional[str],
+    config: Dict[str, Any],
+    program: Program,
+    init: Dict[str, float],
+    note: str = "",
+) -> Path:
+    """Persist one shrunk repro as ``<directory>/<name>.json``.
+
+    Entries carry no timestamps: regenerating an identical finding must
+    produce a byte-identical file, so corpus churn is always a real
+    behaviour change.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": CORPUS_SCHEMA,
+        "name": name,
+        "seed": seed,
+        "defect": defect,
+        "config": config,
+        "source": pretty(program),
+        "init": {var: float(value) for var, value in sorted(init.items())},
+        "note": note,
+    }
+    path = directory / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_corpus(directory: Path) -> List[Dict[str, Any]]:
+    """All corpus entries under ``directory``, sorted by file name."""
+    directory = Path(directory)
+    entries: List[Dict[str, Any]] = []
+    for path in sorted(directory.glob("*.json")):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("schema") != CORPUS_SCHEMA:
+            raise ValueError(f"{path}: unexpected schema {payload.get('schema')!r}")
+        payload["path"] = str(path)
+        entries.append(payload)
+    return entries

@@ -8,11 +8,12 @@ from typing import Dict, List
 from .base import Benchmark
 from .table2 import TABLE2_BENCHMARKS
 from .table3 import TABLE3_BENCHMARKS
+from .table6 import TABLE6_BENCHMARKS
 
 __all__ = ["all_benchmarks", "benchmark_names", "benchmarks_by_category", "get_benchmark"]
 
 _REGISTRY: Dict[str, Benchmark] = {}
-for _bench in [*TABLE2_BENCHMARKS, *TABLE3_BENCHMARKS]:
+for _bench in [*TABLE2_BENCHMARKS, *TABLE3_BENCHMARKS, *TABLE6_BENCHMARKS]:
     if _bench.name in _REGISTRY:
         raise ValueError(f"duplicate benchmark name {_bench.name!r}")
     _REGISTRY[_bench.name] = _bench

@@ -1,0 +1,202 @@
+"""Table 6: benchmark families beyond the paper's evaluation.
+
+The paper's suite (Tables 2 and 3) is fixed; these programs extend it
+with classic randomized-algorithm and systems workloads the paper never
+touched, hand-modeled in the same bounded-update style so the PUCS/PLCS
+machinery applies unchanged:
+
+* a coupon collector with a fixed per-trial success probability,
+* randomized quicksort as a recursion-depth model (multiplicative
+  shrink, Section 6.3 regime: upper bound only),
+* two gambler's-ruin variants (fair-step and momentum walks absorbed
+  at both ends of ``[0, n]``),
+* a service retry loop with a penalty cost on failed attempts.
+
+All five are purely probabilistic (no ``if *``), so every table6 row
+carries Monte-Carlo simulation columns directly — no Table 5 coin-flip
+transformation needed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import Benchmark
+
+__all__ = ["TABLE6_BENCHMARKS"]
+
+
+COUPON_COLLECTOR = Benchmark(
+    name="coupon_collector",
+    title="Coupon Collector (fixed success probability)",
+    source="""
+var c, n;
+while n - c >= 1 do
+    tick(1);
+    if prob(0.2) then
+        c := c + 1
+    fi
+od
+""",
+    invariants={
+        1: "c >= 0 and n - c >= 0",
+        2: "c >= 0 and n - c >= 1",
+        3: "c >= 0 and n - c >= 1",
+        4: "c >= 0 and n - c >= 1",
+        5: "c >= 0 and n - c >= 0 and c - n + 1 >= 0",
+    },
+    init={"c": 0.0, "n": 20.0},
+    degree=1,
+    category="table6",
+    extra_inits=[{"c": 0.0, "n": 10.0}, {"c": 0.0, "n": 15.0}],
+    notes=(
+        "Each trial draws a missing coupon with probability 0.2, so the "
+        "expected number of trials is exactly 5*(n - c); upper and lower "
+        "bounds close to within the one-trial overshoot."
+    ),
+    sweep_var="n",
+    sweep_range=(5.0, 40.0),
+)
+
+
+QUICKSORT_REC = Benchmark(
+    name="quicksort_rec",
+    title="Randomized Quicksort (recursion-depth model)",
+    source="""
+var n;
+while n >= 4 do
+    tick(n);
+    if prob(0.5) then
+        n := 0.5 * n
+    else
+        n := 0.75 * n
+    fi
+od
+""",
+    invariants={
+        1: "n >= 2",
+        2: "n >= 4",
+        3: "n >= 4",
+        4: "n >= 4",
+        5: "n >= 4",
+        6: "n >= 2 and 4 - n >= 0",
+    },
+    init={"n": 100.0},
+    degree=1,
+    mode="nonnegative",
+    category="table6",
+    extra_inits=[{"n": 40.0}, {"n": 64.0}],
+    notes=(
+        "Partition costs n; a random pivot shrinks the dominant sublist "
+        "to 0.5*n (lucky) or 0.75*n (unlucky) with equal probability. "
+        "Multiplicative updates put this in the Section 6.3 nonnegative "
+        "regime: upper bound only, like species_fight."
+    ),
+    sweep_var="n",
+    sweep_range=(4.0, 128.0),
+)
+
+
+GAMBLERS_RUIN = Benchmark(
+    name="gamblers_ruin",
+    title="Gambler's Ruin (unfavorable unit stakes)",
+    source="""
+var x, n;
+while x >= 1 and n - x >= 0 do
+    x := x + (1, -1) : (0.45, 0.55);
+    tick(1)
+od
+""",
+    invariants={
+        1: "x >= 0 and n - x + 1 >= 0",
+        2: "x >= 1 and n - x >= 0",
+        3: "x >= 0 and n - x + 1 >= 0",
+        4: "x >= 0 and n - x + 1 >= 0 and ((1 - x >= 0) or (x - n - 1 >= 0))",
+    },
+    init={"x": 10.0, "n": 20.0},
+    degree=1,
+    category="table6",
+    extra_inits=[{"x": 5.0, "n": 20.0}, {"x": 15.0, "n": 20.0}],
+    notes=(
+        "Biased +-1 walk absorbed at 0 and n+1; the drift argument gives "
+        "E[rounds] <= x/0.1 = 10*x, tight when the walk never reaches the "
+        "top boundary."
+    ),
+    sweep_var="x",
+    sweep_range=(1.0, 20.0),
+)
+
+
+GAMBLERS_RUIN_MOMENTUM = Benchmark(
+    name="gamblers_ruin_momentum",
+    title="Gambler's Ruin (momentum variant, +2/-1 stakes)",
+    source="""
+var x, n;
+while x >= 1 and n - x >= 0 do
+    x := x + (2, -1) : (0.25, 0.75);
+    tick(1)
+od
+""",
+    invariants={
+        1: "x >= 0 and n - x + 2 >= 0",
+        2: "x >= 1 and n - x >= 0",
+        3: "x >= 0 and n - x + 2 >= 0",
+        4: "x >= 0 and n - x + 2 >= 0 and ((1 - x >= 0) or (x - n - 1 >= 0))",
+    },
+    init={"x": 10.0, "n": 20.0},
+    degree=1,
+    category="table6",
+    extra_inits=[{"x": 5.0, "n": 20.0}, {"x": 15.0, "n": 20.0}],
+    notes=(
+        "Asymmetric stakes (+2 with probability 0.25, -1 otherwise) keep "
+        "the drift at -0.25 per round, so E[rounds] <= 4*x; the top exit "
+        "can overshoot to n+2."
+    ),
+    sweep_var="x",
+    sweep_range=(1.0, 20.0),
+)
+
+
+RETRY_QUEUE = Benchmark(
+    name="retry_queue",
+    title="Service Retry Loop (failure penalty)",
+    source="""
+var n;
+while n >= 1 do
+    if prob(0.7) then
+        n := n - 1;
+        tick(1)
+    else
+        tick(3)
+    fi
+od
+""",
+    invariants={
+        1: "n >= 0",
+        2: "n >= 1",
+        3: "n >= 1",
+        4: "n >= 0",
+        5: "n >= 1",
+        6: "n >= 0 and 1 - n >= 0",
+    },
+    init={"n": 50.0},
+    degree=1,
+    category="table6",
+    extra_inits=[{"n": 20.0}, {"n": 35.0}],
+    notes=(
+        "Each queued request succeeds with probability 0.7 (unit cost) or "
+        "fails and is retried at penalty cost 3; the per-request expected "
+        "cost is 1.6/0.7 = 16/7, and both bounds close on 16/7*n."
+    ),
+    sweep_var="n",
+    sweep_range=(5.0, 80.0),
+)
+
+
+TABLE6_BENCHMARKS: List[Benchmark] = [
+    COUPON_COLLECTOR,
+    QUICKSORT_REC,
+    GAMBLERS_RUIN,
+    GAMBLERS_RUIN_MOMENTUM,
+    RETRY_QUEUE,
+]

@@ -101,6 +101,26 @@ class Distribution(ABC):
         lo, hi = self.support_bounds()
         return math.isfinite(lo) and math.isfinite(hi)
 
+    # Distributions are immutable values: two instances of the same
+    # class with the same parameters are the same distribution.  Without
+    # this, ``parse(pretty(p))`` produced a Program whose rvars compared
+    # unequal to the original's (the fuzz round-trip tests caught it).
+    def _eq_key(self) -> tuple:
+        """Value-equality key; parameterized subclasses override.
+
+        The fallback is identity, so user-defined distributions without
+        a key keep their old behaviour.
+        """
+        return (id(self),)
+
+    def __eq__(self, other: object):
+        if type(self) is not type(other):
+            return NotImplemented
+        return self._eq_key() == other._eq_key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._eq_key()))
+
 
 class DiscreteDistribution(Distribution):
     """A finite discrete distribution ``(v1, ..., vk) : (p1, ..., pk)``.
@@ -167,6 +187,9 @@ class DiscreteDistribution(Distribution):
     def support_bounds(self) -> Tuple[float, float]:
         return (min(self.values), max(self.values))
 
+    def _eq_key(self) -> tuple:
+        return (self.values, self.probs)
+
     def __repr__(self) -> str:
         pairs = ", ".join(f"{v:g}: {p:g}" for v, p in zip(self.values, self.probs))
         return f"discrete({pairs})"
@@ -229,6 +252,9 @@ class UniformDistribution(Distribution):
         return rng.uniform(self.a, self.b, n)
 
     def support_bounds(self) -> Tuple[float, float]:
+        return (self.a, self.b)
+
+    def _eq_key(self) -> tuple:
         return (self.a, self.b)
 
     def __repr__(self) -> str:
@@ -341,6 +367,9 @@ class GeometricDistribution(Distribution):
 
     def support_bounds(self) -> Tuple[float, float]:
         return (1.0, math.inf)
+
+    def _eq_key(self) -> tuple:
+        return (self.p,)
 
     def __repr__(self) -> str:
         return f"geometric({self.p:g})"

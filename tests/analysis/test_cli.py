@@ -88,7 +88,7 @@ class TestCommands:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "bitcoin_mining" in out and "[nondet]" in out
-        assert out.count("\n") == 25
+        assert out.count("\n") == 30
 
 
 NONTERMINATING = """
@@ -183,7 +183,7 @@ class TestBenchAll:
         code = main(["bench", "--all"])
         out = capsys.readouterr().out
         assert code == 0
-        assert out.count("\n") >= 27  # 25 benchmarks + header + rule
+        assert out.count("\n") >= 32  # 30 benchmarks + header + rule
         assert "bitcoin_mining" in out and "trader" in out
 
     def test_bench_all_rejects_name(self, capsys):

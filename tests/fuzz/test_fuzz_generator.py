@@ -1,0 +1,91 @@
+"""The generator's determinism and well-formedness contracts."""
+
+import pytest
+
+from repro.fuzz import GenConfig, generate, generate_many
+from repro.syntax import NondetIf, parse_program
+from repro.syntax.pretty import pretty
+
+CONFIG = GenConfig()
+
+
+class TestDeterminism:
+    def test_same_seed_same_source(self):
+        for seed in range(100):
+            first = generate(CONFIG, seed)
+            second = generate(CONFIG, seed)
+            assert first.source == second.source
+            assert first.init == second.init
+
+    def test_generate_many_matches_individual_seeds(self):
+        batch = generate_many(CONFIG, seed=10, count=20)
+        assert [g.seed for g in batch] == list(range(10, 30))
+        for prog in batch:
+            assert prog.source == generate(CONFIG, prog.seed).source
+
+    def test_config_changes_the_stream(self):
+        narrow = CONFIG.override(max_fillers=1, max_depth=1)
+        assert any(
+            generate(CONFIG, seed).source != generate(narrow, seed).source for seed in range(20)
+        )
+
+
+class TestWellFormedness:
+    def test_sources_parse_and_roundtrip(self):
+        for seed in range(100):
+            prog = generate(CONFIG, seed)
+            reparsed = parse_program(prog.source)
+            assert pretty(reparsed) == prog.source
+
+    def test_init_covers_every_pvar(self):
+        for seed in range(50):
+            prog = generate(CONFIG, seed)
+            assert set(prog.init) == set(prog.program.pvars)
+
+    def test_name_is_seed_derived(self):
+        assert generate(CONFIG, 7).name == "fuzz-7"
+
+
+def _count_nondet(stmt) -> int:
+    count = int(isinstance(stmt, NondetIf))
+    for child in getattr(stmt, "children", lambda: ())():
+        count += _count_nondet(child)
+    return count
+
+
+class TestNondetBudget:
+    def test_max_nondet_zero_disables_nondeterminism(self):
+        config = CONFIG.override(max_nondet=0)
+        for seed in range(60):
+            assert not generate(config, seed).program.has_nondeterminism()
+
+    def test_default_cap_respected(self):
+        for seed in range(60):
+            prog = generate(CONFIG, seed)
+            assert _count_nondet(prog.program.body) <= CONFIG.max_nondet
+
+
+class TestGenConfig:
+    def test_dict_roundtrip(self):
+        config = CONFIG.override(max_depth=1, distributions=("bernoulli", "point"))
+        assert GenConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown GenConfig field"):
+            GenConfig.from_dict({"max_depth": 1, "bogus": 3})
+
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            GenConfig(distributions=("geometric",))
+
+    def test_rejects_nonpositive_budgets(self):
+        with pytest.raises(ValueError):
+            GenConfig(max_top_level=0)
+        with pytest.raises(ValueError):
+            GenConfig(max_nondet=-1)
+
+    def test_menu_restriction_is_respected(self):
+        config = CONFIG.override(distributions=("bernoulli",))
+        for seed in range(40):
+            for dist in generate(config, seed).program.rvars.values():
+                assert type(dist).__name__ == "BernoulliDistribution"

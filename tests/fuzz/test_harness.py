@@ -1,0 +1,101 @@
+"""The differential oracle: clean sweeps, classifications, defects."""
+
+import pytest
+
+from repro.fuzz import CLASSIFICATIONS, DEFECTS, FuzzRun, GenConfig, Harness
+from repro.syntax import parse_program
+
+#: Small Monte-Carlo budget: the statistical slack scales with stderr,
+#: so fewer runs widen the margins rather than destabilize the verdict.
+FAST = GenConfig(sim_runs=2000, sim_max_steps=20_000)
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    return Harness(FAST).run(seed=0, count=30)
+
+
+class TestCleanSweep:
+    def test_no_violations(self, clean_run):
+        assert clean_run.violations == []
+
+    def test_nonzero_sound(self, clean_run):
+        assert clean_run.counts["sound"] > 0
+
+    def test_every_outcome_classified(self, clean_run):
+        assert len(clean_run.outcomes) == 30
+        for outcome in clean_run.outcomes:
+            assert outcome.classification in CLASSIFICATIONS
+
+    def test_sound_outcomes_carry_numbers(self, clean_run):
+        for outcome in clean_run.outcomes:
+            if outcome.classification == "sound":
+                assert outcome.upper is not None
+                assert outcome.sim_mean is not None
+                assert outcome.upper >= outcome.sim_mean - 5 * outcome.sim_stderr - 1e-9
+
+    def test_report_schema(self, clean_run):
+        payload = clean_run.to_dict()
+        assert payload["schema"] == "repro-fuzz/v1"
+        assert payload["count"] == 30
+        assert payload["defect"] is None
+        assert sum(payload["counts"].values()) == 30
+        assert len(payload["outcomes"]) == 30
+
+    def test_verdicts_are_deterministic(self, clean_run):
+        again = Harness(FAST).run(seed=0, count=5)
+        for fresh, cached in zip(again.outcomes, clean_run.outcomes[:5]):
+            assert fresh.classification == cached.classification
+            assert fresh.detail == cached.detail
+
+
+class TestDefects:
+    def test_unknown_defect_rejected(self):
+        with pytest.raises(ValueError, match="unknown defect"):
+            Harness(FAST, defect="typo")
+
+    def test_weaken_upper_fires(self):
+        run = Harness(FAST, defect="weaken-upper").run(seed=0, count=8)
+        assert run.counts["violation"] > 0
+        for outcome in run.violations:
+            assert "upper" in outcome.detail
+            assert outcome.source is not None
+
+    def test_raise_lower_fires(self):
+        # Seed 4 synthesizes both bounds (see the committed corpus).
+        outcome = Harness(GenConfig(), defect="raise-lower").run_one(4)
+        assert outcome.classification == "violation"
+        assert "lower" in outcome.detail
+
+    def test_shrink_tail_fires(self):
+        # Seed 15 has a tail bound and cost mass above the anchor.
+        outcome = Harness(GenConfig(), defect="shrink-tail").run_one(15)
+        assert outcome.classification == "violation"
+        assert "tail" in outcome.detail
+
+    def test_defect_registry_covers_every_claim_kind(self):
+        assert set(DEFECTS) == {"weaken-upper", "raise-lower", "shrink-tail"}
+
+
+class TestNondetHandling:
+    SRC = """var x;
+
+while x - 1 >= 0 do
+    x := x - 1;
+    if * then
+        tick(3)
+    else
+        tick(1)
+    fi
+od
+"""
+
+    def test_demonic_upper_checked_lower_skipped(self):
+        harness = Harness(FAST)
+        outcome = harness.classify(parse_program(self.SRC), {"x": 5.0}, seed=0)
+        assert outcome.classification == "sound"
+        # Demonic upper: every scheduler's mean is below it.
+        assert outcome.upper is not None and outcome.upper >= outcome.sim_mean
+        # Lower/tail are not comparable to one fixed policy's statistics.
+        assert outcome.lower is None
+        assert outcome.tail_probes_checked == 0

@@ -1,0 +1,49 @@
+"""Generated-program round-trip property (the cache-identity satellite).
+
+The content-addressed cache keys inline requests by the parsed AST,
+so for every generated program the canonical source must be a lossless
+encoding: ``parse(pretty(parse(source)))`` is structurally identical,
+and the cache fingerprint — the outermost identity the batch engine
+relies on — is unchanged by a pretty-print round trip.
+"""
+
+from repro.batch import AnalysisRequest
+from repro.cache import request_fingerprint, request_key
+from repro.fuzz import GenConfig, generate
+from repro.syntax import parse_program
+from repro.syntax.pretty import pretty
+
+CONFIG = GenConfig()
+SEEDS = range(60)
+
+
+def test_ast_identity_through_pretty_parse():
+    for seed in SEEDS:
+        prog = generate(CONFIG, seed)
+        once = parse_program(prog.source)
+        twice = parse_program(pretty(once))
+        assert once.body == twice.body
+        assert once.pvars == twice.pvars
+        assert once.rvars == twice.rvars
+
+
+def test_generated_ast_matches_parsed_source():
+    # The builder's in-memory AST and the parse of its own rendering
+    # must agree — otherwise the harness would analyze a different
+    # program than the corpus records.
+    for seed in SEEDS:
+        prog = generate(CONFIG, seed)
+        parsed = parse_program(prog.source)
+        assert parsed.body == prog.program.body
+        assert parsed.pvars == prog.program.pvars
+        assert parsed.rvars == prog.program.rvars
+
+
+def test_request_fingerprint_stable_under_roundtrip():
+    for seed in SEEDS:
+        prog = generate(CONFIG, seed)
+        reformatted = pretty(parse_program(prog.source))
+        original = AnalysisRequest(source=prog.source, init=dict(prog.init))
+        roundtripped = AnalysisRequest(source=reformatted, init=dict(prog.init))
+        assert request_fingerprint(original) == request_fingerprint(roundtripped)
+        assert request_key(original) == request_key(roundtripped)

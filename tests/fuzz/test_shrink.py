@@ -1,0 +1,109 @@
+"""Delta-debugging shrinker: minimality, predicate preservation, corpus IO."""
+
+import json
+
+import pytest
+
+from repro.fuzz import (
+    GenConfig,
+    Harness,
+    generate,
+    load_corpus,
+    shrink_program,
+    write_corpus_entry,
+)
+from repro.syntax import Tick, parse_program
+
+FAST = GenConfig(sim_runs=2000, sim_max_steps=20_000)
+
+
+class TestShrink:
+    def test_requires_violating_input(self):
+        prog = generate(FAST, 0)
+        with pytest.raises(ValueError, match="satisfying the predicate"):
+            shrink_program(prog.program, prog.init, lambda p, i: False)
+
+    def test_injected_defect_shrinks_to_small_repro(self):
+        harness = Harness(FAST, defect="weaken-upper")
+        prog = generate(FAST, 0)
+        assert harness.classify(prog.program, prog.init, 0).classification == "violation"
+
+        def still_violates(p, i):
+            return harness.classify(p, i, 0).classification == "violation"
+
+        small, small_init = shrink_program(prog.program, prog.init, still_violates)
+        from repro.syntax.pretty import pretty
+
+        source = pretty(small)
+        assert len(source.splitlines()) <= 15
+        assert len(source.splitlines()) < len(prog.source.splitlines())
+        assert still_violates(small, small_init)
+
+    def test_structural_predicate_preserved(self):
+        # A pure-AST predicate exercises the variant tree without any
+        # synthesis in the loop: keep "some Tick survives".
+        prog = generate(FAST, 3)
+
+        def has_tick(p, _i):
+            stack = [p.body]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, Tick):
+                    return True
+                stack.extend(getattr(node, "children", lambda: ())())
+            return False
+
+        small, _ = shrink_program(prog.program, prog.init, has_tick)
+        assert has_tick(small, None)
+        assert len(str(small.body)) <= len(str(prog.program.body))
+
+    def test_unused_rvars_pruned(self):
+        prog = generate(FAST, 0)
+        small, _ = shrink_program(
+            prog.program, prog.init, lambda p, i: True
+        )
+        # Everything shrinks away under the always-true predicate, and
+        # the sampling declarations go with it.
+        assert small.rvars == {}
+
+
+class TestCorpusIO:
+    def test_write_then_load_roundtrip(self, tmp_path):
+        program = parse_program("var x;\n\ntick(1)")
+        path = write_corpus_entry(
+            tmp_path,
+            name="sample",
+            seed=9,
+            defect="weaken-upper",
+            config=GenConfig().to_dict(),
+            program=program,
+            init={"x": 0.0},
+            note="demo",
+        )
+        assert path.name == "sample.json"
+        entries = load_corpus(tmp_path)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["schema"] == "repro-fuzz-corpus/v1"
+        assert entry["seed"] == 9
+        assert entry["source"] == "var x;\n\ntick(1)"
+        assert entry["init"] == {"x": 0.0}
+
+    def test_write_is_byte_stable(self, tmp_path):
+        program = parse_program("var x;\n\ntick(1)")
+        kwargs = dict(
+            name="stable",
+            seed=1,
+            defect=None,
+            config=GenConfig().to_dict(),
+            program=program,
+            init={"x": 2.0},
+        )
+        first = write_corpus_entry(tmp_path, **kwargs).read_bytes()
+        second = write_corpus_entry(tmp_path, **kwargs).read_bytes()
+        assert first == second
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        (tmp_path / "bad.json").write_text(json.dumps({"schema": "nope/v9"}))
+        with pytest.raises(ValueError, match="unexpected schema"):
+            load_corpus(tmp_path)

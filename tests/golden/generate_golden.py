@@ -4,7 +4,8 @@ Usage::
 
     PYTHONPATH=src python tests/golden/generate_golden.py
 
-Writes ``table2.json``, ``table3.json`` and ``table5.json`` next to
+Writes ``table2.json``, ``table3.json``, ``table5.json`` and
+``table6.json`` next to
 this script.  The golden tests re-run the drivers with the same
 parameters and demand *bitwise* equality — floats included — so these
 files pin both the synthesized bounds and the seeded Monte-Carlo
@@ -20,6 +21,7 @@ from pathlib import Path
 from repro.experiments.table2 import build_table2
 from repro.experiments.table3 import build_table3
 from repro.experiments.table5 import build_table5
+from repro.experiments.table6 import build_table6
 from repro.programs import TABLE3_BENCHMARKS
 
 HERE = Path(__file__).resolve().parent
@@ -31,6 +33,10 @@ HERE = Path(__file__).resolve().parent
 TABLE5_RUNS = 30
 TABLE5_RUNS_PER_BENCHMARK = {"bitcoin_pool": 8}
 TABLE5_SEED = 0
+
+#: Table 6 simulation settings (same spirit: small, seeded, exact).
+TABLE6_RUNS = 60
+TABLE6_SEED = 0
 
 SCHEMA = "repro-golden/v1"
 
@@ -93,11 +99,35 @@ def table5_payload() -> dict:
     }
 
 
+def table6_payload() -> dict:
+    rows = [
+        {
+            "benchmark": row.benchmark,
+            "init": row.init,
+            "upper": row.upper_str,
+            "lower": row.lower_str,
+            "upper_value": row.upper_value,
+            "lower_value": row.lower_value,
+            "sim_mean": row.sim_mean,
+            "sim_std": row.sim_std,
+        }
+        for row in build_table6(runs=TABLE6_RUNS, seed=TABLE6_SEED)
+    ]
+    return {
+        "schema": SCHEMA,
+        "table": "table6",
+        "runs": TABLE6_RUNS,
+        "seed": TABLE6_SEED,
+        "rows": rows,
+    }
+
+
 def main() -> int:
     for name, build in [
         ("table2", table2_payload),
         ("table3", table3_payload),
         ("table5", table5_payload),
+        ("table6", table6_payload),
     ]:
         payload = build()
         path = HERE / f"{name}.json"

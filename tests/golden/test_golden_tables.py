@@ -43,6 +43,7 @@ def _diff(expected_rows, actual_rows):
         ("table2", generate_golden.table2_payload),
         ("table3", generate_golden.table3_payload),
         ("table5", generate_golden.table5_payload),
+        ("table6", generate_golden.table6_payload),
     ],
 )
 def test_driver_reproduces_golden_bitwise(name, build):
@@ -60,11 +61,15 @@ def test_golden_files_cover_every_benchmark_row():
     table5 = _load("table5")["rows"]
     assert len(table5) >= len(table3)
     assert any(row["benchmark"].endswith("_prob") for row in table5)
+    # Table 6: five extension families, three valuations each.
+    table6 = _load("table6")["rows"]
+    assert len(table6) == 15
+    assert all(row["sim_mean"] is not None for row in table6)
 
 
 def test_golden_floats_survive_json_round_trip():
     # Bitwise means bitwise: serialize-parse must be the identity on
     # the committed payloads (shortest-repr float round-tripping).
-    for name in ("table2", "table3", "table5"):
+    for name in ("table2", "table3", "table5", "table6"):
         payload = _load(name)
         assert json.loads(json.dumps(payload)) == payload

@@ -1,6 +1,7 @@
 """End-to-end checks over the full benchmark suite.
 
-For every benchmark (15 from Table 2 + 10 from Table 3):
+For every benchmark (15 from Table 2 + 10 from Table 3 + 5 from the
+Table 6 extension families):
 
 * the program parses, the CFG builds, and the annotated invariants hold
   along simulated runs;
@@ -168,6 +169,7 @@ class TestRegistry:
     def test_counts(self):
         assert len(benchmarks_by_category("table2")) == 15
         assert len(benchmarks_by_category("table3")) == 10
+        assert len(benchmarks_by_category("table6")) == 5
 
     def test_lookup(self):
         assert get_benchmark("simple_loop").name == "simple_loop"

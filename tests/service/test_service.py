@@ -57,7 +57,7 @@ class TestEndpoints:
         status, payload = _get(base, "/benchmarks")
         assert status == 200
         names = [bench["name"] for bench in payload["benchmarks"]]
-        assert payload["count"] == len(names) == 25
+        assert payload["count"] == len(names) == 30
         assert "rdwalk" in names and "bitcoin_mining" in names
         nondet = {b["name"]: b["nondeterministic"] for b in payload["benchmarks"]}
         assert nondet["bitcoin_mining"] is True and nondet["rdwalk"] is False
