@@ -60,7 +60,13 @@ from .errors import (
     UnboundedError,
     UnsupportedProgramError,
 )
-from .invariants import InvariantMap, Polyhedron, generate_interval_invariants
+from .invariants import (
+    InvariantMap,
+    Polyhedron,
+    generate_interval_invariants,
+    generate_invariants,
+    generate_octagon_invariants,
+)
 from .polynomials import LinForm, Monomial, Polynomial, expectation
 from .semantics import (
     CFG,
@@ -78,7 +84,7 @@ from .semantics import (
 from .syntax import Program, parse_condition, parse_expression, parse_program, replace_nondet
 from .termination import RankingCertificate, certify_concentration, synthesize_rsm
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 # The typed front door; imported last — it composes the layers above.
 from .api import AnalysisOptions, AnalysisReport, AnalysisRequest, Analyzer  # noqa: E402
@@ -131,6 +137,8 @@ __all__ = [
     "classify",
     "expectation",
     "generate_interval_invariants",
+    "generate_invariants",
+    "generate_octagon_invariants",
     "parse_condition",
     "parse_expression",
     "parse_program",

@@ -26,7 +26,11 @@ if TYPE_CHECKING:  # runtime imports would be circular; these are lazy below
 from ..core.conditions import AnalysisMode, classify
 from ..core.synthesis import BoundResult, synthesize
 from ..errors import InfeasibleError, SynthesisError, UnboundedError
-from ..invariants import InvariantMap, generate_interval_invariants
+from ..invariants import (
+    InvariantMap,
+    generate_interval_invariants,
+    generate_octagon_invariants,
+)
 from ..semantics.cfg import CFG, build_cfg
 from ..syntax.ast import Program
 from ..syntax.parser import parse_program
@@ -115,6 +119,7 @@ def analyze(
     compute_lower: bool = True,
     max_multiplicands: Optional[int] = None,
     mode: str = "auto",
+    invariant_domain: str = "interval",
     tails: bool = False,
     tail_horizon: Optional[int] = None,
     tail_probes: Optional[List[float]] = None,
@@ -150,6 +155,14 @@ def analyze(
         conditions fail is recorded as a warning, not an error — this
         mirrors how the paper's experiments treat e.g. the nested-loop
         benchmark.
+    invariant_domain:
+        The abstract domain of the automatic invariant generator:
+        ``"interval"`` (default; per-variable boxes) or ``"octagon"``
+        (relational ``+-x +-y <= c`` constraints).  Under the octagon
+        domain the inferred relational rows are also *conjoined* into
+        hand-annotated labels (they are sound by construction, so the
+        merge only strengthens Gamma), and the lint pass gains the
+        REP013/REP014 relational annotation checks.
     tails:
         Also derive an Azuma–Hoeffding concentration bound
         ``P[cost >= E + t, T <= n] <= exp(-t^2/(2 c^2 n))`` from the
@@ -169,6 +182,12 @@ def analyze(
     """
     if check not in ("off", "warn", "strict"):
         raise ValueError("check must be 'off', 'warn' or 'strict'")
+    from ..invariants.generator import INVARIANT_DOMAINS
+
+    if invariant_domain not in INVARIANT_DOMAINS:
+        raise ValueError(
+            f"invariant_domain must be one of {INVARIANT_DOMAINS}, got {invariant_domain!r}"
+        )
     if isinstance(program, str):
         program = parse_program(program)
     cfg = build_cfg(program)
@@ -192,7 +211,12 @@ def analyze(
         # strengthening mixes in generated intervals.
         from ..check import check_cfg
 
-        check_result = check_cfg(cfg, init, inv if invariants is not None else None)
+        check_result = check_cfg(
+            cfg,
+            init,
+            inv if invariants is not None else None,
+            invariant_domain=invariant_domain,
+        )
         if check == "strict" and not check_result.ok:
             from ..errors import CheckError
 
@@ -204,13 +228,26 @@ def analyze(
             )
 
     if auto_invariants:
-        # Strengthen only labels the user left unannotated: hand-written
-        # invariants are typically tighter, and mixing in anchor-specific
-        # point intervals (e.g. ``n = 320``) can degrade LP conditioning.
-        auto = generate_interval_invariants(cfg, init)
-        for label_id, poly in auto.items():
-            if label_id not in inv:
-                inv.set(label_id, poly)
+        if invariant_domain == "octagon":
+            # The relational rows are sound by construction, so they can
+            # be conjoined into annotated labels too — this is what lets
+            # previously annotation-dependent benchmarks synthesize with
+            # their hand-written invariants deleted.
+            auto = generate_octagon_invariants(cfg, init)
+            for label_id, region in auto.items():
+                if label_id not in inv:
+                    inv.set(label_id, region)
+                else:
+                    inv.conjoin(label_id, region)
+        else:
+            # Strengthen only labels the user left unannotated:
+            # hand-written invariants are typically tighter, and mixing
+            # in anchor-specific point intervals (e.g. ``n = 320``) can
+            # degrade LP conditioning.
+            auto = generate_interval_invariants(cfg, init)
+            for label_id, poly in auto.items():
+                if label_id not in inv:
+                    inv.set(label_id, poly)
 
     if mode not in ("auto", "signed", "nonnegative"):
         raise ValueError("mode must be 'auto', 'signed' or 'nonnegative'")

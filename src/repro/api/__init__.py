@@ -18,7 +18,7 @@ thin adapter over the three names this package exports first:
     expose the pipeline stage by stage.
 :class:`AnalysisRequest` / :class:`AnalysisReport`
     The JSON work unit and the canonical result record (schema
-    ``repro-report/v5``; :func:`report_to_v1` ... :func:`report_to_v4`
+    ``repro-report/v6``; :func:`report_to_v1` ... :func:`report_to_v5`
     and the lenient :meth:`AnalysisReport.from_dict` bridge older
     consumers and producers).
 
@@ -57,6 +57,7 @@ from ..batch.spec import (
     REPORT_SCHEMA_V2,
     REPORT_SCHEMA_V3,
     REPORT_SCHEMA_V4,
+    REPORT_SCHEMA_V5,
     AnalysisReport,
     AnalysisRequest,
     load_spec,
@@ -91,6 +92,7 @@ __all__ = [
     "REPORT_SCHEMA_V2",
     "REPORT_SCHEMA_V3",
     "REPORT_SCHEMA_V4",
+    "REPORT_SCHEMA_V5",
     "ResultCache",
     "RetryPolicy",
     "SolveOutcome",
@@ -106,6 +108,7 @@ __all__ = [
     "report_to_v2",
     "report_to_v3",
     "report_to_v4",
+    "report_to_v5",
     "request_fingerprint",
     "request_key",
     "requests_from_spec",
@@ -139,9 +142,15 @@ def report_to_v4(report: AnalysisReport) -> Dict[str, Any]:
     return report.to_v4_dict()
 
 
+def report_to_v5(report: AnalysisReport) -> Dict[str, Any]:
+    """``report`` as a pre-relational-invariants (``repro-report/v5``)
+    dict — bitwise what a v5 writer produced for the same analysis."""
+    return report.to_v5_dict()
+
+
 def report_from_dict(data: Mapping[str, Any]) -> AnalysisReport:
-    """Read a v5, v4, v3, v2 *or* v1 report dict (the lenient reader
-    shim)."""
+    """Read a v6, v5, v4, v3, v2 *or* v1 report dict (the lenient
+    reader shim)."""
     return AnalysisReport.from_dict(data)
 
 
@@ -159,6 +168,7 @@ def version_info() -> Dict[str, Any]:
                 REPORT_SCHEMA_V2,
                 REPORT_SCHEMA_V3,
                 REPORT_SCHEMA_V4,
+                REPORT_SCHEMA_V5,
             ],
             "cache_entry": ENTRY_SCHEMA,
         },

@@ -32,7 +32,7 @@ from typing import Any, Callable, List, Mapping, Optional, Sequence, Union
 from ..analysis.bounds import CostAnalysisResult, attach_tail_bound_for
 from ..batch.engine import _cached_execute, run_batch
 from ..batch.spec import AnalysisReport, AnalysisRequest
-from ..invariants import InvariantMap, generate_interval_invariants
+from ..invariants import InvariantMap, generate_invariants
 from ..programs import Benchmark, get_benchmark
 from ..semantics.cfg import CFG, build_cfg
 from ..syntax.ast import Program
@@ -340,7 +340,7 @@ class Analyzer:
             if opts.nondet_prob is not None and program.has_nondeterminism:
                 program = probabilistic_variant(program, prob=opts.nondet_prob)
             init = dict(opts.init) if opts.init is not None else None
-            return check_benchmark(program, init=init)
+            return check_benchmark(program, init=init, invariant_domain=opts.invariant_domain)
         parsed = self.parse(program) if isinstance(program, str) else program
         if not isinstance(parsed, Program):
             raise TypeError(
@@ -353,6 +353,7 @@ class Analyzer:
             parsed,
             init=dict(opts.init) if opts.init is not None else None,
             invariants=dict(opts.invariants) if opts.invariants else None,
+            invariant_domain=opts.invariant_domain,
         )
 
     def derive_invariants(
@@ -365,9 +366,11 @@ class Analyzer:
 
         Assembles annotations (the benchmark's own, or
         ``options.invariants`` for inline source) and — when
-        ``options.auto_invariants`` — strengthens unannotated labels
-        with automatically generated interval invariants, exactly as
-        the full pipeline does.
+        ``options.auto_invariants`` — strengthens them with
+        automatically generated invariants in
+        ``options.invariant_domain``, exactly as the full pipeline
+        does: interval invariants fill unannotated labels only, while
+        octagon invariants additionally conjoin into annotated ones.
         """
         opts = self._merged(options, overrides)
         if isinstance(program, Benchmark):
@@ -382,9 +385,12 @@ class Analyzer:
             else:
                 inv = InvariantMap.trivial()
         if opts.auto_invariants:
-            for label_id, poly in generate_interval_invariants(cfg, init).items():
+            auto = generate_invariants(cfg, init, domain=opts.invariant_domain)
+            for label_id, region in auto.items():
                 if label_id not in inv:
-                    inv.set(label_id, poly)
+                    inv.set(label_id, region)
+                elif opts.invariant_domain == "octagon":
+                    inv.conjoin(label_id, region)
         return inv
 
     def synthesize(
@@ -434,6 +440,7 @@ class Analyzer:
                     invariants=dict(opts.invariants) if opts.invariants else None,
                     degree=degree,
                     auto_invariants=opts.auto_invariants,
+                    invariant_domain=opts.invariant_domain,
                     check_concentration=check_concentration,
                     compute_lower=opts.compute_lower,
                     max_multiplicands=opts.max_multiplicands,

@@ -57,6 +57,11 @@ class AnalysisOptions:
     #: Strengthen annotations with automatically generated interval
     #: invariants (the paper uses StInG similarly).
     auto_invariants: bool = True
+    #: Abstract domain of the automatic invariant generator:
+    #: ``"interval"`` (per-variable boxes) or ``"octagon"`` (relational
+    #: ``+-x +-y <= c`` constraints, conjoined into annotated labels
+    #: and enabling the REP013/REP014 lint checks).
+    invariant_domain: str = "interval"
     #: Initial valuation ``v*``; ``None`` uses the benchmark anchor.
     init: Optional[Dict[str, float]] = None
     #: Replace every ``if *`` by ``if prob(p)`` before analysis (the
@@ -139,6 +144,10 @@ class AnalysisOptions:
             raise ValueError(f"mode must be 'auto', 'signed' or 'nonnegative', got {self.mode!r}")
         if self.max_multiplicands is not None and self.max_multiplicands < 1:
             raise ValueError(f"max_multiplicands must be >= 1, got {self.max_multiplicands!r}")
+        if self.invariant_domain not in ("interval", "octagon"):
+            raise ValueError(
+                f"invariant_domain must be 'interval' or 'octagon', got {self.invariant_domain!r}"
+            )
         if self.solver is not None and not isinstance(self.solver, str):
             raise ValueError(f"solver must be a backend name string, got {self.solver!r}")
         if self.nondet_prob is not None and not (0.0 <= self.nondet_prob <= 1.0):
@@ -266,6 +275,7 @@ class AnalysisOptions:
             max_multiplicands=self.max_multiplicands,
             solver=self.solver,
             auto_invariants=self.auto_invariants,
+            invariant_domain=self.invariant_domain,
             nondet_prob=self.nondet_prob,
             simulate_runs=self.simulate_runs,
             simulate_seed=self.simulate_seed,
@@ -296,6 +306,7 @@ class AnalysisOptions:
             solver=request.solver,
             invariants=dict(request.invariants) if request.invariants is not None else None,
             auto_invariants=request.auto_invariants,
+            invariant_domain=request.invariant_domain,
             init=dict(request.init) if request.init is not None else None,
             nondet_prob=request.nondet_prob,
             simulate_runs=request.simulate_runs,

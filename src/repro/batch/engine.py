@@ -118,6 +118,16 @@ _VARIANT_CACHE: Dict[Tuple[str, float], Benchmark] = {}
 def _resolve_benchmark(request: AnalysisRequest) -> Benchmark:
     if request.benchmark is not None:
         bench = get_benchmark(request.benchmark)
+        if request.invariants is not None:
+            # Annotation override: replace the registry invariants with
+            # the request's (``{}`` drops them entirely — the point of
+            # invariant_domain="octagon" sweeps).  Init-dependent
+            # annotations are dropped too; the override is total.
+            from dataclasses import replace as dataclass_replace
+
+            bench = dataclass_replace(
+                bench, invariants=dict(request.invariants), init_invariants=None
+            )
     else:
         bench = Benchmark(
             name=request.display_name,
@@ -128,7 +138,7 @@ def _resolve_benchmark(request: AnalysisRequest) -> Benchmark:
             degree=2,
         )
     if request.nondet_prob is not None and bench.has_nondeterminism:
-        if request.benchmark is not None:
+        if request.benchmark is not None and request.invariants is None:
             key = (request.benchmark, request.nondet_prob)
             variant = _VARIANT_CACHE.get(key)
             if variant is None:
@@ -185,7 +195,12 @@ def execute_request(request: AnalysisRequest, attempt: int = 1) -> AnalysisRepor
     """
     request.validate()
     start = time.perf_counter()
-    report = AnalysisReport(name=request.display_name, status="ok", tag=request.tag)
+    report = AnalysisReport(
+        name=request.display_name,
+        status="ok",
+        tag=request.tag,
+        invariant_domain=request.invariant_domain,
+    )
     try:
         with _task_budget(request.timeout_s):
             # Deterministic chaos hook (no-op unless REPRO_FAULTS is
@@ -209,7 +224,9 @@ def execute_request(request: AnalysisRequest, attempt: int = 1) -> AnalysisRepor
                 # rejects the task before any template/LP work.
                 from ..check import check_benchmark
 
-                findings = check_benchmark(bench, init=init)
+                findings = check_benchmark(
+                    bench, init=init, invariant_domain=request.invariant_domain
+                )
                 report.diagnostics = findings.to_dicts()
                 if request.check == "strict" and not findings.ok:
                     raise _CheckRejected(sorted({d.code for d in findings.errors}))
@@ -225,6 +242,7 @@ def execute_request(request: AnalysisRequest, attempt: int = 1) -> AnalysisRepor
                         mode=request.mode,
                         max_multiplicands=request.max_multiplicands,
                         auto_invariants=request.auto_invariants,
+                        invariant_domain=request.invariant_domain,
                     )
                     report.degree = degree
                     if _is_complete(request, result):

@@ -33,6 +33,7 @@ __all__ = [
     "REPORT_SCHEMA_V2",
     "REPORT_SCHEMA_V3",
     "REPORT_SCHEMA_V4",
+    "REPORT_SCHEMA_V5",
     "load_spec",
     "requests_from_spec",
 ]
@@ -40,7 +41,9 @@ __all__ = [
 #: Degree ceiling for ``degree="auto"`` escalation unless overridden.
 DEFAULT_MAX_DEGREE = 4
 
-#: Canonical report schema.  v5 added ``diagnostics`` (findings of the
+#: Canonical report schema.  v6 added ``invariant_domain`` (the abstract
+#: domain the automatic invariant generator ran in — ``"interval"`` or
+#: ``"octagon"``); v5 added ``diagnostics`` (findings of the
 #: static lint pass, ``repro.check``) and the ``status="rejected"``
 #: terminal state (strict-mode checks refused the program before any LP
 #: work); v4 added ``attempts`` (executions consumed under the
@@ -49,7 +52,7 @@ DEFAULT_MAX_DEGREE = 4
 #: Azuma–Hoeffding concentration bound of ``repro.analysis.tails``);
 #: v2 added ``lower_skipped`` (why no PLCS lower bound was produced)
 #: and ``solver`` (the resolved LP backend).
-REPORT_SCHEMA = "repro-report/v5"
+REPORT_SCHEMA = "repro-report/v6"
 #: The pre-``repro.api`` shape; :meth:`AnalysisReport.from_dict` reads
 #: every schema, :meth:`AnalysisReport.to_v1_dict` writes this one.
 REPORT_SCHEMA_V1 = "repro-report/v1"
@@ -63,6 +66,9 @@ REPORT_SCHEMA_V3 = "repro-report/v3"
 #: The pre-lint shape (no ``diagnostics``);
 #: :meth:`AnalysisReport.to_v4_dict` writes it.
 REPORT_SCHEMA_V4 = "repro-report/v4"
+#: The pre-relational-invariants shape (no ``invariant_domain``);
+#: :meth:`AnalysisReport.to_v5_dict` writes it.
+REPORT_SCHEMA_V5 = "repro-report/v5"
 
 #: Fields present in v2 report dicts but not v1 ones.
 _REPORT_V2_FIELDS = ("lower_skipped", "solver")
@@ -72,6 +78,8 @@ _REPORT_V3_FIELDS = ("tail",)
 _REPORT_V4_FIELDS = ("attempts",)
 #: Fields present in v5 report dicts but not v4 ones.
 _REPORT_V5_FIELDS = ("diagnostics",)
+#: Fields present in v6 report dicts but not v5 ones.
+_REPORT_V6_FIELDS = ("invariant_domain",)
 
 #: Suites a spec task may name.  ``table5`` is the Table 3 set with
 #: nondeterminism replaced by a fair coin (the paper's Table 5 setup).
@@ -94,8 +102,11 @@ class AnalysisRequest:
     name: Optional[str] = None
     #: Initial valuation; ``None`` uses the benchmark's anchor.
     init: Optional[Dict[str, float]] = None
-    #: Per-label invariants for ``source`` requests (benchmarks carry
-    #: their own).  Keys may be ints or numeric strings (JSON).
+    #: Per-label invariants.  For ``source`` requests these are the only
+    #: annotations; for ``benchmark`` requests a non-``None`` value
+    #: *overrides* the registry annotations (``{}`` analyses the
+    #: benchmark with none — useful with ``invariant_domain="octagon"``).
+    #: Keys may be ints or numeric strings (JSON).
     invariants: Optional[Dict[int, str]] = None
     #: Template degree: ``None`` (benchmark default / 2), a fixed int,
     #: or ``"auto"`` — escalate d = 1, 2, ... ``max_degree`` until the
@@ -117,6 +128,12 @@ class AnalysisRequest:
     #: invariants (the paper uses StInG similarly); part of the cache
     #: fingerprint because it changes the LP.
     auto_invariants: bool = True
+    #: Abstract domain of the automatic invariant generator:
+    #: ``"interval"`` (per-variable bounds; the historical default) or
+    #: ``"octagon"`` (relational ``+/-x +/-y <= c`` constraints, strong
+    #: enough to recover most hand annotations).  Part of the cache
+    #: fingerprint because it changes the Gamma rows and hence the LP.
+    invariant_domain: str = "interval"
     #: Replace every ``if *`` by ``if prob(p)`` before analysis (the
     #: Table 5 transformation); ``None`` leaves the program as-is.
     nondet_prob: Optional[float] = None
@@ -183,6 +200,10 @@ class AnalysisRequest:
             raise ValueError(f"mode must be 'auto', 'signed' or 'nonnegative', got {self.mode!r}")
         if self.solver is not None and not isinstance(self.solver, str):
             raise ValueError(f"solver must be a backend name string, got {self.solver!r}")
+        if self.invariant_domain not in ("interval", "octagon"):
+            raise ValueError(
+                f"invariant_domain must be 'interval' or 'octagon', got {self.invariant_domain!r}"
+            )
         if self.nondet_prob is not None and not (0.0 <= self.nondet_prob <= 1.0):
             raise ValueError(f"nondet_prob must be in [0, 1], got {self.nondet_prob}")
         if self.simulate_runs is not None and self.simulate_runs <= 0:
@@ -367,6 +388,11 @@ class AnalysisReport:
     #: ``None`` when the check did not run (``check="off"``); an empty
     #: list when it ran and the program is clean.
     diagnostics: Optional[List[Dict[str, Any]]] = None
+    # -- v6 fields (``repro-report/v6``) --------------------------------
+    #: Abstract domain the automatic invariant generator ran in
+    #: (``"interval"`` or ``"octagon"``), echoed from the request;
+    #: ``None`` on reports read from pre-v6 writers.
+    invariant_domain: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -385,7 +411,11 @@ class AnalysisReport:
         """
         payload = asdict(self)
         for fieldname in (
-            _REPORT_V2_FIELDS + _REPORT_V3_FIELDS + _REPORT_V4_FIELDS + _REPORT_V5_FIELDS
+            _REPORT_V2_FIELDS
+            + _REPORT_V3_FIELDS
+            + _REPORT_V4_FIELDS
+            + _REPORT_V5_FIELDS
+            + _REPORT_V6_FIELDS
         ):
             payload.pop(fieldname, None)
         return payload
@@ -394,7 +424,9 @@ class AnalysisReport:
         """The report as a pre-tail-bound (v2) dict — bitwise what a v2
         writer produced for the same analysis."""
         payload = asdict(self)
-        for fieldname in _REPORT_V3_FIELDS + _REPORT_V4_FIELDS + _REPORT_V5_FIELDS:
+        for fieldname in (
+            _REPORT_V3_FIELDS + _REPORT_V4_FIELDS + _REPORT_V5_FIELDS + _REPORT_V6_FIELDS
+        ):
             payload.pop(fieldname, None)
         return payload
 
@@ -402,7 +434,7 @@ class AnalysisReport:
         """The report as a pre-resilience (v3) dict — bitwise what a v3
         writer produced for the same analysis (no ``attempts``)."""
         payload = asdict(self)
-        for fieldname in _REPORT_V4_FIELDS + _REPORT_V5_FIELDS:
+        for fieldname in _REPORT_V4_FIELDS + _REPORT_V5_FIELDS + _REPORT_V6_FIELDS:
             payload.pop(fieldname, None)
         return payload
 
@@ -410,13 +442,22 @@ class AnalysisReport:
         """The report as a pre-lint (v4) dict — bitwise what a v4 writer
         produced for the same analysis (no ``diagnostics``)."""
         payload = asdict(self)
-        for fieldname in _REPORT_V5_FIELDS:
+        for fieldname in _REPORT_V5_FIELDS + _REPORT_V6_FIELDS:
+            payload.pop(fieldname, None)
+        return payload
+
+    def to_v5_dict(self) -> Dict[str, Any]:
+        """The report as a pre-relational-invariants (v5) dict — bitwise
+        what a v5 writer produced for the same analysis (no
+        ``invariant_domain``)."""
+        payload = asdict(self)
+        for fieldname in _REPORT_V6_FIELDS:
             payload.pop(fieldname, None)
         return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AnalysisReport":
-        """Read a v5, v4, v3, v2 *or* v1 report dict (lenient reader:
+        """Read a v6, v5, v4, v3, v2 *or* v1 report dict (lenient reader:
         fields a previous schema lacks simply default).  An embedded
         ``schema`` marker is accepted and checked; unknown fields are
         rejected rather than dropped."""
@@ -428,11 +469,12 @@ class AnalysisReport:
             REPORT_SCHEMA_V2,
             REPORT_SCHEMA_V3,
             REPORT_SCHEMA_V4,
+            REPORT_SCHEMA_V5,
         ):
             raise ValueError(
                 f"unsupported report schema {schema!r}; expected {REPORT_SCHEMA!r}, "
-                f"{REPORT_SCHEMA_V4!r}, {REPORT_SCHEMA_V3!r}, {REPORT_SCHEMA_V2!r} "
-                f"or {REPORT_SCHEMA_V1!r}"
+                f"{REPORT_SCHEMA_V5!r}, {REPORT_SCHEMA_V4!r}, {REPORT_SCHEMA_V3!r}, "
+                f"{REPORT_SCHEMA_V2!r} or {REPORT_SCHEMA_V1!r}"
             )
         unknown = set(payload) - set(cls.__dataclass_fields__)
         if unknown:

@@ -97,6 +97,9 @@ __all__ = [
 ]
 
 #: On-disk entry schema; bumping it invalidates every existing entry.
+#: v7: reports are ``repro-report/v6`` shaped (``invariant_domain``) and
+#: fingerprints carry the invariant domain — octagon-generated Gamma
+#: rows change the LP, so octagon bounds must never alias interval ones.
 #: v6: fingerprints carry the simulation engine — ``auto``/``vectorized``
 #: draw a different RNG stream than ``reference`` for the same seed, so
 #: their sim statistics must never alias.
@@ -110,7 +113,7 @@ __all__ = [
 #: fingerprints carry the tail-analysis settings.
 #: v2: reports are ``repro-report/v2`` shaped and fingerprints carry
 #: the resolved solver backend id + invariant policy.
-ENTRY_SCHEMA = "repro-cache/v6"
+ENTRY_SCHEMA = "repro-cache/v7"
 
 
 def cache_salt() -> str:
@@ -315,6 +318,7 @@ def request_fingerprint(request) -> Dict[str, Any]:
         "program": _canonical_program_text(bench),
         "invariants": invariants,
         "auto_invariants": bool(request.auto_invariants),
+        "invariant_domain": request.invariant_domain,
         "init": {var: float(value) for var, value in init.items()},
         "degrees": _degree_plan(request, bench),
         "mode": request.mode if request.mode is not None else bench.mode,

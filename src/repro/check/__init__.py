@@ -10,6 +10,9 @@ Layout:
 * :mod:`~repro.check.interp` — the forward interval abstract
   interpreter over the probabilistic CFG (also the engine behind
   :func:`repro.invariants.generate_interval_invariants`);
+* :mod:`~repro.check.octagon` — the relational octagon interpreter
+  (``+-x +-y <= c`` as a closed difference-bound matrix; the engine
+  behind :func:`repro.invariants.generate_octagon_invariants`);
 * :mod:`~repro.check.diagnostics` — ``Diagnostic`` records with stable
   ``REP0xx`` codes (catalogued in ``docs/checks.md``);
 * :mod:`~repro.check.rules` — the lint rules;
@@ -24,6 +27,7 @@ must not import the analysis stack at module level (see ``runner``).
 
 from .diagnostics import CODES, SEVERITIES, CheckResult, Diagnostic, sort_diagnostics
 from .interp import AbstractAnalysis, Interval, analyze_cfg
+from .octagon import Octagon, OctagonAnalysis, analyze_cfg_octagon
 from .rules import run_rules
 from .runner import check_benchmark, check_cfg, check_program, check_request
 
@@ -33,8 +37,11 @@ __all__ = [
     "CheckResult",
     "Diagnostic",
     "Interval",
+    "Octagon",
+    "OctagonAnalysis",
     "SEVERITIES",
     "analyze_cfg",
+    "analyze_cfg_octagon",
     "check_benchmark",
     "check_cfg",
     "check_program",

@@ -35,6 +35,8 @@ CODES: Dict[str, tuple] = {
     "REP010": ("error", "invariant excludes reachable states"),
     "REP011": ("warning", "probabilistic branch with degenerate probability"),
     "REP012": ("warning", "entry loop guard is false at the initial valuation"),
+    "REP013": ("warning", "invariant is weaker than the inferred octagon"),
+    "REP014": ("error", "invariant contradicts the inferred reachable octagon"),
 }
 
 

@@ -12,7 +12,10 @@ the program, not a heuristic — the registry benchmarks lint clean under
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from .octagon import OctagonAnalysis
 
 from ..invariants.annotations import InvariantMap
 from ..semantics.cfg import (
@@ -359,6 +362,83 @@ def _rule_invariants(
             )
 
 
+def _rule_octagon_invariants(
+    cfg: CFG,
+    octagon: "OctagonAnalysis",
+    init: Mapping[str, float],
+    invariants: Optional[InvariantMap],
+    out: List[Diagnostic],
+) -> None:
+    """REP013/REP014: user invariants vs. the inferred relational octagon.
+
+    Only runs when the analysis was requested with
+    ``invariant_domain="octagon"``.  Two findings:
+
+    * REP013 (warning): every constraint of a (single-polyhedron) user
+      invariant already holds throughout the label's octagon — the
+      annotation is entailed by what the analysis infers on its own and
+      can be dropped;
+    * REP014 (error under strict): some user constraint is provably
+      negative over the whole reachable octagon, i.e. the annotation
+      contradicts every state the relational analysis admits.  This
+      generalizes REP010 to relational facts (e.g. ``x - y >= 5`` when
+      the octagon knows ``x <= y``); labels REP010 already refuted via
+      the interval box are skipped so one unsound annotation yields one
+      error.
+    """
+    if invariants is None:
+        return
+    point = _full_init(cfg, init)
+    rep010_labels = {d.label for d in out if d.code == "REP010"}
+    for label_id, region in sorted(invariants.items()):
+        if label_id in rep010_labels:
+            continue
+        if label_id == cfg.entry and not region.contains(point):
+            continue  # REP010's entry check already covers this shape
+        state = octagon.state(label_id)
+        if state is None:
+            continue  # unreachable label: any invariant is vacuously fine
+        all_empty = bool(region.disjuncts)
+        for polyhedron in region.disjuncts:
+            empty = False
+            for constraint in polyhedron.constraints:
+                value = octagon.eval_poly(label_id, constraint)
+                if value is not None and value.hi < -_TOL:
+                    empty = True
+                    break
+            if not empty:
+                all_empty = False
+                break
+        if all_empty:
+            out.append(
+                Diagnostic.of(
+                    "REP014",
+                    f"invariant at label {label_id} excludes every reachable state "
+                    "(disjoint from the octagon fixpoint): the annotation is unsound",
+                    **_where(cfg, label_id),
+                )
+            )
+            continue
+        if len(region.disjuncts) != 1:
+            continue  # entailment of a union is not a per-row check
+        (polyhedron,) = region.disjuncts
+        entailed = bool(polyhedron.constraints)
+        for constraint in polyhedron.constraints:
+            value = octagon.eval_poly(label_id, constraint)
+            if value is None or value.lo < -_TOL:
+                entailed = False
+                break
+        if entailed:
+            out.append(
+                Diagnostic.of(
+                    "REP013",
+                    f"invariant at label {label_id} is entailed by the inferred "
+                    "octagon invariant; the annotation can be dropped",
+                    **_where(cfg, label_id),
+                )
+            )
+
+
 def _rule_degenerate_prob(cfg: CFG, out: List[Diagnostic]) -> None:
     """REP011: probabilistic branches taken with probability 0 or 1."""
     for label in cfg:
@@ -402,8 +482,15 @@ def run_rules(
     init: Mapping[str, float],
     invariants: Optional[InvariantMap] = None,
     nondet_cap: Optional[int] = None,
+    octagon: Optional["OctagonAnalysis"] = None,
 ) -> List[Diagnostic]:
-    """Run every lint rule; returns diagnostics in reading order."""
+    """Run every lint rule; returns diagnostics in reading order.
+
+    ``octagon`` — the relational fixpoint, when the caller analyzed
+    with ``invariant_domain="octagon"`` — enables the REP013/REP014
+    relational annotation checks; the default interval-only pass is
+    byte-identical to previous releases.
+    """
     if nondet_cap is None:
         from ..core.synthesis import _MAX_NONDET_ENUMERATION
 
@@ -419,6 +506,8 @@ def run_rules(
     _rule_static_loops(cfg, analysis, out)
     _rule_unused_vars(cfg, out)
     _rule_invariants(cfg, analysis, init, invariants, out)
+    if octagon is not None:
+        _rule_octagon_invariants(cfg, octagon, init, invariants, out)
     _rule_degenerate_prob(cfg, out)
     _rule_entry_guard(cfg, init, out)
     return sort_diagnostics(out)

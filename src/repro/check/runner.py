@@ -5,6 +5,11 @@ deferred into the functions that need them: ``repro.check`` sits *below*
 the analysis stack in the import graph (``repro.invariants.generator``
 imports :mod:`repro.check.interp`), so importing them at module level
 would create a cycle through partially initialised packages.
+
+Every entry point takes ``invariant_domain``: the default
+``"interval"`` pass is byte-identical to previous releases, while
+``"octagon"`` additionally runs the relational fixpoint and the
+REP013/REP014 annotation checks against it.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from ..syntax.ast import Program
 from ..syntax.parser import parse_program
 from .diagnostics import CheckResult
 from .interp import analyze_cfg
+from .octagon import analyze_cfg_octagon
 from .rules import run_rules
 
 __all__ = ["check_benchmark", "check_cfg", "check_program", "check_request"]
@@ -38,11 +44,22 @@ def check_cfg(
     init: Optional[Mapping[str, float]] = None,
     invariants: Optional[InvariantMap] = None,
     nondet_cap: Optional[int] = None,
+    invariant_domain: str = "interval",
 ) -> CheckResult:
     """Lint a CFG: run the interval fixpoint, then every rule."""
+    from ..invariants.generator import INVARIANT_DOMAINS
+
+    if invariant_domain not in INVARIANT_DOMAINS:
+        raise ValueError(
+            f"invariant_domain must be one of {INVARIANT_DOMAINS}, got {invariant_domain!r}"
+        )
     init = dict(init or {})
-    analysis = analyze_cfg(cfg, {k: v for k, v in init.items() if k in cfg.pvars})
-    diagnostics = run_rules(cfg, analysis, init, invariants, nondet_cap=nondet_cap)
+    pvar_init = {k: v for k, v in init.items() if k in cfg.pvars}
+    analysis = analyze_cfg(cfg, pvar_init)
+    octagon = analyze_cfg_octagon(cfg, pvar_init) if invariant_domain == "octagon" else None
+    diagnostics = run_rules(
+        cfg, analysis, init, invariants, nondet_cap=nondet_cap, octagon=octagon
+    )
     return CheckResult(diagnostics)
 
 
@@ -52,6 +69,7 @@ def check_program(
     invariants=None,
     cfg: Optional[CFG] = None,
     nondet_cap: Optional[int] = None,
+    invariant_domain: str = "interval",
 ) -> CheckResult:
     """Lint a program (surface source or AST).
 
@@ -64,10 +82,20 @@ def check_program(
         program = parse_program(program)
     if cfg is None:
         cfg = build_cfg(program)
-    return check_cfg(cfg, init, _coerce_invariants(cfg, invariants), nondet_cap=nondet_cap)
+    return check_cfg(
+        cfg,
+        init,
+        _coerce_invariants(cfg, invariants),
+        nondet_cap=nondet_cap,
+        invariant_domain=invariant_domain,
+    )
 
 
-def check_benchmark(bench, init: Optional[Mapping[str, float]] = None) -> CheckResult:
+def check_benchmark(
+    bench,
+    init: Optional[Mapping[str, float]] = None,
+    invariant_domain: str = "interval",
+) -> CheckResult:
     """Lint a registry benchmark with its declared invariants and init."""
     anchor = dict(init) if init is not None else dict(bench.init)
     return check_program(
@@ -75,6 +103,7 @@ def check_benchmark(bench, init: Optional[Mapping[str, float]] = None) -> CheckR
         init=anchor,
         invariants=bench.invariant_map(anchor),
         cfg=bench.cfg,
+        invariant_domain=invariant_domain,
     )
 
 
@@ -90,4 +119,6 @@ def check_request(request) -> CheckResult:
     request.validate()
     bench = _resolve_benchmark(request)
     init = dict(request.init) if request.init is not None else dict(bench.init)
-    return check_benchmark(bench, init=init)
+    return check_benchmark(
+        bench, init=init, invariant_domain=getattr(request, "invariant_domain", "interval")
+    )

@@ -11,6 +11,8 @@ Usage::
     python -m repro simulate FILE --init x=100 [--runs 1000] [--seed 0]
                                   [--max-steps 1000000]
     python -m repro cfg FILE
+    python -m repro invariants FILE [--init x=100] [--domain interval|octagon]
+                                    [--json]
     python -m repro lint FILE|SPEC.json [--init x=100] [--invariant LABEL:COND ...]
                                         [--json] [--strict]
     python -m repro lint --benchmark NAME [--json] [--strict]
@@ -25,6 +27,7 @@ Usage::
     python -m repro cache clear [--cache-dir DIR]
     python -m repro fuzz [--seed N] [--count K] [--config KEY=VALUE ...]
                          [--inject-defect NAME] [--corpus-dir DIR] [--json]
+                         [--invariant-domain interval|octagon]
     python -m repro list
 
 Program files use the surface syntax of the paper's Figure 1 grammar
@@ -206,6 +209,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         max_multiplicands=args.max_multiplicands,
         solver=_validate_solver(args.solver),
         invariants=invariants or None,
+        invariant_domain=args.invariant_domain,
         init=init,
         tails=args.tails,
         tail_horizon=args.tail_horizon,
@@ -269,6 +273,43 @@ def _cmd_cfg(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_invariants(args: argparse.Namespace) -> int:
+    from .invariants import generate_invariants
+
+    init = _parse_cli_valuation(args.init)
+    _, program = _read_program(args.file)
+    cfg = build_cfg(program)
+    inferred = generate_invariants(cfg, init, domain=args.domain)
+
+    def rows(region):
+        return [f"{g} >= 0" for poly in region.disjuncts for g in poly.constraints]
+
+    if args.json:
+        payload = {
+            "schema": "repro-invariants/v1",
+            "domain": args.domain,
+            "labels": {
+                str(label_id): rows(region)
+                for label_id, region in sorted(inferred.items())
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"domain: {args.domain}")
+    for label_id in sorted(cfg.labels):
+        if label_id not in inferred:
+            print(f"label {label_id}: unreachable")
+            continue
+        constraints = rows(inferred.get(label_id))
+        if not constraints:
+            print(f"label {label_id}: true")
+        else:
+            print(f"label {label_id}:")
+            for row in constraints:
+                print(f"  {row}")
+    return 0
+
+
 def _lint_spec_results(path: str):
     """Lint every task of a batch spec; yields (task name, CheckResult)."""
     from .check import check_request
@@ -305,7 +346,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             bench = get_benchmark(args.benchmark)
         except KeyError as exc:
             raise CLIError(str(exc.args[0] if exc.args else exc)) from None
-        results = [(bench.name, check_benchmark(bench, init=init))]
+        results = [
+            (
+                bench.name,
+                check_benchmark(bench, init=init, invariant_domain=args.invariant_domain),
+            )
+        ]
     elif args.target is None:
         raise CLIError("missing lint target: FILE, SPEC.json, or --benchmark NAME")
     elif args.target.endswith(".json"):
@@ -319,7 +365,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             label_id, cond = _parse_invariant_spec(spec)
             invariants[label_id] = cond
         results = [
-            (args.target, check_program(program, init=init, invariants=invariants or None))
+            (
+                args.target,
+                check_program(
+                    program,
+                    init=init,
+                    invariants=invariants or None,
+                    invariant_domain=args.invariant_domain,
+                ),
+            )
         ]
 
     errors = sum(len(res.errors) for _, res in results)
@@ -401,6 +455,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         max_degree=args.max_degree,
         max_multiplicands=args.max_multiplicands,
         solver=_validate_solver(args.solver),
+        invariant_domain=args.invariant_domain,
         init=init,
         timeout_s=args.timeout,
     )
@@ -466,6 +521,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.tails:
         for request in requests:
             request.tails = True
+    if args.invariant_domain is not None:
+        for request in requests:
+            request.invariant_domain = args.invariant_domain
     if args.retries is not None:
         if args.retries < 0:
             raise CLIError(f"invalid --retries value {args.retries}; must be >= 0")
@@ -609,7 +667,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     if defect is not None and defect not in DEFECTS:
         raise CLIError(f"unknown --inject-defect {defect!r}; known: {', '.join(sorted(DEFECTS))}")
 
-    harness = Harness(config, defect=defect)
+    harness = Harness(config, defect=defect, invariant_domain=args.invariant_domain)
     run = harness.run(args.seed, args.count)
 
     corpus_paths: List[str] = []
@@ -701,6 +759,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="T1,T2",
         help="comma-separated offsets t to evaluate the tail bound at",
     )
+    p_analyze.add_argument(
+        "--invariant-domain",
+        choices=("interval", "octagon"),
+        default="interval",
+        help="abstract domain of the automatic invariant generator (default: interval)",
+    )
     p_analyze.add_argument("--no-lower", action="store_true", help="skip the PLCS lower bound")
     p_analyze.add_argument(
         "--solver", default=None, help="LP solver backend (e.g. highs, linprog; default: auto)"
@@ -729,6 +793,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_cfg.add_argument("file")
     p_cfg.set_defaults(func=_cmd_cfg)
 
+    p_inv = sub.add_parser(
+        "invariants", help="print the automatically inferred per-label invariants"
+    )
+    p_inv.add_argument("file")
+    p_inv.add_argument("--init", help="initial valuation, e.g. x=100,y=0")
+    p_inv.add_argument(
+        "--domain",
+        choices=("interval", "octagon"),
+        default="interval",
+        help="abstract domain to infer in (default: interval)",
+    )
+    p_inv.add_argument(
+        "--json", action="store_true", help="machine-readable repro-invariants/v1 dump"
+    )
+    p_inv.set_defaults(func=_cmd_invariants)
+
     p_lint = sub.add_parser(
         "lint", help="run the static checks (abstract interpretation + lint rules)"
     )
@@ -746,6 +826,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="LABEL:COND",
         help="invariant to validate (repeatable; program files only)",
+    )
+    p_lint.add_argument(
+        "--invariant-domain",
+        choices=("interval", "octagon"),
+        default="interval",
+        help="abstract domain of the fixpoint the annotation rules check against; "
+        "'octagon' adds the relational REP013/REP014 rules (default: interval)",
     )
     p_lint.add_argument("--json", action="store_true", help="machine-readable findings")
     p_lint.add_argument(
@@ -773,6 +860,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--solver", default=None, help="LP solver backend (e.g. highs, linprog; default: auto)"
+    )
+    p_bench.add_argument(
+        "--invariant-domain",
+        choices=("interval", "octagon"),
+        default="interval",
+        help="abstract domain of the automatic invariant generator (default: interval)",
     )
     p_bench.set_defaults(func=_cmd_bench)
 
@@ -805,6 +898,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver",
         default=None,
         help="LP solver backend for tasks that don't pin one (e.g. highs, linprog)",
+    )
+    p_batch.add_argument(
+        "--invariant-domain",
+        choices=("interval", "octagon"),
+        default=None,
+        help="force this invariant domain on every task (default: per-task setting)",
     )
     p_batch.set_defaults(func=_cmd_batch)
 
@@ -868,6 +967,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--corpus-dir",
         default=None,
         help="shrink each violation and write the repro JSON here",
+    )
+    p_fuzz.add_argument(
+        "--invariant-domain",
+        choices=("interval", "octagon"),
+        default="octagon",
+        help="invariant domain the analyzer under test runs with; generated "
+        "programs carry no annotations, so the relational default exercises "
+        "the strongest generator (default: octagon)",
     )
     p_fuzz.add_argument("--json", action="store_true", help="machine-readable repro-fuzz/v1 report")
     p_fuzz.set_defaults(func=_cmd_fuzz)

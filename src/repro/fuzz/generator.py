@@ -98,8 +98,20 @@ class GenConfig:
     sim_runs: int = 10_000
     #: Step horizon for simulation and the tail guarantee.
     sim_max_steps: int = 50_000
-    #: Degree-escalation ceiling during analysis.
-    max_degree: int = 2
+    #: Degree-escalation ceiling during analysis.  Defaults above
+    #: ``tick_degree`` because a degree-``d`` tick on a drifting walk
+    #: often needs a degree-``d + 1`` potential (a quadratic cost summed
+    #: over a linearly shrinking counter integrates to a cubic).  Only
+    #: the harness reads this knob, so raising it never perturbs the
+    #: generated ``(config, seed)`` program stream.
+    max_degree: int = 4
+    #: Coupled-counter loops to append per program (0 disables — the
+    #: default keeps historical ``(config, seed)`` streams byte-stable).
+    #: Each is ``while a + b - 1 >= 0 do`` with a probabilistic choice
+    #: of which counter to decrement: the loop's progress measure is the
+    #: *sum* of two variables, which the interval domain cannot track
+    #: but the octagon domain certifies.
+    coupled_loops: int = 0
 
     def __post_init__(self) -> None:
         for name in (
@@ -113,7 +125,7 @@ class GenConfig:
             value = getattr(self, name)
             if not isinstance(value, int) or isinstance(value, bool) or value < 1:
                 raise ValueError(f"{name} must be an int >= 1, got {value!r}")
-        for name in ("max_fillers", "max_nondet"):
+        for name in ("max_fillers", "max_nondet", "coupled_loops"):
             value = getattr(self, name)
             if not isinstance(value, int) or isinstance(value, bool) or value < 0:
                 raise ValueError(f"{name} must be an int >= 0, got {value!r}")
@@ -287,6 +299,25 @@ class _Builder:
             body.append(self._loop(inner, scope, remaining, depth + 1))
         return While(cond, body[0] if len(body) == 1 else Seq.of(*body))
 
+    def _coupled_loop(self, a: str, b: str, scope: List[str]) -> Stmt:
+        """A loop whose progress measure is the *sum* ``a + b``.
+
+        ``while a + b - 1 >= 0`` decrements one of the two counters per
+        iteration (probabilistic choice), so the sum strictly decreases
+        and the loop terminates — but neither counter alone is monotone
+        against the guard, which is exactly the shape the octagon
+        domain exists for.
+        """
+        cond = Atom(
+            Polynomial.variable(a) + Polynomial.variable(b) - Polynomial.constant(1.0),
+            strict=False,
+        )
+        dec_a = Assign(a, Polynomial.variable(a) - Polynomial.constant(1.0))
+        dec_b = Assign(b, Polynomial.variable(b) - Polynomial.constant(1.0))
+        body: List[Stmt] = [ProbIf(self.rng.choice(_PROBS), dec_a, dec_b)]
+        body.append(Tick(self._tick_poly(scope)))
+        return While(cond, Seq.of(*body))
+
     def build(self) -> GeneratedProgram:
         n_vars = self.rng.randint(2, 3)
         pvars = list(_PVARS[:n_vars])
@@ -303,6 +334,13 @@ class _Builder:
             top.append(Tick(self._tick_poly(pvars)))
         if not top:
             top.append(Tick(self._tick_poly(pvars)))
+
+        # Gated strictly behind the (default-0) knob: the default
+        # config's RNG consumption order — and hence every historical
+        # seed's program — stays byte-identical.
+        if self.config.coupled_loops > 0 and len(counters) >= 2:
+            for _ in range(self.config.coupled_loops):
+                top.append(self._coupled_loop(counters[0], counters[1], pvars))
 
         init = {var: 0.0 for var in pvars}
         for counter in counters:

@@ -144,6 +144,8 @@ class FuzzRun:
     seed: int
     count: int
     defect: Optional[str]
+    #: Abstract domain the analyzer under test generated invariants in.
+    invariant_domain: str = "octagon"
     outcomes: List[FuzzOutcome] = field(default_factory=list)
 
     @property
@@ -163,6 +165,7 @@ class FuzzRun:
             "seed": self.seed,
             "count": self.count,
             "defect": self.defect,
+            "invariant_domain": self.invariant_domain,
             "config": self.config.to_dict(),
             "counts": self.counts,
             "outcomes": [o.to_dict() for o in self.outcomes],
@@ -174,6 +177,12 @@ class Harness:
 
     ``defect`` names an entry of :data:`DEFECTS` to corrupt the claims
     before checking (testing hook); ``None`` checks the real pipeline.
+
+    ``invariant_domain`` is the abstract domain the analyzer under test
+    generates invariants in.  Generated programs carry no hand
+    annotations, so the relational ``"octagon"`` default exercises the
+    strongest generator — and certifies coupled-counter loops the
+    interval domain must classify as infeasible.
     """
 
     def __init__(
@@ -181,11 +190,17 @@ class Harness:
         config: Optional[GenConfig] = None,
         analyzer=None,
         defect: Optional[str] = None,
+        invariant_domain: str = "octagon",
     ):
         if defect is not None and defect not in DEFECTS:
             raise ValueError(f"unknown defect {defect!r}; known: {', '.join(sorted(DEFECTS))}")
+        if invariant_domain not in ("interval", "octagon"):
+            raise ValueError(
+                f"invariant_domain must be 'interval' or 'octagon', got {invariant_domain!r}"
+            )
         self.config = config or GenConfig()
         self.defect = defect
+        self.invariant_domain = invariant_domain
         if analyzer is None:
             from ..api import Analyzer
 
@@ -210,6 +225,7 @@ class Harness:
                 check="strict",
                 tails=True,
                 tail_horizon=cfg.sim_max_steps,
+                invariant_domain=self.invariant_domain,
             )
         except CheckError as exc:
             return FuzzOutcome(seed=seed, classification="rejected", detail=str(exc))
@@ -243,7 +259,13 @@ class Harness:
         return outcome
 
     def run(self, seed: int, count: int) -> FuzzRun:
-        run = FuzzRun(config=self.config, seed=seed, count=count, defect=self.defect)
+        run = FuzzRun(
+            config=self.config,
+            seed=seed,
+            count=count,
+            defect=self.defect,
+            invariant_domain=self.invariant_domain,
+        )
         for offset in range(count):
             run.outcomes.append(self.run_one(seed + offset))
         return run

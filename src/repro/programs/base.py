@@ -105,6 +105,7 @@ class Benchmark:
         mode: Optional[str] = None,
         max_multiplicands: Optional[int] = None,
         auto_invariants: bool = True,
+        invariant_domain: str = "interval",
         check: str = "off",
     ) -> CostAnalysisResult:
         """One concrete pipeline run (the engine's per-degree workhorse).
@@ -121,6 +122,7 @@ class Benchmark:
             invariants=self.invariant_map(anchor),
             degree=degree if degree is not None else self.degree,
             auto_invariants=auto_invariants,
+            invariant_domain=invariant_domain,
             mode=mode if mode is not None else self.mode,
             compute_lower=compute_lower,
             check_concentration=check_concentration,
@@ -161,6 +163,7 @@ class Benchmark:
                     mode=options.mode,
                     max_multiplicands=options.max_multiplicands,
                     auto_invariants=options.auto_invariants,
+                    invariant_domain=getattr(options, "invariant_domain", "interval"),
                     # Lint once, on the first degree — program and
                     # invariants are escalation-invariant.
                     check=getattr(options, "check", "off") if index == 0 else "off",

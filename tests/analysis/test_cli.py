@@ -100,6 +100,66 @@ od
 """
 
 
+class TestInvariantsCommand:
+    COUPLED = (
+        "var x, y;\n"
+        "while x + y >= 1 do\n"
+        "  if prob(0.5) then x := x - 1 else y := y - 1 fi;\n"
+        "  tick(1)\n"
+        "od\n"
+    )
+
+    @pytest.fixture
+    def coupled_file(self, tmp_path):
+        path = tmp_path / "coupled.prob"
+        path.write_text(self.COUPLED)
+        return str(path)
+
+    def test_text_dump_interval(self, program_file, capsys):
+        code = main(["invariants", program_file, "--init", "x=100"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "domain: interval" in out
+        assert "label 1:" in out and ">= 0" in out
+
+    def test_octagon_emits_relational_rows(self, coupled_file, capsys):
+        code = main(
+            ["invariants", coupled_file, "--init", "x=5,y=5", "--domain", "octagon"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "domain: octagon" in out
+        assert "y + x - 1 >= 0" in out  # the coupled-guard row
+
+    def test_json_payload(self, coupled_file, capsys):
+        import json
+
+        code = main(
+            [
+                "invariants",
+                coupled_file,
+                "--init",
+                "x=5,y=5",
+                "--domain",
+                "octagon",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-invariants/v1"
+        assert payload["domain"] == "octagon"
+        assert any("y + x" in row for rows in payload["labels"].values() for row in rows)
+
+    def test_unreachable_label_marked(self, tmp_path, capsys):
+        path = tmp_path / "dead.prob"
+        path.write_text("var x;\nx := 1;\nif x <= 0 then\n  tick(5)\nelse\n  skip\nfi\n")
+        code = main(["invariants", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "unreachable" in out
+
+
 class TestErrorExits:
     """Malformed user input exits 2 with a one-line error (no traceback)."""
 

@@ -109,34 +109,52 @@ class TestStagedVsEngine:
 class TestV1Shim:
     def test_v1_dict_drops_only_newer_fields(self):
         report = Analyzer().analyze("ber")
-        v5 = report.to_dict()
+        v6 = report.to_dict()
         v1 = report_to_v1(report)
-        assert set(v5) - set(v1) == {"lower_skipped", "solver", "tail", "attempts", "diagnostics"}
-        assert {k: v for k, v in v5.items() if k in v1} == v1
-        # v1 key order is the v4 prefix (bitwise compatibility)
-        assert list(v1) == [k for k in v5 if k in v1]
+        assert set(v6) - set(v1) == {
+            "lower_skipped",
+            "solver",
+            "tail",
+            "attempts",
+            "diagnostics",
+            "invariant_domain",
+        }
+        assert {k: v for k, v in v6.items() if k in v1} == v1
+        # v1 key order is the v6 prefix (bitwise compatibility)
+        assert list(v1) == [k for k in v6 if k in v1]
 
     def test_v2_dict_drops_only_newer_fields(self):
         from repro.api import report_to_v2
 
         report = Analyzer().analyze("ber")
-        v5 = report.to_dict()
+        v6 = report.to_dict()
         v2 = report_to_v2(report)
-        assert set(v5) - set(v2) == {"tail", "attempts", "diagnostics"}
-        assert {k: v for k, v in v5.items() if k in v2} == v2
-        # v2 key order is the v4 prefix (bitwise compatibility)
-        assert list(v2) == [k for k in v5 if k in v2]
+        assert set(v6) - set(v2) == {"tail", "attempts", "diagnostics", "invariant_domain"}
+        assert {k: v for k, v in v6.items() if k in v2} == v2
+        # v2 key order is the v6 prefix (bitwise compatibility)
+        assert list(v2) == [k for k in v6 if k in v2]
 
     def test_v3_dict_drops_only_newer_fields(self):
         from repro.api import report_to_v3
 
         report = Analyzer().analyze("ber")
-        v5 = report.to_dict()
+        v6 = report.to_dict()
         v3 = report_to_v3(report)
-        assert set(v5) - set(v3) == {"attempts", "diagnostics"}
-        assert {k: v for k, v in v5.items() if k in v3} == v3
-        # v3 key order is the v4 prefix (bitwise compatibility)
-        assert list(v3) == [k for k in v5 if k in v3]
+        assert set(v6) - set(v3) == {"attempts", "diagnostics", "invariant_domain"}
+        assert {k: v for k, v in v6.items() if k in v3} == v3
+        # v3 key order is the v6 prefix (bitwise compatibility)
+        assert list(v3) == [k for k in v6 if k in v3]
+
+    def test_v5_dict_drops_only_newer_fields(self):
+        from repro.api import report_to_v5
+
+        report = Analyzer().analyze("ber")
+        v6 = report.to_dict()
+        v5 = report_to_v5(report)
+        assert set(v6) - set(v5) == {"invariant_domain"}
+        assert {k: v for k, v in v6.items() if k in v5} == v5
+        # v5 key order is the v6 prefix (bitwise compatibility)
+        assert list(v5) == [k for k in v6 if k in v5]
 
     def test_v1_reader_round_trip(self):
         from repro.api import AnalysisReport, report_from_dict

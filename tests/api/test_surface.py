@@ -23,6 +23,7 @@ API_ALL = [
     "REPORT_SCHEMA_V2",
     "REPORT_SCHEMA_V3",
     "REPORT_SCHEMA_V4",
+    "REPORT_SCHEMA_V5",
     "ResultCache",
     "RetryPolicy",
     "SolveOutcome",
@@ -38,6 +39,7 @@ API_ALL = [
     "report_to_v2",
     "report_to_v3",
     "report_to_v4",
+    "report_to_v5",
     "request_fingerprint",
     "request_key",
     "requests_from_spec",
@@ -57,6 +59,7 @@ OPTIONS_FIELDS = [
     "solver",
     "invariants",
     "auto_invariants",
+    "invariant_domain",
     "init",
     "nondet_prob",
     "simulate_runs",
@@ -103,6 +106,7 @@ REPORT_FIELDS = [
     "tail",
     "attempts",
     "diagnostics",
+    "invariant_domain",
 ]
 
 
@@ -125,11 +129,12 @@ def test_report_field_snapshot():
 
 
 def test_report_schema_versions():
-    assert api.REPORT_SCHEMA == "repro-report/v5"
+    assert api.REPORT_SCHEMA == "repro-report/v6"
     assert api.REPORT_SCHEMA_V1 == "repro-report/v1"
     assert api.REPORT_SCHEMA_V2 == "repro-report/v2"
     assert api.REPORT_SCHEMA_V3 == "repro-report/v3"
     assert api.REPORT_SCHEMA_V4 == "repro-report/v4"
+    assert api.REPORT_SCHEMA_V5 == "repro-report/v5"
 
 
 def test_top_level_reexports():

@@ -162,8 +162,8 @@ class TestAnalyzerFacade:
 
 
 class TestSchemaV5:
-    def test_report_schema_is_v5(self):
-        assert REPORT_SCHEMA == "repro-report/v5"
+    def test_report_schema_is_v6(self):
+        assert REPORT_SCHEMA == "repro-report/v6"
         assert REPORT_SCHEMA_V4 == "repro-report/v4"
         report = execute_request(
             AnalysisRequest(benchmark="rdwalk", check="warn", compute_lower=False)
@@ -176,7 +176,7 @@ class TestSchemaV5:
         )
         v4 = report_to_v4(report)
         assert "diagnostics" not in v4
-        assert set(report.to_dict()) - set(v4) == {"diagnostics"}
+        assert set(report.to_dict()) - set(v4) == {"diagnostics", "invariant_domain"}
 
     def test_from_dict_reads_v4_and_v5(self):
         report = execute_request(

@@ -6,8 +6,8 @@ from repro.check import CODES, SEVERITIES, CheckResult, Diagnostic, sort_diagnos
 
 
 class TestCatalog:
-    def test_twelve_stable_codes(self):
-        assert sorted(CODES) == [f"REP{n:03d}" for n in range(1, 13)]
+    def test_fourteen_stable_codes(self):
+        assert sorted(CODES) == [f"REP{n:03d}" for n in range(1, 15)]
 
     def test_every_code_has_valid_severity(self):
         for code, (severity, title) in CODES.items():
@@ -16,7 +16,7 @@ class TestCatalog:
 
     def test_error_codes(self):
         errors = {code for code, (severity, _) in CODES.items() if severity == "error"}
-        assert errors == {"REP001", "REP008", "REP010"}
+        assert errors == {"REP001", "REP008", "REP010", "REP014"}
 
 
 class TestDiagnostic:

@@ -89,3 +89,55 @@ class TestGenConfig:
         for seed in range(40):
             for dist in generate(config, seed).program.rvars.values():
                 assert type(dist).__name__ == "BernoulliDistribution"
+
+
+def _coupled_whiles(stmt):
+    """While loops whose guard atom mentions two program variables."""
+    from repro.syntax import While
+
+    found = []
+    if isinstance(stmt, While):
+        guard = stmt.cond
+        if hasattr(guard, "poly") and len(guard.poly.variables()) == 2:
+            found.append(stmt)
+    for child in getattr(stmt, "children", lambda: ())():
+        found.extend(_coupled_whiles(child))
+    return found
+
+
+class TestCoupledLoops:
+    """The relational-domain stressor shapes (`coupled_loops > 0`)."""
+
+    def test_default_is_off(self):
+        assert CONFIG.coupled_loops == 0
+
+    def test_default_stream_unchanged_by_field_presence(self):
+        # coupled_loops=0 must not perturb the RNG stream: the corpus
+        # and every seeded defect test depend on byte-identity.
+        explicit = CONFIG.override(coupled_loops=0)
+        for seed in range(30):
+            assert generate(CONFIG, seed).source == generate(explicit, seed).source
+
+    def test_coupled_config_appends_two_counter_loops(self):
+        config = CONFIG.override(coupled_loops=1)
+        appended = 0
+        for seed in range(30):
+            default = generate(CONFIG, seed)
+            coupled = generate(config, seed)
+            if coupled.source == default.source:
+                continue  # programs with < 2 counters are left alone
+            appended += 1
+            # The default program is a prefix: the loop rides at the end.
+            assert coupled.source.startswith(default.source.rstrip("\n"))
+            assert _coupled_whiles(coupled.program.body)
+        assert appended > 0, "no seed in range produced a coupled loop"
+
+    def test_coupled_sources_parse_and_roundtrip(self):
+        config = CONFIG.override(coupled_loops=2)
+        for seed in range(30):
+            prog = generate(config, seed)
+            assert pretty(parse_program(prog.source)) == prog.source
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            GenConfig(coupled_loops=-1)

@@ -77,6 +77,36 @@ class TestDefects:
         assert set(DEFECTS) == {"weaken-upper", "raise-lower", "shrink-tail"}
 
 
+class TestInvariantDomain:
+    def test_default_is_octagon(self):
+        assert Harness(FAST).invariant_domain == "octagon"
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ValueError, match="invariant_domain"):
+            Harness(FAST, invariant_domain="polyhedra")
+
+    def test_payload_records_domain(self):
+        run = Harness(FAST, invariant_domain="interval").run(seed=0, count=2)
+        assert run.to_dict()["invariant_domain"] == "interval"
+
+    def test_octagon_certifies_coupled_loop_interval_cannot(self):
+        source = (
+            "var x, y;\n"
+            "while x + y - 1 >= 0 do\n"
+            "  if prob(0.5) then x := x - 1 else y := y - 1 fi;\n"
+            "  tick(1)\n"
+            "od\n"
+        )
+        program = parse_program(source, name="coupled")
+        init = {"x": 4.0, "y": 4.0}
+        octagon = Harness(FAST).classify(program, dict(init), seed=0)
+        interval = Harness(FAST, invariant_domain="interval").classify(
+            program, dict(init), seed=0
+        )
+        assert octagon.classification == "sound"
+        assert interval.classification == "infeasible"
+
+
 class TestNondetHandling:
     SRC = """var x;
 

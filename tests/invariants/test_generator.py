@@ -1,12 +1,22 @@
-"""Interval abstract-interpretation tests."""
+"""Invariant-generator tests: interval boxes and octagon relations."""
 
 import math
 
 import pytest
 
-from repro.invariants import Interval, generate_interval_invariants
+from repro.invariants import (
+    Interval,
+    generate_interval_invariants,
+    generate_invariants,
+    generate_octagon_invariants,
+)
 from repro.semantics import build_cfg
 from repro.syntax import parse_program
+
+
+def _rows(region):
+    """Flatten a region to its display-form constraint rows."""
+    return [f"{g} >= 0" for d in region.disjuncts for g in d.constraints]
 
 
 class TestInterval:
@@ -100,3 +110,98 @@ class TestGeneration:
         cfg = build_cfg(parse_program("var x; while x >= 0 do x := x + 1 od"))
         inv = generate_interval_invariants(cfg, {"x": 0})
         assert inv.get(2).contains({"x": 1e9})
+
+
+class TestCanonicalRows:
+    """Row emission is deduplicated and in a pinned, stable order."""
+
+    def test_interval_rows_are_sorted_and_unique(self, rdwalk_cfg):
+        inv = generate_interval_invariants(rdwalk_cfg, {"x": 10})
+        for label_id in (1, 2):
+            rows = _rows(inv.get(label_id))
+            assert len(rows) == len(set(rows))
+            variables = [r.split()[0].lstrip("-") for r in rows]
+            assert variables == sorted(variables)
+
+    def test_interval_rows_pinned_for_ber(self):
+        from repro.programs import get_benchmark
+
+        bench = get_benchmark("ber")
+        inv = generate_interval_invariants(bench.cfg, bench.init)
+        # Per variable in name order: finite lo row, then finite hi row.
+        assert _rows(inv.get(2)) == ["n - 100 >= 0", "-n + 100 >= 0", "x >= 0"]
+
+    def test_repeated_generation_is_identical(self, rdwalk_cfg):
+        first = generate_interval_invariants(rdwalk_cfg, {"x": 10})
+        second = generate_interval_invariants(rdwalk_cfg, {"x": 10})
+        for label_id in (1, 2):
+            assert _rows(first.get(label_id)) == _rows(second.get(label_id))
+
+
+class TestOctagonGeneration:
+    COUPLED = (
+        "var x, y;\n"
+        "while x + y >= 1 do\n"
+        "  if prob(0.5) then x := x - 1 else y := y - 1 fi;\n"
+        "  tick(1)\nod\n"
+    )
+
+    def test_two_variable_guard_tightens_unary_bound(self):
+        from repro.programs import get_benchmark
+
+        bench = get_benchmark("ber")
+        inv = generate_octagon_invariants(bench.cfg, bench.init)
+        # ber's guard `x <= n - 1` plus the pinned n = 100 yields the
+        # x <= 99 row that the interval generator cannot derive.
+        assert _rows(inv.get(2)) == [
+            "n - 100 >= 0",
+            "-n + 100 >= 0",
+            "x >= 0",
+            "-x + 99 >= 0",
+        ]
+
+    def test_entailed_binary_rows_suppressed(self):
+        from repro.programs import get_benchmark
+
+        bench = get_benchmark("ber")
+        inv = generate_octagon_invariants(bench.cfg, bench.init)
+        # n is pinned to 100, so every +-x +-n row is implied by the
+        # unary bounds and must not be emitted.
+        for label_id in (1, 2, 3):
+            for row in _rows(inv.get(label_id)):
+                head = row.split(" >= ")[0]
+                assert not ("x" in head and "n" in head), row
+
+    def test_relational_sum_row_emitted(self):
+        cfg = build_cfg(parse_program(self.COUPLED, name="coupled"))
+        inv = generate_octagon_invariants(cfg, {"x": 5.0, "y": 5.0})
+        # Inside the loop the octagon knows x + y >= 1, which no box
+        # over x in [-4, 5], y in [-4, 5] implies.
+        assert "y + x - 1 >= 0" in _rows(inv.get(2))
+
+    def test_octagon_rows_sound_along_runs(self, rdwalk_cfg):
+        inv = generate_octagon_invariants(rdwalk_cfg, {"x": 10})
+        inv.validate_by_simulation(rdwalk_cfg, {"x": 10}, runs=50)
+
+    def test_unreachable_label_has_no_entry(self):
+        cfg = build_cfg(parse_program("var x; if x >= 100 then tick(1) else tick(2) fi"))
+        inv = generate_octagon_invariants(cfg, {"x": 1})
+        assert 2 not in inv
+
+
+class TestDomainDispatch:
+    def test_interval_dispatch_matches_direct_call(self, rdwalk_cfg):
+        direct = generate_interval_invariants(rdwalk_cfg, {"x": 10})
+        dispatched = generate_invariants(rdwalk_cfg, {"x": 10}, domain="interval")
+        for label_id in (1, 2):
+            assert _rows(direct.get(label_id)) == _rows(dispatched.get(label_id))
+
+    def test_octagon_dispatch_matches_direct_call(self, rdwalk_cfg):
+        direct = generate_octagon_invariants(rdwalk_cfg, {"x": 10})
+        dispatched = generate_invariants(rdwalk_cfg, {"x": 10}, domain="octagon")
+        for label_id in (1, 2):
+            assert _rows(direct.get(label_id)) == _rows(dispatched.get(label_id))
+
+    def test_unknown_domain_rejected(self, rdwalk_cfg):
+        with pytest.raises(ValueError, match="invariant_domain"):
+            generate_invariants(rdwalk_cfg, {"x": 10}, domain="polyhedra")

@@ -87,6 +87,8 @@ class TestIntrospectionEndpoints:
         assert status == 200
         assert payload["schema"] == "repro-service/v2"
         assert payload["defaults"] == AnalysisOptions().to_dict()
+        # The relational-invariants knob is advertised, defaulting off.
+        assert payload["defaults"]["invariant_domain"] == "interval"
 
     def test_options_defaults_round_trip(self, service):
         from repro.api import AnalysisOptions
@@ -104,6 +106,8 @@ class TestIntrospectionEndpoints:
         assert status == 200
         assert payload["repro"] == repro.__version__
         assert payload["schemas"]["report"] == REPORT_SCHEMA
+        assert payload["schemas"]["report"] == "repro-report/v6"
+        assert "repro-report/v5" in payload["schemas"]["report_compat"]
         assert payload["schemas"]["service"] == "repro-service/v2"
         backends = {b["id"]: b for b in payload["solver_backends"]}
         assert "highs" in backends and "linprog" in backends
@@ -145,6 +149,25 @@ class TestAnalyze:
         assert status == 200
         assert payload["status"] == "ok"
         assert payload["upper_value"] == pytest.approx(9.0, rel=1e-6)
+
+    def test_octagon_domain_request_drops_annotations(self, service):
+        # Registry annotations deleted (`"invariants": {}`), the octagon
+        # generator alone must recover a certificate.
+        _, _, base = service
+        status, payload = _post(
+            base,
+            "/analyze",
+            {
+                "benchmark": "ber",
+                "invariants": {},
+                "invariant_domain": "octagon",
+                "compute_lower": False,
+            },
+        )
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["invariant_domain"] == "octagon"
+        assert payload["upper_value"] is not None
 
     def test_task_list_body(self, service):
         _, _, base = service
